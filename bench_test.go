@@ -1,0 +1,485 @@
+package regcube
+
+// Benchmarks regenerating the paper's evaluation (one bench per figure
+// panel, on bench-scale datasets — full paper-scale sweeps run via
+// cmd/benchfig), plus micro-benchmarks of the substrate operations and
+// ablation benches for the design decisions listed in DESIGN.md §5.
+//
+// Custom metrics reported per op:
+//   cells/op  — cells aggregated (the paper's computation cost)
+//   peakMB/op — peak resident estimate (the paper's memory-usage panels)
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/gen"
+	"repro/internal/htree"
+	"repro/internal/regression"
+	"repro/internal/stream"
+	"repro/internal/tilt"
+	"repro/internal/timeseries"
+)
+
+func benchDataset(b *testing.B, spec gen.Spec, seed int64) *gen.Dataset {
+	b.Helper()
+	ds, err := gen.Generate(gen.Config{Spec: spec, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func reportCubing(b *testing.B, res *core.Result) {
+	b.Helper()
+	b.ReportMetric(float64(res.Stats.CellsComputed), "cells/op")
+	b.ReportMetric(float64(res.Stats.PeakBytes)/(1<<20), "peakMB/op")
+}
+
+// --- Figure 8: time & space vs exception rate (D3L3C6T10K bench scale) ---
+
+func BenchmarkFig8MOCubing(b *testing.B) {
+	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 8)
+	rates := []float64{0.001, 0.01, 0.1, 1}
+	thresholds := ds.CalibrateThresholds(rates)
+	for i, rate := range rates {
+		thr := exception.Global(thresholds[i])
+		b.Run(fmt.Sprintf("exc=%g%%", rate*100), func(b *testing.B) {
+			var last *core.Result
+			for n := 0; n < b.N; n++ {
+				res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			reportCubing(b, last)
+		})
+	}
+}
+
+func BenchmarkFig8PopularPath(b *testing.B) {
+	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 8)
+	path := cube.NewLattice(ds.Schema).DefaultPath()
+	rates := []float64{0.001, 0.01, 0.1, 1}
+	thresholds := ds.CalibrateThresholds(rates)
+	for i, rate := range rates {
+		thr := exception.Global(thresholds[i])
+		b.Run(fmt.Sprintf("exc=%g%%", rate*100), func(b *testing.B) {
+			var last *core.Result
+			for n := 0; n < b.N; n++ {
+				res, err := core.PopularPath(ds.Schema, ds.Inputs, thr, path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			reportCubing(b, last)
+		})
+	}
+}
+
+// --- Figure 9: time & space vs m-layer size (D3L3C6, 1% exceptions) ------
+
+func BenchmarkFig9MOCubing(b *testing.B) {
+	full := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 32000}, 9)
+	for _, size := range []int{4000, 8000, 16000, 32000} {
+		ds, err := full.Subset(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		thr := exception.Global(ds.CalibrateThreshold(0.01))
+		b.Run(fmt.Sprintf("T=%dK", size/1000), func(b *testing.B) {
+			var last *core.Result
+			for n := 0; n < b.N; n++ {
+				res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			reportCubing(b, last)
+		})
+	}
+}
+
+func BenchmarkFig9PopularPath(b *testing.B) {
+	full := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 32000}, 9)
+	path := cube.NewLattice(full.Schema).DefaultPath()
+	for _, size := range []int{4000, 8000, 16000, 32000} {
+		ds, err := full.Subset(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		thr := exception.Global(ds.CalibrateThreshold(0.01))
+		b.Run(fmt.Sprintf("T=%dK", size/1000), func(b *testing.B) {
+			var last *core.Result
+			for n := 0; n < b.N; n++ {
+				res, err := core.PopularPath(ds.Schema, ds.Inputs, thr, path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			reportCubing(b, last)
+		})
+	}
+}
+
+// --- Figure 10: time & space vs #levels (D2C10T10K bench scale) ----------
+
+func BenchmarkFig10MOCubing(b *testing.B) {
+	for _, levels := range []int{3, 4, 5} {
+		ds := benchDataset(b, gen.Spec{Dims: 2, Levels: levels, Fanout: 10, Tuples: 10000}, 10)
+		thr := exception.Global(ds.CalibrateThreshold(0.01))
+		b.Run(fmt.Sprintf("L=%d", levels), func(b *testing.B) {
+			var last *core.Result
+			for n := 0; n < b.N; n++ {
+				res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			reportCubing(b, last)
+		})
+	}
+}
+
+func BenchmarkFig10PopularPath(b *testing.B) {
+	for _, levels := range []int{3, 4, 5} {
+		ds := benchDataset(b, gen.Spec{Dims: 2, Levels: levels, Fanout: 10, Tuples: 10000}, 10)
+		path := cube.NewLattice(ds.Schema).DefaultPath()
+		thr := exception.Global(ds.CalibrateThreshold(0.01))
+		b.Run(fmt.Sprintf("L=%d", levels), func(b *testing.B) {
+			var last *core.Result
+			for n := 0; n < b.N; n++ {
+				res, err := core.PopularPath(ds.Schema, ds.Inputs, thr, path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			reportCubing(b, last)
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+func BenchmarkFit100Points(b *testing.B) {
+	s := timeseries.NewSynth(1).Linear(0, 100, 5, 0.2, 1)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := regression.Fit(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateStandard8(b *testing.B) {
+	isbs := make([]regression.ISB, 8)
+	for i := range isbs {
+		isbs[i] = regression.ISB{Tb: 0, Te: 99, Base: float64(i), Slope: float64(i) / 10}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := regression.AggregateStandard(isbs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateTime8(b *testing.B) {
+	isbs := make([]regression.ISB, 8)
+	for i := range isbs {
+		isbs[i] = regression.ISB{Tb: int64(i * 10), Te: int64(i*10 + 9), Base: float64(i), Slope: 0.5}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := regression.AggregateTime(isbs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	acc := regression.NewAccumulator(0)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := acc.Add(int64(n), float64(n%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHTreeInsert(b *testing.B) {
+	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 11)
+	attrs := htree.CardinalityOrder(ds.Schema)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		in := ds.Inputs[n%len(ds.Inputs)]
+		if n%len(ds.Inputs) == 0 {
+			b.StopTimer()
+			var err error
+			tree, err := htree.New(ds.Schema, attrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTree = tree
+			b.StartTimer()
+		}
+		if err := benchTree.Insert(in.Members, in.Measure); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchTree *htree.HTree
+
+func BenchmarkTiltFrameAdd(b *testing.B) {
+	f := tilt.MustNew(tilt.CalendarLevels(), 0)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := f.Add(int64(n), float64(n%60)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamIngest(b *testing.B) {
+	h, err := cube.NewFanoutHierarchy("A", 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema, err := cube.NewSchema(cube.Dimension{Name: "A", Hierarchy: h, MLevel: 2, OLevel: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := stream.NewEngine(stream.Config{
+		Schema:       schema,
+		TicksPerUnit: 60,
+		Threshold:    exception.Global(5),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := make([][]int32, 16)
+	for i := range members {
+		members[i] = []int32{int32(i)}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tick := int64(n / 16)
+		if _, err := eng.Ingest(members[n%16], tick, float64(n%13)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) --------------------------------------
+
+// Ablation: H-tree construction vs a flat map of m-layer cells. The H-tree
+// pays for prefix structure; the flat map cannot serve path cuboids or
+// header-table traversals.
+func BenchmarkAblationHTreeBuild(b *testing.B) {
+	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 12)
+	attrs := htree.CardinalityOrder(ds.Schema)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tree, err := htree.New(ds.Schema, attrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, in := range ds.Inputs {
+			if err := tree.Insert(in.Members, in.Measure); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationFlatMapBuild(b *testing.B) {
+	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 12)
+	m := ds.Schema.MLayer()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		flat := make(map[cube.CellKey]regression.ISB, len(ds.Inputs))
+		for _, in := range ds.Inputs {
+			var members [cube.MaxDims]int32
+			copy(members[:], in.Members)
+			key := cube.CellKey{Cuboid: m, Members: members}
+			if cur, ok := flat[key]; ok {
+				cur.Base += in.Measure.Base
+				cur.Slope += in.Measure.Slope
+				flat[key] = cur
+			} else {
+				flat[key] = in.Measure
+			}
+		}
+	}
+}
+
+// Ablation: exception-only retention (the paper's Framework 4.1) vs full
+// materialization of every cuboid — the memory blowup the framework avoids.
+func BenchmarkAblationExceptionRetention(b *testing.B) {
+	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 2, Fanout: 8, Tuples: 10000}, 13)
+	thr := exception.Global(ds.CalibrateThreshold(0.01))
+	b.Run("exception-only", func(b *testing.B) {
+		var last *core.Result
+		for n := 0; n < b.N; n++ {
+			res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(float64(last.Stats.CellsRetained), "retained/op")
+	})
+	b.Run("full-materialization", func(b *testing.B) {
+		// Threshold 0 makes every cell exceptional: everything is retained.
+		full := exception.Global(0)
+		var last *core.Result
+		for n := 0; n < b.N; n++ {
+			res, err := core.MOCubing(ds.Schema, ds.Inputs, full)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(float64(last.Stats.CellsRetained), "retained/op")
+	})
+}
+
+// Ablation: the four cubing engines on one workload — m/o H-cubing vs
+// BUC partitioning vs dense multiway arrays vs full materialization
+// (§7's suggested alternatives, all producing identical answers).
+func BenchmarkAblationEngines(b *testing.B) {
+	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 2, Fanout: 8, Tuples: 20000}, 14)
+	thr := exception.Global(ds.CalibrateThreshold(0.01))
+	b.Run("mo-cubing", func(b *testing.B) {
+		var last *core.Result
+		for n := 0; n < b.N; n++ {
+			res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportCubing(b, last)
+	})
+	b.Run("buc", func(b *testing.B) {
+		var last *core.Result
+		for n := 0; n < b.N; n++ {
+			res, err := core.BUCCubing(ds.Schema, ds.Inputs, thr, core.BUCOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportCubing(b, last)
+	})
+	b.Run("buc-minsup8", func(b *testing.B) {
+		var last *core.Result
+		for n := 0; n < b.N; n++ {
+			res, err := core.BUCCubing(ds.Schema, ds.Inputs, thr, core.BUCOptions{MinSupport: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportCubing(b, last)
+	})
+	b.Run("array", func(b *testing.B) {
+		var last *core.Result
+		for n := 0; n < b.N; n++ {
+			res, err := core.ArrayCubing(ds.Schema, ds.Inputs, thr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportCubing(b, last)
+	})
+	b.Run("full-materialize", func(b *testing.B) {
+		var last *core.FullResult
+		for n := 0; n < b.N; n++ {
+			res, err := core.FullCubing(ds.Schema, ds.Inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(float64(last.Stats.CellsRetained), "retained/op")
+	})
+}
+
+// Ablation: workload skew. Zipf-hot cells share H-tree prefixes, shrinking
+// the tree and the m-layer relative to a uniform draw of the same size.
+func BenchmarkAblationSkew(b *testing.B) {
+	for _, skew := range []float64{0, 0.5, 1.0} {
+		ds, err := gen.Generate(gen.Config{
+			Spec: gen.Spec{Dims: 3, Levels: 2, Fanout: 8, Tuples: 20000},
+			Seed: 15, Skew: skew,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		thr := exception.Global(ds.CalibrateThreshold(0.01))
+		b.Run(fmt.Sprintf("skew=%.1f", skew), func(b *testing.B) {
+			var last *core.Result
+			for n := 0; n < b.N; n++ {
+				res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Stats.TreeLeaves), "leaves/op")
+			reportCubing(b, last)
+		})
+	}
+}
+
+// Ablation: tilt frame vs registering every fine-granularity unit — the
+// Example 3 space saving, measured as retained slots after a year of
+// quarter-hours.
+func BenchmarkAblationTiltVsFullFrame(b *testing.B) {
+	const quartersPerYear = 366 * 24 * 4
+	b.Run("tilt-frame", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			f := tilt.MustNew(tilt.CalendarLevels(), 0)
+			for q := 0; q < quartersPerYear/32; q++ { // scaled year
+				for m := 0; m < 15; m++ {
+					if err := f.Add(int64(q*15+m), float64(m)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(f.SlotsInUse()), "slots/op")
+		}
+	})
+	b.Run("full-frame", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			slots := make([]regression.ISB, 0, quartersPerYear/32)
+			acc := regression.NewAccumulator(0)
+			for q := 0; q < quartersPerYear/32; q++ {
+				for m := 0; m < 15; m++ {
+					if err := acc.Add(int64(q*15+m), float64(m)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				isb, err := acc.Snapshot()
+				if err != nil {
+					b.Fatal(err)
+				}
+				slots = append(slots, isb)
+				acc.Reset(int64((q + 1) * 15))
+			}
+			b.ReportMetric(float64(len(slots)), "slots/op")
+		}
+	})
+}

@@ -1,0 +1,62 @@
+// Command datagen emits a synthetic D/L/C/T workload (paper §5) as CSV on
+// stdout: one row per m-layer tuple with its dimension members and ISB
+// regression measure.
+//
+// Usage:
+//
+//	datagen -spec D3L3C10T100K -seed 7 > dataset.csv
+//	datagen -spec D2L4C5T10K -raw        # fit measures from raw series
+//
+// Columns: dim0,...,dimN,tb,te,base,slope
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	specStr := flag.String("spec", "D3L3C10T100K", "dataset spec (D/L/C/T convention)")
+	seed := flag.Int64("seed", 2002, "generator seed")
+	raw := flag.Bool("raw", false, "fit measures from synthetic raw series (slower)")
+	ticks := flag.Int("ticks", 10, "regression interval length per tuple")
+	flag.Parse()
+
+	spec, err := gen.ParseSpec(*specStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := gen.Config{Spec: spec, Seed: *seed, Ticks: *ticks}
+	var ds *gen.Dataset
+	if *raw {
+		ds, err = gen.GenerateRaw(cfg)
+	} else {
+		ds, err = gen.Generate(cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	// Header.
+	for d := 0; d < spec.Dims; d++ {
+		fmt.Fprintf(w, "dim%d,", d)
+	}
+	fmt.Fprintln(w, "tb,te,base,slope")
+	for _, in := range ds.Inputs {
+		for _, m := range in.Members {
+			w.WriteString(strconv.FormatInt(int64(m), 10))
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, "%d,%d,%g,%g\n", in.Measure.Tb, in.Measure.Te, in.Measure.Base, in.Measure.Slope)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d tuples of %s (seed %d)\n", len(ds.Inputs), spec, *seed)
+}

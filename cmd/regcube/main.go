@@ -1,0 +1,130 @@
+// Command regcube runs the full exception-based regression-cube pipeline
+// end to end on a synthetic workload and reports the o-layer observation
+// deck plus the exception drill-down — the interactive session Example 1
+// motivates.
+//
+// Usage:
+//
+//	regcube -spec D3L3C10T10K -rate 1 -alg both
+//	regcube -spec D2L4C5T10K -threshold 12.5 -alg popular-path -top 10
+//
+// Either -rate (calibrated exception percentage) or -threshold (explicit
+// slope threshold) selects the exception level.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/gen"
+	"repro/internal/regression"
+)
+
+func main() {
+	specStr := flag.String("spec", "D3L3C10T10K", "dataset spec (D/L/C/T convention)")
+	seed := flag.Int64("seed", 2002, "generator seed")
+	rate := flag.Float64("rate", 1, "target exception percentage (calibrated); ignored when -threshold is set")
+	threshold := flag.Float64("threshold", -1, "explicit slope threshold (overrides -rate)")
+	alg := flag.String("alg", "both", "algorithm: mo | popular-path | both")
+	top := flag.Int("top", 5, "top-N steepest o-layer cells and exceptions to print")
+	flag.Parse()
+
+	spec, err := gen.ParseSpec(*specStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "regcube: %v\n", err)
+		os.Exit(2)
+	}
+	ds, err := gen.Generate(gen.Config{Spec: spec, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "regcube: %v\n", err)
+		os.Exit(1)
+	}
+	thr := *threshold
+	if thr < 0 {
+		thr = ds.CalibrateThreshold(*rate / 100)
+		fmt.Printf("calibrated threshold %.4f for %.2f%% exceptions on %s\n\n", thr, *rate, spec)
+	}
+
+	runOne := func(name string) error {
+		var res *core.Result
+		var err error
+		start := time.Now()
+		switch name {
+		case "mo":
+			res, err = core.MOCubing(ds.Schema, ds.Inputs, exception.Global(thr))
+		case "popular-path":
+			lattice := cube.NewLattice(ds.Schema)
+			res, err = core.PopularPath(ds.Schema, ds.Inputs, exception.Global(thr), lattice.DefaultPath())
+		default:
+			return fmt.Errorf("unknown algorithm %q", name)
+		}
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		st := res.Stats
+		fmt.Printf("== %s ==\n", st.Algorithm)
+		fmt.Printf("  tuples=%d tree-nodes=%d leaves=%d cuboids=%d\n",
+			st.Tuples, st.TreeNodes, st.TreeLeaves, st.CuboidsComputed)
+		fmt.Printf("  cells computed=%d retained=%d exceptions=%d\n",
+			st.CellsComputed, st.CellsRetained, len(res.Exceptions))
+		fmt.Printf("  time=%v (build %v + cube %v), peak-mem≈%.1f MB\n",
+			elapsed.Round(time.Millisecond), st.BuildTime.Round(time.Millisecond),
+			st.CubeTime.Round(time.Millisecond), float64(st.PeakBytes)/(1<<20))
+
+		printTop("o-layer observation deck (steepest cells)", ds.Schema, cellsOf(res.OLayer), *top)
+		printTop("exception cells between the layers", ds.Schema, cellsOf(res.Exceptions), *top)
+		fmt.Println()
+		return nil
+	}
+
+	names := []string{*alg}
+	if *alg == "both" {
+		names = []string{"mo", "popular-path"}
+	}
+	for _, n := range names {
+		if err := runOne(n); err != nil {
+			fmt.Fprintf(os.Stderr, "regcube: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func cellsOf(m map[cube.CellKey]regression.ISB) []core.Cell {
+	out := make([]core.Cell, 0, len(m))
+	for k, isb := range m {
+		out = append(out, core.Cell{Key: k, ISB: isb})
+	}
+	return out
+}
+
+func printTop(title string, schema *cube.Schema, cells []core.Cell, n int) {
+	fmt.Printf("  %s:\n", title)
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i].ISB.Slope, cells[j].ISB.Slope
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		return a > b
+	})
+	if len(cells) == 0 {
+		fmt.Println("    (none)")
+		return
+	}
+	for i, c := range cells {
+		if i >= n {
+			break
+		}
+		fmt.Printf("    %-40s %v slope=%+.3f mean=%.2f\n",
+			c.Key.Describe(schema), c.Key.Cuboid.Describe(schema), c.ISB.Slope, c.ISB.Mean())
+	}
+}

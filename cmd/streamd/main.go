@@ -1,0 +1,179 @@
+// Command streamd runs the online analyzer (§4.5) over a CSV record
+// stream from stdin and prints o-layer alerts with their exception
+// drill-down as units complete. It checkpoints its state so a restart
+// resumes mid-unit without data loss.
+//
+// Record format (no header): tick,dim0,...,dimN,value
+//
+// Usage:
+//
+//	datagen-style producer | streamd -spec D2L2C4 -unit 15 -threshold 2
+//	streamd -spec D2L2C4 -unit 15 -threshold 2 -checkpoint state.json < records.csv
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/gen"
+	"repro/internal/persist"
+	"repro/internal/stream"
+)
+
+func main() {
+	specStr := flag.String("spec", "D2L2C4", "schema spec: D<dims>L<levels>C<fanout> (no T component)")
+	unit := flag.Int("unit", 15, "ticks per finest tilt-frame unit")
+	threshold := flag.Float64("threshold", 1, "slope exception threshold")
+	algName := flag.String("alg", "mo", "cubing algorithm: mo | popular-path")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file (loaded if present, saved after every unit)")
+	flag.Parse()
+
+	if err := run(*specStr, *unit, *threshold, *algName, *checkpoint, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "streamd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(specStr string, unit int, threshold float64, algName, checkpointPath string, in io.Reader, out io.Writer) error {
+	spec, err := gen.ParseSpec(specStr + "T1") // reuse the D/L/C parser
+	if err != nil {
+		return fmt.Errorf("bad -spec: %w", err)
+	}
+	dims := make([]cube.Dimension, spec.Dims)
+	for d := 0; d < spec.Dims; d++ {
+		name := fmt.Sprintf("D%d", d)
+		h, err := cube.NewFanoutHierarchy(name, spec.Fanout, spec.Levels)
+		if err != nil {
+			return err
+		}
+		dims[d] = cube.Dimension{Name: name, Hierarchy: h, MLevel: spec.Levels, OLevel: 1}
+	}
+	schema, err := cube.NewSchema(dims...)
+	if err != nil {
+		return err
+	}
+	alg := stream.MOCubing
+	if algName == "popular-path" {
+		alg = stream.PopularPath
+	} else if algName != "mo" {
+		return fmt.Errorf("unknown -alg %q", algName)
+	}
+	eng, err := stream.NewEngine(stream.Config{
+		Schema:       schema,
+		TicksPerUnit: unit,
+		Threshold:    exception.Global(threshold),
+		Algorithm:    alg,
+	})
+	if err != nil {
+		return err
+	}
+	if checkpointPath != "" {
+		if f, err := os.Open(checkpointPath); err == nil {
+			cp, err := persist.ReadCheckpoint(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("loading checkpoint: %w", err)
+			}
+			if err := eng.Restore(cp); err != nil {
+				return fmt.Errorf("restoring checkpoint: %w", err)
+			}
+			fmt.Fprintf(out, "# resumed at unit %d (%d units done)\n", eng.Unit(), eng.UnitsDone())
+		}
+	}
+
+	saveCheckpoint := func() error {
+		if checkpointPath == "" {
+			return nil
+		}
+		tmp := checkpointPath + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := persist.WriteCheckpoint(f, eng.Checkpoint()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp, checkpointPath)
+	}
+
+	report := func(urs []*stream.UnitResult) {
+		for _, ur := range urs {
+			if ur.Result == nil {
+				fmt.Fprintf(out, "[unit %d] no data\n", ur.Unit)
+				continue
+			}
+			fmt.Fprintf(out, "[unit %d] %s: %d o-cells, %d exceptions, %d alerts\n",
+				ur.Unit, ur.Result.Stats.Algorithm, len(ur.Result.OLayer),
+				len(ur.Result.Exceptions), len(ur.Alerts))
+			for _, al := range ur.Alerts {
+				fmt.Fprintf(out, "  ALERT %s %s slope=%+.3f\n", al.Kind, al.Cell.Describe(schema), al.ISB.Slope)
+				for _, c := range al.Drill {
+					fmt.Fprintf(out, "    supporter %s %s slope=%+.3f\n",
+						c.Key.Describe(schema), c.Key.Cuboid.Describe(schema), c.ISB.Slope)
+				}
+			}
+		}
+	}
+
+	cr := csv.NewReader(bufio.NewReader(in))
+	cr.FieldsPerRecord = spec.Dims + 2
+	var records int64
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("record %d: %w", records+1, err)
+		}
+		tick, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("record %d tick: %w", records+1, err)
+		}
+		members := make([]int32, spec.Dims)
+		for d := 0; d < spec.Dims; d++ {
+			v, err := strconv.ParseInt(row[1+d], 10, 32)
+			if err != nil {
+				return fmt.Errorf("record %d dim %d: %w", records+1, d, err)
+			}
+			members[d] = int32(v)
+		}
+		value, err := strconv.ParseFloat(row[spec.Dims+1], 64)
+		if err != nil {
+			return fmt.Errorf("record %d value: %w", records+1, err)
+		}
+		closed, err := eng.Ingest(members, tick, value)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", records+1, err)
+		}
+		records++
+		if len(closed) > 0 {
+			report(closed)
+			if err := saveCheckpoint(); err != nil {
+				return fmt.Errorf("saving checkpoint: %w", err)
+			}
+		}
+	}
+	// Final partial unit.
+	ur, err := eng.Flush()
+	if err != nil {
+		return err
+	}
+	report([]*stream.UnitResult{ur})
+	if err := saveCheckpoint(); err != nil {
+		return fmt.Errorf("saving checkpoint: %w", err)
+	}
+	fmt.Fprintf(out, "# %d records, %d units\n", records, eng.UnitsDone())
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func records(lines ...string) *strings.Reader {
+	return strings.NewReader(strings.Join(lines, "\n") + "\n")
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	in := records(
+		"0,0,1.0",
+		"1,0,2.0",
+		"2,0,3.0",
+		"3,0,4.0", // unit 0 complete (unit=4)
+		"4,0,5.0",
+	)
+	var out bytes.Buffer
+	if err := run("D1L2C2", 4, 0.5, "mo", "", in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "[unit 0]") {
+		t.Fatalf("missing unit 0 report: %q", got)
+	}
+	if !strings.Contains(got, "ALERT") {
+		t.Fatalf("slope 1 at threshold 0.5 must alert: %q", got)
+	}
+	if !strings.Contains(got, "# 5 records, 2 units") {
+		t.Fatalf("missing summary: %q", got)
+	}
+}
+
+func TestRunPopularPath(t *testing.T) {
+	in := records("0,0,1.0", "1,0,2.0")
+	var out bytes.Buffer
+	if err := run("D1L2C2", 2, 99, "popular-path", "", in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "popular-path") {
+		t.Fatalf("wrong algorithm: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("garbage", 4, 1, "mo", "", records("0,0,1"), &out); err == nil {
+		t.Fatal("expected spec error")
+	}
+	if err := run("D1L2C2", 4, 1, "nope", "", records("0,0,1"), &out); err == nil {
+		t.Fatal("expected algorithm error")
+	}
+	if err := run("D1L2C2", 4, 1, "mo", "", records("x,0,1"), &out); err == nil {
+		t.Fatal("expected tick parse error")
+	}
+	if err := run("D1L2C2", 4, 1, "mo", "", records("0,x,1"), &out); err == nil {
+		t.Fatal("expected member parse error")
+	}
+	if err := run("D1L2C2", 4, 1, "mo", "", records("0,0,x"), &out); err == nil {
+		t.Fatal("expected value parse error")
+	}
+	if err := run("D1L2C2", 4, 1, "mo", "", records("0,0"), &out); err == nil {
+		t.Fatal("expected column count error")
+	}
+}
+
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	cpPath := filepath.Join(dir, "state.json")
+
+	// First run: 6 ticks of unit size 4 → one closed unit + checkpoint.
+	var out1 bytes.Buffer
+	in1 := records("0,0,1", "1,0,2", "2,0,3", "3,0,4", "4,0,5", "5,0,6")
+	if err := run("D1L2C2", 4, 99, "mo", cpPath, in1, &out1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cpPath); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	// Second run resumes from the checkpoint (unit 2 open after flush).
+	var out2 bytes.Buffer
+	in2 := records("8,0,1", "9,0,2")
+	if err := run("D1L2C2", 4, 99, "mo", cpPath, in2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "# resumed at unit") {
+		t.Fatalf("missing resume banner: %q", out2.String())
+	}
+}

@@ -1,0 +1,129 @@
+// Stocks analyzes a ticker board with the paper's "last" folding (§6.2:
+// "such as sum, avg, min, max, or last (e.g., stock closing value)") and a
+// logarithmic tilt frame: minute quotes fold into daily closes, sector
+// trends aggregate without raw data, and a doubling-coverage frame keeps a
+// long trend horizon in a handful of slots.
+//
+//	go run ./examples/stocks
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	regcube "repro"
+)
+
+const (
+	minutesPerDay = 390 // one trading session
+	days          = 64
+)
+
+type ticker struct {
+	symbol string
+	sector string
+	drift  float64 // per-minute price drift
+	vol    float64
+}
+
+func main() {
+	tickers := []ticker{
+		{"APX", "tech", +0.0040, 0.8},
+		{"BYT", "tech", +0.0025, 0.7},
+		{"CRU", "energy", -0.0030, 0.5},
+		{"DRL", "energy", -0.0012, 0.6},
+		{"EAT", "retail", +0.0006, 0.4},
+		{"FRM", "retail", -0.0004, 0.4},
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	// Per-ticker daily closing series built by FoldLast over minute bars.
+	closes := make(map[string]*regcube.Series)
+	for _, tk := range tickers {
+		price := 100 + rng.Float64()*50
+		minutes := make([]float64, minutesPerDay*days)
+		for i := range minutes {
+			price += tk.drift + rng.NormFloat64()*tk.vol
+			if price < 1 {
+				price = 1
+			}
+			minutes[i] = price
+		}
+		series, err := regcube.NewSeries(0, minutes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		daily, err := regcube.Fold(series, minutesPerDay, regcube.FoldLast)
+		if err != nil {
+			log.Fatal(err)
+		}
+		closes[tk.symbol] = daily
+	}
+
+	// Fit each ticker's daily closes; rank by trend.
+	type fit struct {
+		symbol string
+		isb    regcube.ISB
+	}
+	var fits []fit
+	for sym, daily := range closes {
+		isb, err := regcube.Fit(daily)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fits = append(fits, fit{sym, isb})
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].isb.Slope > fits[j].isb.Slope })
+	fmt.Printf("%d-day trends from daily closes (FoldLast over %d-minute sessions):\n", days, minutesPerDay)
+	for _, f := range fits {
+		fmt.Printf("  %-4s %+7.3f $/day   (last close %7.2f)\n", f.symbol, f.isb.Slope, f.isb.At(f.isb.Te))
+	}
+
+	// Sector trends via standard-dimension aggregation of the fitted
+	// measures — a "sector index" whose slope is the sum of its members'
+	// (Theorem 3.2), computed without re-touching any price series.
+	bySector := map[string][]regcube.ISB{}
+	for _, tk := range tickers {
+		isb, err := regcube.Fit(closes[tk.symbol])
+		if err != nil {
+			log.Fatal(err)
+		}
+		bySector[tk.sector] = append(bySector[tk.sector], isb)
+	}
+	fmt.Println("\nsector composite trends (Theorem 3.2, no raw data):")
+	sectors := make([]string, 0, len(bySector))
+	for s := range bySector {
+		sectors = append(sectors, s)
+	}
+	sort.Strings(sectors)
+	for _, s := range sectors {
+		agg, err := regcube.AggregateStandard(bySector[s]...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s %+7.3f $/day composite\n", s, agg.Slope)
+	}
+
+	// A logarithmic tilt frame over APX daily closes: recent days at full
+	// resolution, older history at doubling granularity.
+	frame, err := regcube.NewFrame(regcube.LogarithmicFrameLevels(5, 1, 4), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apx := closes["APX"]
+	for i, v := range apx.Values {
+		if err := frame.Add(int64(i), v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nlogarithmic tilt frame over APX (%d days in %d slots, capacity %d):\n",
+		days, frame.SlotsInUse(), frame.SlotCapacity())
+	for lvl := 0; lvl < frame.Levels(); lvl++ {
+		span := frame.Span(lvl)
+		if isb, err := frame.Query(lvl, 1); err == nil {
+			fmt.Printf("  last %2d-day window: slope %+7.3f $/day\n", span, isb.Slope)
+		}
+	}
+}

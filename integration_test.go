@@ -1,0 +1,165 @@
+package regcube
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestFullPipelineIntegration drives the complete production workflow
+// through the public API only: generate → persist to CSV → reload → cube
+// with all four engines → navigate → persist results → reload → verify.
+func TestFullPipelineIntegration(t *testing.T) {
+	// 1. Generate a workload and persist it.
+	spec, err := ParseDatasetSpec("D3L2C4T1K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := GenerateDataset(DatasetConfig{Spec: spec, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := WriteDatasetCSV(&csvBuf, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Reload and verify the reload cubes identically to the original.
+	inputs, err := ReadDatasetCSV(&csvBuf, ds.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := GlobalThreshold(ds.CalibrateThreshold(0.02))
+	orig, err := MOCubing(ds.Schema, ds.Inputs, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := MOCubing(ds.Schema, inputs, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Exceptions) != len(reloaded.Exceptions) {
+		t.Fatalf("CSV round trip changed exceptions: %d vs %d",
+			len(orig.Exceptions), len(reloaded.Exceptions))
+	}
+
+	// 3. All engines agree.
+	lattice := NewLattice(ds.Schema)
+	pp, err := PopularPath(ds.Schema, inputs, thr, lattice.DefaultPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buc, err := BUCCubing(ds.Schema, inputs, thr, BUCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := ArrayCubing(ds.Schema, inputs, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buc.Exceptions) != len(orig.Exceptions) || len(arr.Exceptions) != len(orig.Exceptions) {
+		t.Fatal("engines disagree on exception counts")
+	}
+	for key, isb := range pp.Exceptions {
+		want, ok := orig.Exceptions[key]
+		if !ok || math.Abs(want.Slope-isb.Slope) > 1e-9 {
+			t.Fatalf("popular-path exception %v not confirmed", key)
+		}
+	}
+
+	// 4. Navigate: every supporter of the steepest o-cell is a genuine
+	// exception descendant.
+	view := NewResultView(orig)
+	obs := view.TopObservations(1)
+	if len(obs) != 1 {
+		t.Fatal("no observation deck")
+	}
+	for _, sup := range view.Supporters(obs[0].Key) {
+		if _, ok := orig.Exceptions[sup.Key]; !ok {
+			t.Fatalf("supporter %v is not a retained exception", sup.Key)
+		}
+	}
+
+	// 5. Persist the result and reload; navigation still works.
+	var resBuf bytes.Buffer
+	if err := WriteResult(&resBuf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(&resBuf, ds.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view2 := NewResultView(back)
+	top1 := view.TopExceptions(10)
+	top2 := view2.TopExceptions(10)
+	if len(top1) != len(top2) {
+		t.Fatal("reloaded view ranks differently")
+	}
+	for i := range top1 {
+		if top1[i].Key != top2[i].Key {
+			t.Fatalf("rank %d differs after persistence", i)
+		}
+	}
+}
+
+// TestStreamToBatchToDeltaIntegration drives the online engine, then
+// cross-checks its per-unit output against batch DeltaCubing.
+func TestStreamToBatchToDeltaIntegration(t *testing.T) {
+	h, err := NewFanoutHierarchy("m", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := NewSchema(Dimension{Name: "m", Hierarchy: h, MLevel: 2, OLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewStreamEngine(StreamConfig{
+		Schema:       schema,
+		TicksPerUnit: 6,
+		Threshold:    GlobalThreshold(1e9),
+		Delta:        &DeltaDetector{MinSlopeChange: 0.5},
+		DeltaDrill:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit 0: flat. Unit 1: cell 4 ramps.
+	var unit1Delta *DeltaResult
+	for tick := int64(0); tick < 12; tick++ {
+		for m := int32(0); m < 9; m++ {
+			v := 1.0
+			if tick >= 6 && m == 4 {
+				v = float64(tick-6) * 2
+			}
+			closed, err := eng.Ingest([]int32{m}, tick, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for range closed {
+			}
+		}
+	}
+	final, err := eng.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit1Delta = final.Delta
+	if unit1Delta == nil {
+		t.Fatal("unit 1 should carry a delta cube")
+	}
+	mKey := NewCellKeyForTest(schema, 4)
+	dc, ok := unit1Delta.Exceptions[mKey]
+	if !ok {
+		t.Fatalf("ramping cell missing from delta exceptions: %+v", unit1Delta.Exceptions)
+	}
+	if dc.SlopeChange() < 1.5 {
+		t.Fatalf("slope change = %g", dc.SlopeChange())
+	}
+}
+
+// NewCellKeyForTest builds an m-layer cell key (exported-test helper).
+func NewCellKeyForTest(s *Schema, member int32) CellKey {
+	key := CellKey{Cuboid: s.MLayer()}
+	key.Members[0] = member
+	return key
+}

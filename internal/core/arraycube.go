@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/regression"
+)
+
+// ErrTooDense is returned when a schema is too large for dense arrays.
+var ErrTooDense = errors.New("core: cube too large for array cubing")
+
+// MaxArrayCells bounds the dense m-layer array (multiway cubing is meant
+// for small, dense cubes — Zhao/Deshpande/Naughton's regime).
+const MaxArrayCells = 1 << 24
+
+// ArrayCubing computes the regression cube with dense multiway-array
+// aggregation (the second §7 suggested technique, after [28]): every
+// cuboid is a dense array of (base, slope) pairs indexed by member
+// coordinates, and each cuboid is aggregated from its smallest already-
+// computed finer neighbour in one linear scan — no hash maps on the hot
+// path. Empty cells are skipped on output (a dense array cannot
+// distinguish "absent" from "all-zero" otherwise, so cells are tracked
+// with a presence bitmap).
+//
+// Output matches MOCubing: all o-layer cells plus every exception cell.
+// It fails with ErrTooDense when the m-layer's dense size would exceed
+// MaxArrayCells.
+func ArrayCubing(s *cube.Schema, inputs []Input, thr exception.Thresholder) (*Result, error) {
+	if err := validate(s, inputs); err != nil {
+		return nil, err
+	}
+	lattice := cube.NewLattice(s)
+
+	// Dense sizes per cuboid.
+	size := func(c cube.Cuboid) int64 {
+		n := int64(1)
+		for d := 0; d < c.NumDims(); d++ {
+			n *= int64(s.Dims[d].Hierarchy.Cardinality(c.Level(d)))
+		}
+		return n
+	}
+	if size(s.MLayer()) > MaxArrayCells {
+		return nil, fmt.Errorf("%w: m-layer has %d dense cells (max %d)", ErrTooDense, size(s.MLayer()), MaxArrayCells)
+	}
+
+	start := time.Now()
+	res := &Result{
+		Schema:     s,
+		OLayer:     make(map[cube.CellKey]regression.ISB),
+		Exceptions: make(map[cube.CellKey]regression.ISB),
+	}
+	st := &res.Stats
+	st.Algorithm = "array-cubing"
+	st.Tuples = len(inputs)
+
+	newPlane := func(c cube.Cuboid) *plane {
+		n := size(c)
+		p := &plane{
+			c:       c,
+			card:    make([]int, c.NumDims()),
+			base:    make([]float64, n),
+			slope:   make([]float64, n),
+			present: make([]bool, n),
+		}
+		for d := 0; d < c.NumDims(); d++ {
+			p.card[d] = s.Dims[d].Hierarchy.Cardinality(c.Level(d))
+		}
+		return p
+	}
+	idxOf := func(p *plane, members []int32) int {
+		idx := 0
+		for d, m := range members {
+			idx = idx*p.card[d] + int(m)
+		}
+		return idx
+	}
+
+	// Base plane: the m-layer, filled from the inputs.
+	mPlane := newPlane(s.MLayer())
+	for _, in := range inputs {
+		i := idxOf(mPlane, in.Members)
+		mPlane.base[i] += in.Measure.Base
+		mPlane.slope[i] += in.Measure.Slope
+		mPlane.present[i] = true
+	}
+	interval := inputs[0].Measure
+	st.BuildTime = time.Since(start)
+	st.TreeLeaves = countPresent(mPlane.present)
+
+	cubeStart := time.Now()
+	planes := map[cube.Cuboid]*plane{s.MLayer(): mPlane}
+	var liveBytes int64 = size(s.MLayer()) * 17 // 2 float64 + 1 bool per cell
+	peak := liveBytes
+
+	// Walk finest-first (reverse lattice order): every cuboid aggregates
+	// from its smallest computed finer neighbour — the multiway "minimum
+	// memory spanning tree" heuristic.
+	cuboids := lattice.Cuboids()
+	members := make([]int32, s.NumDims())
+	for i := len(cuboids) - 1; i >= 0; i-- {
+		c := cuboids[i]
+		st.CuboidsComputed++
+		if c.Equal(s.MLayer()) {
+			st.CellsComputed += int64(st.TreeLeaves)
+			emitPlane(s, mPlane, c, thr, res, interval, members)
+			continue
+		}
+		// Pick the smallest computed finer neighbour as the source.
+		var src *plane
+		var srcSize int64
+		for _, child := range lattice.Children(c) {
+			p, ok := planes[child]
+			if !ok {
+				continue
+			}
+			if n := size(child); src == nil || n < srcSize {
+				src, srcSize = p, n
+			}
+		}
+		if src == nil {
+			return nil, fmt.Errorf("core: array cubing found no computed child for %v", c)
+		}
+		dst := newPlane(c)
+		liveBytes += size(c) * 17
+		if liveBytes > peak {
+			peak = liveBytes
+		}
+		// One linear scan of the source plane.
+		srcMembers := make([]int32, s.NumDims())
+		for idx := 0; idx < len(src.base); idx++ {
+			if !src.present[idx] {
+				continue
+			}
+			decode(src, idx, srcMembers)
+			for d := range srcMembers {
+				members[d] = cube.Ancestor(s.Dims[d].Hierarchy, src.c.Level(d), c.Level(d), srcMembers[d])
+			}
+			di := idxOf(dst, members)
+			dst.base[di] += src.base[idx]
+			dst.slope[di] += src.slope[idx]
+			dst.present[di] = true
+		}
+		planes[c] = dst
+		n := int64(countPresent(dst.present))
+		st.CellsComputed += n
+		if n > st.PeakScratchCells {
+			st.PeakScratchCells = n
+		}
+		emitPlane(s, dst, c, thr, res, interval, members)
+		// Free planes no longer needed: a plane is dead once every one of
+		// its parents has been computed.
+		for child, p := range planes {
+			if child.Equal(s.MLayer()) || p == dst {
+				continue
+			}
+			dead := true
+			for _, parent := range lattice.Parents(child) {
+				if _, done := planes[parent]; !done && lattice.Contains(parent) {
+					dead = false
+					break
+				}
+			}
+			if dead {
+				liveBytes -= size(child) * 17
+				delete(planes, child)
+			}
+		}
+	}
+	st.CubeTime = time.Since(cubeStart)
+	st.CellsRetained = int64(len(res.OLayer) + len(res.Exceptions))
+	st.BytesRetained = st.CellsRetained * bytesPerCell
+	st.PeakBytes = peak + st.CellsRetained*bytesPerCell
+	return res, nil
+}
+
+func countPresent(present []bool) int {
+	n := 0
+	for _, p := range present {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// decode writes the member coordinates of a dense index into dst.
+func decode(p *plane, idx int, dst []int32) {
+	for d := len(p.card) - 1; d >= 0; d-- {
+		dst[d] = int32(idx % p.card[d])
+		idx /= p.card[d]
+	}
+}
+
+// plane is one dense cuboid: (base, slope) arrays indexed by row-major
+// member coordinates, with a presence bitmap.
+type plane struct {
+	c       cube.Cuboid
+	card    []int
+	base    []float64
+	slope   []float64
+	present []bool
+}
+
+// emitPlane applies the retention rules to one computed dense cuboid.
+func emitPlane(s *cube.Schema, p *plane, c cube.Cuboid, thr exception.Thresholder,
+	res *Result, interval regression.ISB, scratch []int32) {
+	threshold := thr.Threshold(c)
+	isO := c.Equal(s.OLayer())
+	for idx := 0; idx < len(p.base); idx++ {
+		if !p.present[idx] {
+			continue
+		}
+		decode(p, idx, scratch)
+		isb := regression.ISB{Tb: interval.Tb, Te: interval.Te, Base: p.base[idx], Slope: p.slope[idx]}
+		exceptional := exception.IsException(isb, threshold)
+		if !isO && !exceptional {
+			continue
+		}
+		key := cube.CellKey{Cuboid: c}
+		copy(key.Members[:], scratch)
+		if isO {
+			res.OLayer[key] = isb
+		}
+		if exceptional {
+			res.Exceptions[key] = isb
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/regression"
+)
+
+// BUCOptions configures the BUC-style regression cubing of §7's suggested
+// extension ("it is interesting to explore other cubing techniques, such
+// as multiway array aggregation and BUC, for regression cubing").
+type BUCOptions struct {
+	// MinSupport prunes cells aggregated from fewer than this many
+	// m-layer tuples, together with their entire refinement subtree —
+	// the iceberg condition of Beyer & Ramakrishnan adapted to
+	// regression cubes. Support is antimonotone, so pruning is safe;
+	// the slope threshold itself is not antimonotone and never prunes.
+	// Zero disables pruning.
+	MinSupport int64
+}
+
+// bucCell carries one m-layer cell and its tuple support through the
+// recursive partitioning.
+type bucCell struct {
+	key     cube.CellKey
+	isb     regression.ISB
+	support int64
+}
+
+// BUCCubing computes the regression cube bottom-up by recursive
+// partitioning (BUC [5] adapted to multi-level dimensions): dimension by
+// dimension, each level's partitions share the work done for coarser
+// levels of earlier dimensions. Output matches MOCubing — all o-layer
+// cells plus every exception cell — unless MinSupport prunes low-support
+// subtrees.
+func BUCCubing(s *cube.Schema, inputs []Input, thr exception.Thresholder, opts BUCOptions) (*Result, error) {
+	if err := validate(s, inputs); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Merge duplicate m-layer tuples first (the H-tree's leaf merge,
+	// without needing tree structure here).
+	m := s.MLayer()
+	merged := make(map[cube.CellKey]*bucCell, len(inputs))
+	for _, in := range inputs {
+		var members [cube.MaxDims]int32
+		copy(members[:], in.Members)
+		key := cube.CellKey{Cuboid: m, Members: members}
+		if c, ok := merged[key]; ok {
+			c.isb.Base += in.Measure.Base
+			c.isb.Slope += in.Measure.Slope
+			c.support++
+		} else {
+			merged[key] = &bucCell{key: key, isb: in.Measure, support: 1}
+		}
+	}
+	cells := make([]bucCell, 0, len(merged))
+	for _, c := range merged {
+		cells = append(cells, *c)
+	}
+	build := time.Since(start)
+
+	res := &Result{
+		Schema:     s,
+		OLayer:     make(map[cube.CellKey]regression.ISB),
+		Exceptions: make(map[cube.CellKey]regression.ISB),
+	}
+	st := &res.Stats
+	st.Algorithm = "buc-cubing"
+	st.Tuples = len(inputs)
+	st.TreeLeaves = len(cells)
+	st.BuildTime = build
+
+	cubeStart := time.Now()
+	oLayer := s.OLayer()
+	b := &bucState{
+		schema:  s,
+		thr:     thr,
+		opts:    opts,
+		res:     res,
+		oLayer:  oLayer,
+		mLayer:  m,
+		cuboids: make(map[cube.Cuboid]bool),
+	}
+	// Every dimension's level is overwritten during recursion; starting
+	// from the o-layer only fixes the dimension count of the cuboid.
+	rootKey := cube.CellKey{Cuboid: oLayer}
+	b.recurse(cells, 0, rootKey)
+	st.CuboidsComputed = len(b.cuboids)
+	st.CubeTime = time.Since(cubeStart)
+	st.CellsRetained = int64(len(res.OLayer) + len(res.Exceptions))
+	st.BytesRetained = st.CellsRetained * bytesPerCell
+	if st.BytesRetained > st.PeakBytes {
+		st.PeakBytes = st.BytesRetained
+	}
+	return res, nil
+}
+
+type bucState struct {
+	schema  *cube.Schema
+	thr     exception.Thresholder
+	opts    BUCOptions
+	res     *Result
+	oLayer  cube.Cuboid
+	mLayer  cube.Cuboid
+	cuboids map[cube.Cuboid]bool
+}
+
+// recurse processes dimension d: for each level of d (coarsest first), it
+// partitions the current cell set by the member at that level and recurses
+// into the next dimension for every partition. When all dimensions have
+// chosen a level, the partition IS one cell of the chosen cuboid.
+func (b *bucState) recurse(cells []bucCell, d int, key cube.CellKey) {
+	if len(cells) == 0 {
+		return
+	}
+	if d == len(b.schema.Dims) {
+		b.emit(cells, key)
+		return
+	}
+	dim := b.schema.Dims[d]
+	for level := dim.OLevel; level <= dim.MLevel; level++ {
+		// Partition by the ancestor member at (d, level).
+		parts := make(map[int32][]bucCell)
+		for _, c := range cells {
+			member := cube.Ancestor(dim.Hierarchy, dim.MLevel, level, c.key.Members[d])
+			parts[member] = append(parts[member], c)
+		}
+		for member, part := range parts {
+			if b.opts.MinSupport > 0 {
+				var sup int64
+				for _, c := range part {
+					sup += c.support
+				}
+				if sup < b.opts.MinSupport {
+					continue // iceberg pruning: no refinement can recover support
+				}
+			}
+			next := key
+			next.Cuboid = next.Cuboid.WithLevel(d, level)
+			next.Members[d] = member
+			b.recurse(part, d+1, next)
+		}
+	}
+}
+
+// emit aggregates one finished partition into its cell and applies the
+// retention rules (o-layer: always; otherwise: exceptions only).
+func (b *bucState) emit(cells []bucCell, key cube.CellKey) {
+	isb := cells[0].isb
+	for _, c := range cells[1:] {
+		isb.Base += c.isb.Base
+		isb.Slope += c.isb.Slope
+	}
+	b.cuboids[key.Cuboid] = true
+	b.res.Stats.CellsComputed++
+	if key.Cuboid.Equal(b.oLayer) {
+		b.res.OLayer[key] = isb
+	}
+	if exception.IsException(isb, b.thr.Threshold(key.Cuboid)) {
+		b.res.Exceptions[key] = isb
+	}
+}

@@ -1,0 +1,238 @@
+// Package core implements the paper's primary contribution: exception-based
+// regression cube computation between the two critical layers (§4.3–4.4).
+//
+// Two algorithms are provided, exactly the paper's pair:
+//
+//   - Algorithm 1, m/o H-cubing (MOCubing): aggregate every cuboid between
+//     the m-layer and the o-layer, reusing one scratch header table at a
+//     time, retaining only exception cells (plus all o-layer cells "for
+//     observation").
+//   - Algorithm 2, popular-path cubing (PopularPath): materialize only the
+//     cuboids along one popular drilling path in the H-tree's non-leaf
+//     nodes, then recursively drill from the o-layer into exception cells'
+//     children, aggregating each off-path cuboid from the closest computed
+//     path cuboid.
+//
+// Both consume the same m-layer input (one scan of the stream data) and
+// report detailed time/space statistics for the paper's Figures 8–10.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/htree"
+	"repro/internal/regression"
+)
+
+// ErrInput is returned for malformed engine input.
+var ErrInput = errors.New("core: invalid input")
+
+// Input is one m-layer tuple: the member per dimension at its m-level and
+// the tuple's regression measure. All measures in a batch must share one
+// time interval (the engine cubes a single tilt-frame granularity at a
+// time; §4.5 drives one batch per completed unit).
+type Input struct {
+	Members []int32
+	Measure regression.ISB
+}
+
+// Cell is a retained cell: its identity and regression measure.
+type Cell struct {
+	Key cube.CellKey
+	ISB regression.ISB
+}
+
+// Stats reports the cost measures the paper's evaluation uses.
+type Stats struct {
+	Algorithm        string
+	Tuples           int           // m-layer tuples consumed
+	TreeNodes        int           // H-tree size
+	TreeLeaves       int           // distinct m-layer cells
+	CuboidsComputed  int           // cuboids whose cells were aggregated
+	CellsComputed    int64         // total cells aggregated across cuboids
+	CellsRetained    int64         // exception + o-layer (+ path) cells kept
+	PeakScratchCells int64         // largest transient header table
+	BytesRetained    int64         // estimate of resident bytes at finish
+	PeakBytes        int64         // estimate of peak resident bytes
+	BuildTime        time.Duration // H-tree construction (stream scan)
+	CubeTime         time.Duration // aggregation + exception detection
+}
+
+// bytesPerCell estimates the footprint of one retained cell (key+ISB+map
+// overhead) for the paper's memory panels.
+const bytesPerCell = 96
+
+// Result is the outcome of one cubing run.
+type Result struct {
+	Schema *cube.Schema
+	// OLayer holds every o-layer cell ("all cells are retained for
+	// observation").
+	OLayer map[cube.CellKey]regression.ISB
+	// Exceptions holds every retained exception cell from the o-layer
+	// down to (and including) the m-layer, keyed by cell.
+	Exceptions map[cube.CellKey]regression.ISB
+	// PathCells holds the materialized popular-path cuboid cells
+	// (popular-path algorithm only; nil for m/o-cubing).
+	PathCells map[cube.Cuboid]map[cube.CellKey]regression.ISB
+	Stats     Stats
+}
+
+// ExceptionsAt returns the retained exception cells of one cuboid.
+func (r *Result) ExceptionsAt(c cube.Cuboid) []Cell {
+	var out []Cell
+	for k, isb := range r.Exceptions {
+		if k.Cuboid == c {
+			out = append(out, Cell{Key: k, ISB: isb})
+		}
+	}
+	return out
+}
+
+// validate checks batch shape and interval uniformity.
+func validate(s *cube.Schema, inputs []Input) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("%w: empty batch", ErrInput)
+	}
+	tb, te := inputs[0].Measure.Tb, inputs[0].Measure.Te
+	for i, in := range inputs {
+		if len(in.Members) != len(s.Dims) {
+			return fmt.Errorf("%w: tuple %d has %d members for %d dimensions", ErrInput, i, len(in.Members), len(s.Dims))
+		}
+		if in.Measure.Tb != tb || in.Measure.Te != te {
+			return fmt.Errorf("%w: tuple %d interval [%d,%d] differs from [%d,%d]",
+				ErrInput, i, in.Measure.Tb, in.Measure.Te, tb, te)
+		}
+		if !in.Measure.IsFinite() {
+			return fmt.Errorf("%w: tuple %d has non-finite measure", ErrInput, i)
+		}
+	}
+	return nil
+}
+
+// buildTree scans the batch once into an H-tree with the given attribute
+// order — Step 1 of both algorithms.
+func buildTree(s *cube.Schema, attrs []htree.Attribute, inputs []Input) (*htree.HTree, error) {
+	tree, err := htree.New(s, attrs)
+	if err != nil {
+		return nil, err
+	}
+	for i, in := range inputs {
+		if err := tree.Insert(in.Members, in.Measure); err != nil {
+			return nil, fmt.Errorf("core: inserting tuple %d: %w", i, err)
+		}
+	}
+	return tree, nil
+}
+
+// accumulate merges an ISB into a scratch header table by
+// standard-dimension aggregation (bases and slopes add; Theorem 3.2).
+func accumulate(scratch map[cube.CellKey]regression.ISB, key cube.CellKey, isb regression.ISB) {
+	if cur, ok := scratch[key]; ok {
+		cur.Base += isb.Base
+		cur.Slope += isb.Slope
+		scratch[key] = cur
+	} else {
+		scratch[key] = isb
+	}
+}
+
+// MOCubing runs Algorithm 1 (m/o H-cubing). It aggregates every cuboid of
+// the lattice from the H-tree's m-layer cells, one cuboid at a time in a
+// reused scratch header table, and retains only exception cells in between
+// the layers (all cells at the o-layer, which is also returned).
+func MOCubing(s *cube.Schema, inputs []Input, thr exception.Thresholder) (*Result, error) {
+	if err := validate(s, inputs); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tree, err := buildTree(s, htree.CardinalityOrder(s), inputs)
+	if err != nil {
+		return nil, err
+	}
+	build := time.Since(start)
+
+	lattice := cube.NewLattice(s)
+	res := &Result{
+		Schema:     s,
+		OLayer:     make(map[cube.CellKey]regression.ISB),
+		Exceptions: make(map[cube.CellKey]regression.ISB),
+	}
+	st := &res.Stats
+	st.Algorithm = "m/o-cubing"
+	st.Tuples = len(inputs)
+	st.TreeNodes = tree.NodeCount()
+	st.TreeLeaves = tree.LeafCount()
+	st.BuildTime = build
+
+	cubeStart := time.Now()
+	mLayer := s.MLayer()
+	oLayer := s.OLayer()
+	leaves := tree.Leaves()
+	// Pre-extract leaf cells once; every cuboid pass rolls them up.
+	leafCells := make([]Cell, len(leaves))
+	for i, leaf := range leaves {
+		leafCells[i] = Cell{Key: tree.CellKeyOf(leaf), ISB: leaf.Measure}
+	}
+
+	treeBytes := tree.BytesEstimate()
+	for _, c := range lattice.Cuboids() {
+		st.CuboidsComputed++
+		if c.Equal(mLayer) {
+			// The m-layer is the tree's leaf level: computed during the
+			// build, no extra pass needed; its exceptions are still
+			// detected and retained (Algorithm 1 computes all exception
+			// cells in every required cuboid).
+			st.CellsComputed += int64(len(leafCells))
+			thrM := thr.Threshold(c)
+			isO := c.Equal(oLayer) // degenerate schema with no layers in between
+			for _, lc := range leafCells {
+				if isO {
+					res.OLayer[lc.Key] = lc.ISB
+				}
+				if exception.IsException(lc.ISB, thrM) {
+					res.Exceptions[lc.Key] = lc.ISB
+				}
+			}
+			continue
+		}
+		// One local header table, reused per cuboid (space minimized as in
+		// the paper's H-cubing note).
+		scratch := make(map[cube.CellKey]regression.ISB)
+		for _, lc := range leafCells {
+			key, err := cube.RollUpKey(s, lc.Key, c)
+			if err != nil {
+				return nil, err
+			}
+			accumulate(scratch, key, lc.ISB)
+		}
+		st.CellsComputed += int64(len(scratch))
+		if n := int64(len(scratch)); n > st.PeakScratchCells {
+			st.PeakScratchCells = n
+		}
+		peak := treeBytes + (int64(len(scratch))+int64(len(res.Exceptions))+int64(len(res.OLayer)))*bytesPerCell
+		if peak > st.PeakBytes {
+			st.PeakBytes = peak
+		}
+		threshold := thr.Threshold(c)
+		isO := c.Equal(oLayer)
+		for key, isb := range scratch {
+			if isO {
+				res.OLayer[key] = isb
+			}
+			if exception.IsException(isb, threshold) {
+				res.Exceptions[key] = isb
+			}
+		}
+	}
+	st.CubeTime = time.Since(cubeStart)
+	st.CellsRetained = int64(len(res.OLayer) + len(res.Exceptions))
+	st.BytesRetained = treeBytes + st.CellsRetained*bytesPerCell
+	if st.BytesRetained > st.PeakBytes {
+		st.PeakBytes = st.BytesRetained
+	}
+	return res, nil
+}

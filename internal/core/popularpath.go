@@ -1,0 +1,204 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/htree"
+	"repro/internal/regression"
+)
+
+// excSrc tracks one retained exception cell together with the H-tree nodes
+// that cover it at its covering path cuboid's depth. Drilling below the
+// cell enumerates those nodes' subtrees — work proportional to the
+// exception cells, exactly Algorithm 2's cost model ("the cells to be
+// computed are related only to the exception cells").
+type excSrc struct {
+	key     cube.CellKey
+	sources []*htree.Node
+}
+
+// PopularPath runs Algorithm 2 (popular-path cubing) with the given
+// drilling path (use lattice.DefaultPath() when indifferent).
+//
+// Step 1 builds the H-tree in path order; Step 2 rolls the m-layer up to
+// the o-layer along the path, storing regression points in the non-leaf
+// tree nodes (surfaced as PathCells); Step 3 drills recursively from the
+// o-layer: only the children cells of exception cells are computed in
+// non-path cuboids, each aggregated from the closest computed path cuboid
+// below it — enumerated as H-tree subtrees of the exception cell's source
+// nodes rather than by scanning whole cuboids.
+func PopularPath(s *cube.Schema, inputs []Input, thr exception.Thresholder, path cube.Path) (*Result, error) {
+	if err := validate(s, inputs); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tree, err := buildTree(s, htree.PathOrder(s, path), inputs)
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.PropagateUp(); err != nil {
+		return nil, err
+	}
+	build := time.Since(start)
+
+	lattice := cube.NewLattice(s)
+	res := &Result{
+		Schema:     s,
+		OLayer:     make(map[cube.CellKey]regression.ISB),
+		Exceptions: make(map[cube.CellKey]regression.ISB),
+		PathCells:  make(map[cube.Cuboid]map[cube.CellKey]regression.ISB),
+	}
+	st := &res.Stats
+	st.Algorithm = "popular-path"
+	st.Tuples = len(inputs)
+	st.TreeNodes = tree.NodeCount()
+	st.TreeLeaves = tree.LeafCount()
+	st.BuildTime = build
+
+	cubeStart := time.Now()
+	oLayer := s.OLayer()
+
+	// Step 2: the path cuboids are materialized at tree depths oAttrs+i.
+	oAttrs := 0
+	for d := range s.Dims {
+		oAttrs += s.Dims[d].OLevel
+	}
+	depthOf := make(map[cube.Cuboid]int, len(path.Cuboids))
+	var pathCellCount int64
+	for i, pc := range path.Cuboids {
+		depth := oAttrs + i
+		depthOf[pc] = depth
+		var cells map[cube.CellKey]regression.ISB
+		if depth > 0 {
+			cells = make(map[cube.CellKey]regression.ISB, len(tree.NodesAtDepth(depth)))
+		} else {
+			cells = make(map[cube.CellKey]regression.ISB, 1)
+		}
+		if depth == 0 {
+			// o-layer at the apex (every dimension at ALL): one root cell.
+			root := tree.Root()
+			if root.HasMeasure {
+				cells[cube.CellKey{Cuboid: pc}] = root.Measure
+			}
+		} else {
+			for _, n := range tree.NodesAtDepth(depth) {
+				cells[tree.CellKeyOf(n)] = n.Measure
+			}
+		}
+		res.PathCells[pc] = cells
+		pathCellCount += int64(len(cells))
+		st.CellsComputed += int64(len(cells))
+	}
+	st.CuboidsComputed = len(path.Cuboids)
+
+	for key, isb := range res.PathCells[oLayer] {
+		res.OLayer[key] = isb
+	}
+
+	// Exception registry: retained exception cells per cuboid with their
+	// source nodes for further drilling.
+	excByCuboid := make(map[cube.Cuboid][]excSrc)
+	var srcRefs int64 // retained source-pointer count, for the memory model
+
+	treeBytes := tree.BytesEstimate()
+	updatePeak := func(scratch int64) {
+		peak := treeBytes + (pathCellCount+scratch+int64(len(res.Exceptions))+int64(len(res.OLayer)))*bytesPerCell + srcRefs*8
+		if peak > st.PeakBytes {
+			st.PeakBytes = peak
+		}
+	}
+	updatePeak(0)
+
+	// Step 3: lattice walk, coarsest-first. Path cuboids surface their
+	// exceptions (sources = their own tree nodes); off-path cuboids are
+	// computed only under exception parents, from subtree enumeration.
+	for _, c := range lattice.Cuboids() {
+		threshold := thr.Threshold(c)
+		if depth, onPath := depthOf[c]; onPath {
+			if depth == 0 {
+				root := tree.Root()
+				if root.HasMeasure && exception.IsException(root.Measure, threshold) {
+					key := cube.CellKey{Cuboid: c}
+					res.Exceptions[key] = root.Measure
+					excByCuboid[c] = append(excByCuboid[c], excSrc{key: key, sources: []*htree.Node{root}})
+					srcRefs++
+				}
+				continue
+			}
+			for _, n := range tree.NodesAtDepth(depth) {
+				if exception.IsException(n.Measure, threshold) {
+					key := tree.CellKeyOf(n)
+					res.Exceptions[key] = n.Measure
+					excByCuboid[c] = append(excByCuboid[c], excSrc{key: key, sources: []*htree.Node{n}})
+					srcRefs++
+				}
+			}
+			continue
+		}
+
+		// Off-path cuboid: gather exception parents.
+		var parentExc []excSrc
+		for _, p := range lattice.Parents(c) {
+			parentExc = append(parentExc, excByCuboid[p]...)
+		}
+		if len(parentExc) == 0 {
+			continue
+		}
+		st.CuboidsComputed++
+		targetDepth := depthOf[path.Covering(c)]
+
+		type aggCell struct {
+			isb     regression.ISB
+			sources []*htree.Node
+		}
+		scratch := make(map[cube.CellKey]*aggCell)
+		visited := make(map[*htree.Node]bool)
+		for _, e := range parentExc {
+			for _, src := range e.sources {
+				src.WalkAtDepth(targetDepth, func(n *htree.Node) {
+					if visited[n] {
+						return
+					}
+					visited[n] = true
+					key, err2 := cube.RollUpKey(s, tree.CellKeyOf(n), c)
+					if err2 != nil {
+						return // covering cuboid always dominates c; unreachable
+					}
+					cell := scratch[key]
+					if cell == nil {
+						cell = &aggCell{isb: n.Measure}
+						scratch[key] = cell
+					} else {
+						cell.isb.Base += n.Measure.Base
+						cell.isb.Slope += n.Measure.Slope
+					}
+					cell.sources = append(cell.sources, n)
+				})
+			}
+		}
+		st.CellsComputed += int64(len(scratch))
+		if n := int64(len(scratch)); n > st.PeakScratchCells {
+			st.PeakScratchCells = n
+		}
+		updatePeak(int64(len(scratch)))
+		for key, cell := range scratch {
+			if exception.IsException(cell.isb, threshold) {
+				if _, dup := res.Exceptions[key]; !dup {
+					res.Exceptions[key] = cell.isb
+					excByCuboid[c] = append(excByCuboid[c], excSrc{key: key, sources: cell.sources})
+					srcRefs += int64(len(cell.sources))
+				}
+			}
+		}
+	}
+
+	st.CubeTime = time.Since(cubeStart)
+	st.CellsRetained = pathCellCount + int64(len(res.Exceptions)) + int64(len(res.OLayer))
+	st.BytesRetained = treeBytes + st.CellsRetained*bytesPerCell + srcRefs*8
+	if st.BytesRetained > st.PeakBytes {
+		st.PeakBytes = st.BytesRetained
+	}
+	return res, nil
+}

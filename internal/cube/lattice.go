@@ -1,0 +1,187 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lattice enumerates the cuboids between the o-layer and the m-layer of a
+// schema (paper Figure 6) and exposes parent/child structure and popular
+// drilling paths through it.
+type Lattice struct {
+	schema  *Schema
+	cuboids []Cuboid
+	index   map[Cuboid]int
+}
+
+// NewLattice materializes the cuboid lattice of a schema. The number of
+// cuboids is Π(MLevel−OLevel+1), which the caller should keep sane (the
+// paper's largest configuration is 2 dims × 7 levels = 49 cuboids).
+func NewLattice(s *Schema) *Lattice {
+	l := &Lattice{schema: s, index: make(map[Cuboid]int)}
+	cur := s.OLayer()
+	l.enumerate(cur, 0)
+	// Sort coarsest-first (by total level sum, then lexicographic) so
+	// iteration orders are deterministic and roll-up friendly.
+	sort.Slice(l.cuboids, func(i, j int) bool {
+		si, sj := l.levelSum(l.cuboids[i]), l.levelSum(l.cuboids[j])
+		if si != sj {
+			return si < sj
+		}
+		return l.lexLess(l.cuboids[i], l.cuboids[j])
+	})
+	for i, c := range l.cuboids {
+		l.index[c] = i
+	}
+	return l
+}
+
+func (l *Lattice) enumerate(c Cuboid, dim int) {
+	if dim == len(l.schema.Dims) {
+		l.cuboids = append(l.cuboids, c)
+		return
+	}
+	d := l.schema.Dims[dim]
+	for lvl := d.OLevel; lvl <= d.MLevel; lvl++ {
+		l.enumerate(c.WithLevel(dim, lvl), dim+1)
+	}
+}
+
+func (l *Lattice) levelSum(c Cuboid) int {
+	s := 0
+	for d := 0; d < c.NumDims(); d++ {
+		s += c.Level(d)
+	}
+	return s
+}
+
+func (l *Lattice) lexLess(a, b Cuboid) bool {
+	for d := 0; d < a.NumDims(); d++ {
+		if a.Level(d) != b.Level(d) {
+			return a.Level(d) < b.Level(d)
+		}
+	}
+	return false
+}
+
+// Schema returns the underlying schema.
+func (l *Lattice) Schema() *Schema { return l.schema }
+
+// Cuboids returns all cuboids, coarsest-first. The slice is shared; do not
+// modify.
+func (l *Lattice) Cuboids() []Cuboid { return l.cuboids }
+
+// Size returns the number of cuboids in the lattice.
+func (l *Lattice) Size() int { return len(l.cuboids) }
+
+// Contains reports whether c lies between the critical layers.
+func (l *Lattice) Contains(c Cuboid) bool {
+	_, ok := l.index[c]
+	return ok
+}
+
+// Children returns the cuboids obtained from c by drilling exactly one
+// dimension down one level (toward the m-layer).
+func (l *Lattice) Children(c Cuboid) []Cuboid {
+	var out []Cuboid
+	for d := 0; d < c.NumDims(); d++ {
+		if c.Level(d) < l.schema.Dims[d].MLevel {
+			out = append(out, c.WithLevel(d, c.Level(d)+1))
+		}
+	}
+	return out
+}
+
+// Parents returns the cuboids obtained from c by rolling exactly one
+// dimension up one level (toward the o-layer).
+func (l *Lattice) Parents(c Cuboid) []Cuboid {
+	var out []Cuboid
+	for d := 0; d < c.NumDims(); d++ {
+		if c.Level(d) > l.schema.Dims[d].OLevel {
+			out = append(out, c.WithLevel(d, c.Level(d)-1))
+		}
+	}
+	return out
+}
+
+// Path is a popular drilling path (paper Figure 6 dark line): a chain of
+// cuboids from the o-layer to the m-layer, each drilling one dimension one
+// level deeper.
+type Path struct {
+	Cuboids []Cuboid // from o-layer (index 0) down to m-layer (last)
+}
+
+// DefaultPath drills dimensions in schema order, taking each dimension all
+// the way from its o-level to its m-level before moving on — the analogue
+// of the paper's ⟨(A1,C1)→B1→B2→A2→C2⟩ staircase.
+func (l *Lattice) DefaultPath() Path {
+	var steps []int
+	for d := range l.schema.Dims {
+		for lvl := l.schema.Dims[d].OLevel; lvl < l.schema.Dims[d].MLevel; lvl++ {
+			steps = append(steps, d)
+		}
+	}
+	p, err := l.PathFromSteps(steps)
+	if err != nil {
+		// steps are exact by construction
+		panic(fmt.Sprintf("cube: DefaultPath: %v", err))
+	}
+	return p
+}
+
+// PathFromSteps builds a path from a sequence of dimension indices; each
+// step drills that dimension one level. The steps must drill every
+// dimension from its o-level exactly to its m-level.
+func (l *Lattice) PathFromSteps(steps []int) (Path, error) {
+	cur := l.schema.OLayer()
+	path := Path{Cuboids: []Cuboid{cur}}
+	for i, d := range steps {
+		if d < 0 || d >= len(l.schema.Dims) {
+			return Path{}, fmt.Errorf("%w: step %d drills unknown dimension %d", ErrSchema, i, d)
+		}
+		next := cur.Level(d) + 1
+		if next > l.schema.Dims[d].MLevel {
+			return Path{}, fmt.Errorf("%w: step %d drills %s below its m-level", ErrSchema, i, l.schema.Dims[d].Name)
+		}
+		cur = cur.WithLevel(d, next)
+		path.Cuboids = append(path.Cuboids, cur)
+	}
+	if !cur.Equal(l.schema.MLayer()) {
+		return Path{}, fmt.Errorf("%w: path ends at %v, not the m-layer", ErrSchema, cur)
+	}
+	return path, nil
+}
+
+// OnPath reports whether c is one of the path's cuboids.
+func (p Path) OnPath(c Cuboid) bool {
+	for _, pc := range p.Cuboids {
+		if pc.Equal(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Covering returns the shallowest path cuboid that is finer-or-equal to c
+// on every dimension — the "computed cuboid residing at the closest lower
+// level" of Algorithm 2 Step 3. Because a path is a monotone staircase,
+// such a cuboid always exists (the m-layer dominates everything).
+func (p Path) Covering(c Cuboid) Cuboid {
+	for _, pc := range p.Cuboids {
+		if c.DominatedBy(pc) {
+			return pc
+		}
+	}
+	// The last cuboid is the m-layer, which dominates all lattice members.
+	return p.Cuboids[len(p.Cuboids)-1]
+}
+
+// Depth returns the index of c within the path, or -1.
+func (p Path) Depth(c Cuboid) int {
+	for i, pc := range p.Cuboids {
+		if pc.Equal(c) {
+			return i
+		}
+	}
+	return -1
+}

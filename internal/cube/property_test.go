@@ -1,0 +1,145 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: roll-up is transitive and functional — lifting a cell key from
+// the m-layer to any intermediate cuboid and then to any coarser cuboid
+// equals lifting directly, for random fan-out hierarchies and levels.
+func TestRollUpTransitivityProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(55))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nDims := 1 + r.Intn(4)
+		dims := make([]Dimension, nDims)
+		for d := 0; d < nDims; d++ {
+			levels := 1 + r.Intn(4)
+			fanout := 2 + r.Intn(4)
+			h, err := NewFanoutHierarchy(string(rune('A'+d)), fanout, levels)
+			if err != nil {
+				return false
+			}
+			dims[d] = Dimension{Name: string(rune('A' + d)), Hierarchy: h, MLevel: levels, OLevel: 0}
+		}
+		s, err := NewSchema(dims...)
+		if err != nil {
+			return false
+		}
+		m := s.MLayer()
+		// Random m-layer cell.
+		var members [MaxDims]int32
+		for d := 0; d < nDims; d++ {
+			members[d] = int32(r.Intn(s.Dims[d].Hierarchy.Cardinality(s.Dims[d].MLevel)))
+		}
+		base := CellKey{Cuboid: m, Members: members}
+		// Random mid and coarse cuboids with mid dominating coarse.
+		mid := m
+		coarse := m
+		for d := 0; d < nDims; d++ {
+			lm := r.Intn(s.Dims[d].MLevel + 1)
+			lc := r.Intn(lm + 1)
+			mid = mid.WithLevel(d, lm)
+			coarse = coarse.WithLevel(d, lc)
+		}
+		viaMid, err := RollUpKey(s, base, mid)
+		if err != nil {
+			return false
+		}
+		twoStep, err := RollUpKey(s, viaMid, coarse)
+		if err != nil {
+			return false
+		}
+		direct, err := RollUpKey(s, base, coarse)
+		if err != nil {
+			return false
+		}
+		if twoStep != direct {
+			return false
+		}
+		// Descendant predicate consistency.
+		if !IsDescendantCell(s, base, direct) {
+			return false
+		}
+		return IsDescendantCell(s, viaMid, twoStep)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lattice Children/Parents are inverse relations and every
+// cuboid's children/parents stay within the lattice, for random schemas.
+func TestLatticeStructureProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(56))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nDims := 1 + r.Intn(3)
+		dims := make([]Dimension, nDims)
+		for d := 0; d < nDims; d++ {
+			levels := 1 + r.Intn(3)
+			h, err := NewFanoutHierarchy(string(rune('A'+d)), 2, levels)
+			if err != nil {
+				return false
+			}
+			o := r.Intn(levels + 1)
+			dims[d] = Dimension{Name: string(rune('A' + d)), Hierarchy: h, MLevel: levels, OLevel: o}
+		}
+		s, err := NewSchema(dims...)
+		if err != nil {
+			return false
+		}
+		l := NewLattice(s)
+		if l.Size() != s.CuboidCount() {
+			return false
+		}
+		for _, c := range l.Cuboids() {
+			for _, child := range l.Children(c) {
+				if !l.Contains(child) {
+					return false
+				}
+				// c must be among the child's parents.
+				found := false
+				for _, p := range l.Parents(child) {
+					if p.Equal(c) {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		// The default path visits Σ(m−o) + 1 cuboids, all in the lattice,
+		// each dominated by the next.
+		p := l.DefaultPath()
+		want := 1
+		for d := 0; d < nDims; d++ {
+			want += s.Dims[d].MLevel - s.Dims[d].OLevel
+		}
+		if len(p.Cuboids) != want {
+			return false
+		}
+		for i, pc := range p.Cuboids {
+			if !l.Contains(pc) {
+				return false
+			}
+			if i > 0 && !p.Cuboids[i-1].DominatedBy(pc) {
+				return false
+			}
+		}
+		// Covering always dominates and sits on the path.
+		for _, c := range l.Cuboids() {
+			cov := p.Covering(c)
+			if !p.OnPath(cov) || !c.DominatedBy(cov) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package exception implements the paper's exception framework (§4.3): "a
+// regression line is exceptional if its slope ≥ the exception threshold,
+// where an exception threshold can be defined by a user or an expert for
+// each cuboid c, for each dimension level d, or for the whole cube".
+//
+// Thresholds act on slope magnitude. The package also offers a delta
+// detector comparing the current cell's regression against the previous
+// time window ("the current quarter vs. the previous one").
+package exception
+
+import (
+	"math"
+
+	"repro/internal/cube"
+	"repro/internal/regression"
+)
+
+// Thresholder supplies the slope-magnitude exception threshold for a
+// cuboid. The three granularities the paper names — whole cube, per
+// dimension level, per cuboid — are the three implementations below.
+type Thresholder interface {
+	Threshold(c cube.Cuboid) float64
+}
+
+// Global applies one threshold to the whole cube.
+type Global float64
+
+// Threshold implements Thresholder.
+func (g Global) Threshold(cube.Cuboid) float64 { return float64(g) }
+
+// PerCuboid applies cuboid-specific thresholds with a default fallback.
+type PerCuboid struct {
+	Default   float64
+	Overrides map[cube.Cuboid]float64
+}
+
+// Threshold implements Thresholder.
+func (p PerCuboid) Threshold(c cube.Cuboid) float64 {
+	if t, ok := p.Overrides[c]; ok {
+		return t
+	}
+	return p.Default
+}
+
+// PerDepth scales the threshold by the cuboid's aggregation depth (total
+// level sum): coarser cuboids aggregate more descendants, so their slopes
+// are naturally larger; Scale > 0 discounts per level of depth.
+type PerDepth struct {
+	Base  float64
+	Scale float64 // multiplicative factor applied per level of total depth
+}
+
+// Threshold implements Thresholder.
+func (p PerDepth) Threshold(c cube.Cuboid) float64 {
+	depth := 0
+	for d := 0; d < c.NumDims(); d++ {
+		depth += c.Level(d)
+	}
+	return p.Base * math.Pow(p.Scale, float64(depth))
+}
+
+// IsException reports whether a cell's regression is exceptional under the
+// threshold: |slope| ≥ threshold.
+func IsException(isb regression.ISB, threshold float64) bool {
+	return math.Abs(isb.Slope) >= threshold
+}
+
+// Delta detects exceptions by comparing the regression of the current
+// window against the previous one — the paper's "current quarter vs. the
+// last quarter" reading of exceptional change.
+type Delta struct {
+	// MinSlopeChange flags cells whose slope moved at least this much
+	// between the previous and current window.
+	MinSlopeChange float64
+}
+
+// Exceptional reports whether the change from prev to cur is exceptional.
+// With no previous window (ok=false), nothing is exceptional yet.
+func (d Delta) Exceptional(cur regression.ISB, prev regression.ISB, havePrev bool) bool {
+	if !havePrev {
+		return false
+	}
+	return math.Abs(cur.Slope-prev.Slope) >= d.MinSlopeChange
+}

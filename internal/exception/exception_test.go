@@ -1,0 +1,77 @@
+package exception
+
+import (
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/regression"
+)
+
+func TestGlobal(t *testing.T) {
+	g := Global(0.5)
+	if g.Threshold(cube.MustCuboid(1, 2)) != 0.5 {
+		t.Fatal("global threshold must ignore cuboid")
+	}
+}
+
+func TestIsException(t *testing.T) {
+	up := regression.ISB{Slope: 0.6}
+	down := regression.ISB{Slope: -0.6}
+	flat := regression.ISB{Slope: 0.1}
+	if !IsException(up, 0.5) || !IsException(down, 0.5) {
+		t.Fatal("magnitude must count both directions")
+	}
+	if IsException(flat, 0.5) {
+		t.Fatal("0.1 is below threshold")
+	}
+	// Boundary: ≥ is inclusive.
+	if !IsException(regression.ISB{Slope: 0.5}, 0.5) {
+		t.Fatal("threshold is inclusive")
+	}
+}
+
+func TestPerCuboid(t *testing.T) {
+	c1 := cube.MustCuboid(1, 1)
+	c2 := cube.MustCuboid(2, 2)
+	p := PerCuboid{Default: 1, Overrides: map[cube.Cuboid]float64{c1: 0.25}}
+	if p.Threshold(c1) != 0.25 {
+		t.Fatal("override missed")
+	}
+	if p.Threshold(c2) != 1 {
+		t.Fatal("default missed")
+	}
+}
+
+func TestPerDepth(t *testing.T) {
+	p := PerDepth{Base: 1, Scale: 0.5}
+	// depth 0 → 1; depth 2 → 0.25; depth 4 → 0.0625.
+	if p.Threshold(cube.MustCuboid(0, 0)) != 1 {
+		t.Fatal("depth-0 threshold")
+	}
+	if p.Threshold(cube.MustCuboid(1, 1)) != 0.25 {
+		t.Fatal("depth-2 threshold")
+	}
+	if p.Threshold(cube.MustCuboid(2, 2)) != 0.0625 {
+		t.Fatal("depth-4 threshold")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	d := Delta{MinSlopeChange: 0.3}
+	prev := regression.ISB{Slope: 0.1}
+	curBig := regression.ISB{Slope: 0.5}
+	curSmall := regression.ISB{Slope: 0.2}
+	if !d.Exceptional(curBig, prev, true) {
+		t.Fatal("0.4 change should trip")
+	}
+	if d.Exceptional(curSmall, prev, true) {
+		t.Fatal("0.1 change should not trip")
+	}
+	if d.Exceptional(curBig, regression.ISB{}, false) {
+		t.Fatal("no previous window → no exception")
+	}
+	// Negative direction counts too.
+	if !d.Exceptional(regression.ISB{Slope: -0.25}, prev, true) {
+		t.Fatal("negative change should trip")
+	}
+}

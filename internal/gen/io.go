@@ -1,0 +1,98 @@
+package gen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/regression"
+)
+
+// WriteCSV emits a dataset in the cmd/datagen format: a header line, then
+// one row per m-layer tuple — dim0..dimN, tb, te, base, slope.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	cw := csv.NewWriter(w)
+	dims := ds.Schema.NumDims()
+	header := make([]string, 0, dims+4)
+	for d := 0; d < dims; d++ {
+		header = append(header, fmt.Sprintf("dim%d", d))
+	}
+	header = append(header, "tb", "te", "base", "slope")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, in := range ds.Inputs {
+		for d, m := range in.Members {
+			row[d] = strconv.FormatInt(int64(m), 10)
+		}
+		row[dims] = strconv.FormatInt(in.Measure.Tb, 10)
+		row[dims+1] = strconv.FormatInt(in.Measure.Te, 10)
+		row[dims+2] = strconv.FormatFloat(in.Measure.Base, 'g', -1, 64)
+		row[dims+3] = strconv.FormatFloat(in.Measure.Slope, 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV against the given schema.
+// Every member is range-checked against the schema's m-layer
+// cardinalities.
+func ReadCSV(r io.Reader, schema *cube.Schema) ([]core.Input, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.NumDims() + 4
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("gen: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: empty csv", ErrSpec)
+	}
+	dims := schema.NumDims()
+	inputs := make([]core.Input, 0, len(rows)-1)
+	for i, row := range rows[1:] { // skip header
+		members := make([]int32, dims)
+		for d := 0; d < dims; d++ {
+			v, err := strconv.ParseInt(row[d], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("gen: row %d dim %d: %w", i+1, d, err)
+			}
+			card := schema.Dims[d].Hierarchy.Cardinality(schema.Dims[d].MLevel)
+			if v < 0 || int(v) >= card {
+				return nil, fmt.Errorf("%w: row %d member %d outside [0,%d)", ErrSpec, i+1, v, card)
+			}
+			members[d] = int32(v)
+		}
+		tb, err := strconv.ParseInt(row[dims], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: row %d tb: %w", i+1, err)
+		}
+		te, err := strconv.ParseInt(row[dims+1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: row %d te: %w", i+1, err)
+		}
+		if te < tb {
+			return nil, fmt.Errorf("%w: row %d interval [%d,%d]", ErrSpec, i+1, tb, te)
+		}
+		base, err := strconv.ParseFloat(row[dims+2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: row %d base: %w", i+1, err)
+		}
+		slope, err := strconv.ParseFloat(row[dims+3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: row %d slope: %w", i+1, err)
+		}
+		isb := regression.ISB{Tb: tb, Te: te, Base: base, Slope: slope}
+		if !isb.IsFinite() {
+			return nil, fmt.Errorf("%w: row %d has non-finite measure", ErrSpec, i+1)
+		}
+		inputs = append(inputs, core.Input{Members: members, Measure: isb})
+	}
+	return inputs, nil
+}

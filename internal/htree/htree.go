@@ -1,0 +1,358 @@
+// Package htree implements the hyper-linked H-tree structure of Han et al.
+// (SIGMOD'01) as revised by the paper (§4.4, Figure 7) for regression
+// cubing: a prefix tree over dimension-level attributes whose leaves hold
+// the m-layer regression measures (ISBs) and whose header tables side-link
+// all nodes sharing an attribute value.
+//
+// Two attribute orders are supported, matching the paper's two algorithms:
+//
+//   - cardinality-ascending order (Example 5: ⟨A1,B1,C1,C2,A2,B2⟩) for
+//     m/o-cubing, maximizing prefix sharing;
+//   - popular-path order (⟨(A1,C1)→B1→B2→A2→C2⟩) for popular-path cubing,
+//     making every tree depth a cuboid of the path so roll-ups along the
+//     path materialize for free in the non-leaf nodes.
+package htree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cube"
+	"repro/internal/regression"
+)
+
+// ErrInput is returned for malformed tuples or configurations.
+var ErrInput = errors.New("htree: invalid input")
+
+// Attribute names one dimension-level pair, a column of the expanded tuple
+// ("each tuple, expanded to include ancestor values of each dimension").
+type Attribute struct {
+	Dim   int // dimension index in the schema
+	Level int // hierarchy level (≥ 1; level 0/ALL never materializes)
+}
+
+// CardinalityOrder returns the attributes between each dimension's o-level
+// and m-level ordered by ascending cardinality (ties broken by level then
+// dimension), the paper's ordering for compactness: "this ordering makes
+// the tree compact since there are likely more sharings at higher level
+// nodes".
+func CardinalityOrder(s *cube.Schema) []Attribute {
+	var attrs []Attribute
+	for d, dim := range s.Dims {
+		lo := dim.OLevel
+		if lo < 1 {
+			lo = 1
+		}
+		for l := lo; l <= dim.MLevel; l++ {
+			attrs = append(attrs, Attribute{Dim: d, Level: l})
+		}
+	}
+	sort.SliceStable(attrs, func(i, j int) bool {
+		ci := s.Dims[attrs[i].Dim].Hierarchy.Cardinality(attrs[i].Level)
+		cj := s.Dims[attrs[j].Dim].Hierarchy.Cardinality(attrs[j].Level)
+		if ci != cj {
+			return ci < cj
+		}
+		if attrs[i].Level != attrs[j].Level {
+			return attrs[i].Level < attrs[j].Level
+		}
+		return attrs[i].Dim < attrs[j].Dim
+	})
+	return attrs
+}
+
+// PathOrder returns the attributes in popular-path order: first the
+// o-layer's non-ALL attributes (the paper's "(A1,C1)" step), then one
+// attribute per drilling step. Tree depth oAttrs+i then corresponds
+// exactly to path cuboid i.
+func PathOrder(s *cube.Schema, p cube.Path) []Attribute {
+	var attrs []Attribute
+	o := s.OLayer()
+	for d := range s.Dims {
+		for l := 1; l <= o.Level(d); l++ {
+			attrs = append(attrs, Attribute{Dim: d, Level: l})
+		}
+	}
+	for i := 1; i < len(p.Cuboids); i++ {
+		prev, cur := p.Cuboids[i-1], p.Cuboids[i]
+		for d := 0; d < cur.NumDims(); d++ {
+			for l := prev.Level(d) + 1; l <= cur.Level(d); l++ {
+				attrs = append(attrs, Attribute{Dim: d, Level: l})
+			}
+		}
+	}
+	return attrs
+}
+
+// Node is one H-tree node. Depth 0 is the root (no attribute); a node at
+// depth k carries a member of attribute k−1. Leaves hold the m-layer
+// measures; after PropagateUp, interior nodes hold the standard-dimension
+// aggregation of their subtree (the regression points Algorithm 2 stores
+// "in the nonleaf nodes").
+type Node struct {
+	Member     int32
+	Depth      int
+	Parent     *Node
+	Children   map[int32]*Node
+	Measure    regression.ISB
+	HasMeasure bool
+	Tuples     int64 // number of m-layer tuples under this node
+}
+
+// HTree is the hyper-linked tree plus its per-attribute header tables.
+type HTree struct {
+	schema  *cube.Schema
+	attrs   []Attribute
+	root    *Node
+	headers []map[int32][]*Node // headers[k]: member → side-linked nodes at depth k+1
+	nodes   int
+	leaves  []*Node
+}
+
+// New builds an empty H-tree over the given attribute order. Every
+// dimension's m-level attribute must appear so that leaves identify
+// m-layer cells.
+func New(s *cube.Schema, attrs []Attribute) (*HTree, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("%w: no attributes", ErrInput)
+	}
+	seen := make(map[Attribute]bool, len(attrs))
+	finest := make([]int, len(s.Dims))
+	for _, a := range attrs {
+		if a.Dim < 0 || a.Dim >= len(s.Dims) {
+			return nil, fmt.Errorf("%w: attribute dimension %d", ErrInput, a.Dim)
+		}
+		if a.Level < 1 || a.Level > s.Dims[a.Dim].MLevel {
+			return nil, fmt.Errorf("%w: attribute level %d for dimension %s", ErrInput, a.Level, s.Dims[a.Dim].Name)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("%w: duplicate attribute (%d,L%d)", ErrInput, a.Dim, a.Level)
+		}
+		seen[a] = true
+		if a.Level > finest[a.Dim] {
+			finest[a.Dim] = a.Level
+		}
+	}
+	for d, dim := range s.Dims {
+		if finest[d] != dim.MLevel {
+			return nil, fmt.Errorf("%w: dimension %s m-level L%d missing from attributes", ErrInput, dim.Name, dim.MLevel)
+		}
+	}
+	t := &HTree{
+		schema:  s,
+		attrs:   attrs,
+		root:    &Node{Depth: 0, Children: make(map[int32]*Node)},
+		headers: make([]map[int32][]*Node, len(attrs)),
+		nodes:   1,
+	}
+	for i := range t.headers {
+		t.headers[i] = make(map[int32][]*Node)
+	}
+	return t, nil
+}
+
+// Schema returns the schema the tree was built against.
+func (t *HTree) Schema() *cube.Schema { return t.schema }
+
+// Attrs returns the attribute order. The slice is shared; do not modify.
+func (t *HTree) Attrs() []Attribute { return t.attrs }
+
+// Root returns the root node.
+func (t *HTree) Root() *Node { return t.root }
+
+// NodeCount returns the number of nodes including the root.
+func (t *HTree) NodeCount() int { return t.nodes }
+
+// LeafCount returns the number of leaves (distinct m-layer cells).
+func (t *HTree) LeafCount() int { return len(t.leaves) }
+
+// Leaves returns the leaf nodes in insertion-discovery order. The slice is
+// shared; do not modify.
+func (t *HTree) Leaves() []*Node { return t.leaves }
+
+// Insert adds one m-layer tuple: members[d] is the member of dimension d
+// at its m-level, and isb the tuple's regression measure. Tuples mapping
+// to the same m-layer cell are merged with standard-dimension aggregation
+// ("performing aggregation in the corresponding leaf nodes").
+func (t *HTree) Insert(members []int32, isb regression.ISB) error {
+	if len(members) != len(t.schema.Dims) {
+		return fmt.Errorf("%w: %d members for %d dimensions", ErrInput, len(members), len(t.schema.Dims))
+	}
+	for d, m := range members {
+		card := t.schema.Dims[d].Hierarchy.Cardinality(t.schema.Dims[d].MLevel)
+		if m < 0 || int(m) >= card {
+			return fmt.Errorf("%w: member %d of dimension %s outside [0,%d)", ErrInput, m, t.schema.Dims[d].Name, card)
+		}
+	}
+	cur := t.root
+	for k, a := range t.attrs {
+		dim := t.schema.Dims[a.Dim]
+		val := cube.Ancestor(dim.Hierarchy, dim.MLevel, a.Level, members[a.Dim])
+		child, ok := cur.Children[val]
+		if !ok {
+			// Children maps are allocated lazily: leaves never need one,
+			// which matters when the tree has hundreds of thousands of
+			// them.
+			child = &Node{Member: val, Depth: k + 1, Parent: cur}
+			if cur.Children == nil {
+				cur.Children = make(map[int32]*Node)
+			}
+			cur.Children[val] = child
+			t.headers[k][val] = append(t.headers[k][val], child)
+			t.nodes++
+			if k == len(t.attrs)-1 {
+				t.leaves = append(t.leaves, child)
+			}
+		}
+		child.Tuples++
+		cur = child
+	}
+	if cur.HasMeasure {
+		merged, err := regression.AggregateStandard(cur.Measure, isb)
+		if err != nil {
+			return fmt.Errorf("htree: merging tuple into leaf: %w", err)
+		}
+		cur.Measure = merged
+	} else {
+		cur.Measure = isb
+		cur.HasMeasure = true
+	}
+	return nil
+}
+
+// PropagateUp computes the measure of every interior node as the
+// standard-dimension aggregation of its children (post-order), giving the
+// roll-ups along the tree's prefix cuboids — Algorithm 2 Step 2.
+func (t *HTree) PropagateUp() error {
+	return t.propagate(t.root)
+}
+
+func (t *HTree) propagate(n *Node) error {
+	if len(n.Children) == 0 {
+		if !n.HasMeasure && n != t.root {
+			return fmt.Errorf("%w: leaf at depth %d without measure", ErrInput, n.Depth)
+		}
+		return nil
+	}
+	// Inline Theorem 3.2 accumulation: bases and slopes add over children
+	// sharing one interval (allocation-free; this runs once per node).
+	var agg regression.ISB
+	first := true
+	for _, c := range n.Children {
+		if err := t.propagate(c); err != nil {
+			return err
+		}
+		if first {
+			agg = c.Measure
+			first = false
+			continue
+		}
+		if c.Measure.Tb != agg.Tb || c.Measure.Te != agg.Te {
+			return fmt.Errorf("htree: propagating at depth %d: %w: child interval [%d,%d] vs [%d,%d]",
+				n.Depth, regression.ErrMismatch, c.Measure.Tb, c.Measure.Te, agg.Tb, agg.Te)
+		}
+		agg.Base += c.Measure.Base
+		agg.Slope += c.Measure.Slope
+	}
+	n.Measure = agg
+	n.HasMeasure = true
+	return nil
+}
+
+// WalkAtDepth visits every descendant of n at exactly the given tree depth
+// (n itself when already there). Popular-path drilling uses this to
+// enumerate the covering-cuboid cells below one exception cell — "the
+// cells to be computed are related only to the exception cells".
+func (n *Node) WalkAtDepth(depth int, fn func(*Node)) {
+	if n.Depth == depth {
+		fn(n)
+		return
+	}
+	if n.Depth > depth {
+		return
+	}
+	for _, c := range n.Children {
+		c.WalkAtDepth(depth, fn)
+	}
+}
+
+// HeaderNodes returns the side-linked nodes at the given attribute index
+// carrying the given member — a header-table traversal (Figure 7).
+func (t *HTree) HeaderNodes(attr int, member int32) []*Node {
+	if attr < 0 || attr >= len(t.headers) {
+		return nil
+	}
+	return t.headers[attr][member]
+}
+
+// HeaderMembers returns the distinct members present at the attribute.
+func (t *HTree) HeaderMembers(attr int) []int32 {
+	if attr < 0 || attr >= len(t.headers) {
+		return nil
+	}
+	out := make([]int32, 0, len(t.headers[attr]))
+	for m := range t.headers[attr] {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodesAtDepth returns every node at depth k (1-based; k ≤ len(attrs)).
+func (t *HTree) NodesAtDepth(k int) []*Node {
+	if k < 1 || k > len(t.attrs) {
+		return nil
+	}
+	var out []*Node
+	for _, nodes := range t.headers[k-1] {
+		out = append(out, nodes...)
+	}
+	return out
+}
+
+// CuboidAtDepth returns the cuboid materialized by nodes at depth k: each
+// dimension sits at the finest of its attribute levels among the first k
+// attributes (0/ALL when none appeared yet). For a path-ordered tree,
+// depth oAttrs+i yields exactly path cuboid i.
+func (t *HTree) CuboidAtDepth(k int) cube.Cuboid {
+	levels := make([]int, len(t.schema.Dims))
+	for i := 0; i < k && i < len(t.attrs); i++ {
+		a := t.attrs[i]
+		if a.Level > levels[a.Dim] {
+			levels[a.Dim] = a.Level
+		}
+	}
+	c, err := cube.NewCuboid(levels...)
+	if err != nil {
+		panic(fmt.Sprintf("htree: CuboidAtDepth: %v", err)) // schema bounds validated in New
+	}
+	return c
+}
+
+// CellKeyOf returns the cell identified by a node: the cuboid of its depth
+// with the members collected along its root path (the finest member seen
+// per dimension).
+func (t *HTree) CellKeyOf(n *Node) cube.CellKey {
+	c := t.CuboidAtDepth(n.Depth)
+	var members [cube.MaxDims]int32
+	levels := make([]int, len(t.schema.Dims))
+	for cur := n; cur != nil && cur.Depth > 0; cur = cur.Parent {
+		a := t.attrs[cur.Depth-1]
+		if a.Level > levels[a.Dim] {
+			levels[a.Dim] = a.Level
+			members[a.Dim] = cur.Member
+		}
+	}
+	k := cube.CellKey{Cuboid: c}
+	k.Members = members
+	return k
+}
+
+// BytesEstimate returns a size estimate of the tree for the paper's
+// memory-usage panels: nodes dominate, with map overhead amortized in the
+// per-node constant.
+func (t *HTree) BytesEstimate() int64 {
+	const bytesPerNode = 96 // struct + child-map entry + header slot
+	return int64(t.nodes) * bytesPerNode
+}

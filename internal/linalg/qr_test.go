@@ -1,0 +1,163 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRSolveSquareMatchesGauss(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{3, 1, 2}, {1, 5, 1}, {2, 1, 4}})
+	b := []float64{1, -2, 3}
+	xq, err := QRSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xg, err := SolveGauss(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xq {
+		if !almostEq(xq[i], xg[i], 1e-9) {
+			t.Fatalf("QR %v vs Gauss %v", xq, xg)
+		}
+	}
+}
+
+func TestQRSolveOverdetermined(t *testing.T) {
+	// Fit y = 2 + 3t from 5 exact points: LS solution is exact.
+	rows := [][]float64{}
+	b := []float64{}
+	for i := 0; i < 5; i++ {
+		tk := float64(i)
+		rows = append(rows, []float64{1, tk})
+		b = append(b, 2+3*tk)
+	}
+	a, _ := NewMatrixFromRows(rows)
+	x, err := QRSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 2, 1e-10) || !almostEq(x[1], 3, 1e-10) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestQRSolveLeastSquaresResidualOrthogonal(t *testing.T) {
+	// For noisy overdetermined systems, the residual must be orthogonal
+	// to the column space: Aᵀ(Ax − b) ≈ 0.
+	r := rand.New(rand.NewSource(3))
+	rows := [][]float64{}
+	b := []float64{}
+	for i := 0; i < 30; i++ {
+		tk := float64(i)
+		rows = append(rows, []float64{1, tk, tk * tk})
+		b = append(b, 1+0.5*tk-0.1*tk*tk+r.NormFloat64())
+	}
+	a, _ := NewMatrixFromRows(rows)
+	x, err := QRSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, _ := a.MulVec(x)
+	resid := make([]float64, len(b))
+	for i := range b {
+		resid[i] = ax[i] - b[i]
+	}
+	at := a.Transpose()
+	ortho, _ := at.MulVec(resid)
+	for i, v := range ortho {
+		if math.Abs(v) > 1e-7 {
+			t.Fatalf("normal equations violated at %d: %g", i, v)
+		}
+	}
+}
+
+func TestQRSolveErrors(t *testing.T) {
+	under := NewMatrix(2, 3)
+	if _, err := QRSolve(under, []float64{1, 2}); err == nil {
+		t.Fatal("expected underdetermined rejection")
+	}
+	a := NewMatrix(3, 2)
+	if _, err := QRSolve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+	if _, err := QRSolve(NewMatrix(3, 2), []float64{0, 0, 0}); err == nil {
+		t.Fatal("expected zero-matrix rejection")
+	}
+	// Rank-deficient: duplicate columns.
+	dup, _ := NewMatrixFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := QRSolve(dup, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected rank-deficiency rejection")
+	}
+}
+
+// QR beats normal equations on an ill-conditioned Vandermonde system: the
+// reconstruction error through QR stays small where Cholesky on AᵀA fails
+// or degrades.
+func TestQRBetterConditionedThanNormalEquations(t *testing.T) {
+	const n, deg = 40, 9
+	rows := [][]float64{}
+	b := []float64{}
+	truth := []float64{1, -2, 0.5, 0.1, -0.05, 0.01, -0.002, 0.0003, -0.00004, 0.000005}
+	for i := 0; i < n; i++ {
+		tk := float64(i) / 4 // wide range makes t^9 huge vs t^0
+		row := make([]float64, deg+1)
+		p := 1.0
+		var y float64
+		for d := 0; d <= deg; d++ {
+			row[d] = p
+			y += truth[d] * p
+			p *= tk
+		}
+		rows = append(rows, row)
+		b = append(b, y)
+	}
+	a, _ := NewMatrixFromRows(rows)
+	x, err := QRSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fitted values must reproduce b tightly even if coefficients drift.
+	ax, _ := a.MulVec(x)
+	for i := range b {
+		if !almostEq(ax[i], b[i], 1e-6) {
+			t.Fatalf("QR fit diverges at %d: %g vs %g", i, ax[i], b[i])
+		}
+	}
+}
+
+// Property: QR and Gauss agree on random well-conditioned square systems.
+func TestQRGaussAgreementProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(77))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			a.Add(i, i, float64(n)) // diagonal dominance
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		xq, err1 := QRSolve(a, b)
+		xg, err2 := SolveGauss(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range xq {
+			if !almostEq(xq[i], xg[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package mlr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitRawMatchesNCROnEasyProblems(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	var vars [][]float64
+	var ys []float64
+	ncr := New(LinearBasis(2))
+	for i := 0; i < 50; i++ {
+		v := []float64{r.NormFloat64(), r.NormFloat64()}
+		y := 1 + 2*v[0] - v[1] + r.NormFloat64()*0.1
+		vars = append(vars, v)
+		ys = append(ys, y)
+		if err := ncr.Observe(v, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := FitRaw(LinearBasis(2), vars, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaNCR, err := ncr.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw.Coef {
+		if !almostEq(raw.Coef[i], viaNCR.Coef[i], 1e-8) {
+			t.Fatalf("coef[%d]: raw %g vs NCR %g", i, raw.Coef[i], viaNCR.Coef[i])
+		}
+	}
+	if !almostEq(raw.RSS, viaNCR.RSS, 1e-6) || !almostEq(raw.R2, viaNCR.R2, 1e-8) {
+		t.Fatalf("fit stats: raw RSS %g R2 %g vs NCR RSS %g R2 %g",
+			raw.RSS, raw.R2, viaNCR.RSS, viaNCR.R2)
+	}
+}
+
+func TestFitRawSurvivesIllConditionedBasis(t *testing.T) {
+	// Degree-8 polynomial over a wide range: the normal-equation route
+	// degrades badly (condition number squared); QR must still reproduce
+	// the responses.
+	deg := 8
+	var vars [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		tk := float64(i) / 3
+		vars = append(vars, []float64{tk})
+		y := 0.0
+		p := 1.0
+		for d := 0; d <= deg; d++ {
+			y += p * math.Pow(-0.5, float64(d))
+			p *= tk
+		}
+		ys = append(ys, y)
+	}
+	model, err := FitRaw(PolynomialBasis(deg), vars, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vars {
+		if !almostEq(model.Predict(v), ys[i], 1e-5) {
+			t.Fatalf("prediction at %v: %g vs %g", v, model.Predict(v), ys[i])
+		}
+	}
+	if model.R2 < 0.999999 {
+		t.Fatalf("R2 = %g", model.R2)
+	}
+}
+
+func TestFitRawValidation(t *testing.T) {
+	if _, err := FitRaw(Basis{}, nil, nil); err == nil {
+		t.Fatal("expected bad-basis error")
+	}
+	b := TimeBasis()
+	if _, err := FitRaw(b, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := FitRaw(b, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("expected too-few-observations error")
+	}
+	if _, err := FitRaw(b, [][]float64{{1}, {2}}, []float64{1, math.NaN()}); err == nil {
+		t.Fatal("expected NaN response rejection")
+	}
+	lg := LogBasis()
+	if _, err := FitRaw(lg, [][]float64{{-1}, {2}, {3}}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected non-finite feature rejection")
+	}
+	// Collinear design → rank deficiency.
+	if _, err := FitRaw(LinearBasis(2), [][]float64{{1, 2}, {2, 4}, {3, 6}}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected rank-deficiency error")
+	}
+	// Perfect constant fit: R2 defined as 1.
+	model, err := FitRaw(TimeBasis(), [][]float64{{0}, {1}, {2}}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.R2 != 1 {
+		t.Fatalf("R2 of perfect constant fit = %g", model.R2)
+	}
+}

@@ -1,0 +1,107 @@
+package mlr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Inference carries the classical OLS uncertainty estimates for a fitted
+// model — the "additional, sophisticated statistical analysis operations"
+// §7 points toward. All quantities derive from the same sufficient
+// statistics the NCR already stores, so inference also needs no raw data.
+type Inference struct {
+	// Sigma2 is the residual variance estimate RSS/(n−p).
+	Sigma2 float64
+	// StdErr[i] is the standard error of coefficient i.
+	StdErr []float64
+	// TValue[i] is Coef[i]/StdErr[i].
+	TValue []float64
+}
+
+// Infer computes coefficient standard errors and t-values from the
+// representation's normal equations: Var(θ) = σ²·(XᵀX)⁻¹ with
+// σ² = RSS/(n−p). It requires more observations than features and a
+// goodness-of-fit-capable representation (yᵀy intact — not available
+// after a standard-dimension merge).
+func (m *NCR) Infer() (*Model, *Inference, error) {
+	model, err := m.Fit()
+	if err != nil {
+		return nil, nil, err
+	}
+	p := int64(m.basis.Dim)
+	if m.n <= p {
+		return nil, nil, fmt.Errorf("%w: %d observations for %d features leaves no residual degrees of freedom",
+			ErrEmpty, m.n, p)
+	}
+	if math.IsNaN(model.RSS) {
+		return nil, nil, fmt.Errorf("%w: goodness-of-fit unavailable (standard-dimension merge)", ErrMismatch)
+	}
+	inv, err := linalg.Invert(m.xtx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mlr: inverting XᵀX: %w", err)
+	}
+	inf := &Inference{
+		Sigma2: model.RSS / float64(m.n-p),
+		StdErr: make([]float64, m.basis.Dim),
+		TValue: make([]float64, m.basis.Dim),
+	}
+	for i := 0; i < m.basis.Dim; i++ {
+		v := inf.Sigma2 * inv.At(i, i)
+		if v < 0 {
+			v = 0 // rounding guard for a perfect fit
+		}
+		inf.StdErr[i] = math.Sqrt(v)
+		if inf.StdErr[i] > 0 {
+			inf.TValue[i] = model.Coef[i] / inf.StdErr[i]
+		} else {
+			inf.TValue[i] = math.Inf(sign(model.Coef[i]))
+		}
+	}
+	return model, inf, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// ConfidenceInterval returns the ±z·StdErr interval around coefficient i
+// (z = 1.96 for ≈95% under the normal approximation).
+func (inf *Inference) ConfidenceInterval(model *Model, i int, z float64) (lo, hi float64) {
+	delta := z * inf.StdErr[i]
+	return model.Coef[i] - delta, model.Coef[i] + delta
+}
+
+// PredictionStdErr returns the standard error of the mean prediction at
+// raw regressor values vars: sqrt(σ²·xᵀ(XᵀX)⁻¹x). It recomputes the
+// inverse; callers doing many predictions should cache Infer's results
+// and use the covariance directly.
+func (m *NCR) PredictionStdErr(vars []float64) (float64, error) {
+	model, inf, err := m.Infer()
+	if err != nil {
+		return 0, err
+	}
+	_ = model
+	inv, err := linalg.Invert(m.xtx)
+	if err != nil {
+		return 0, err
+	}
+	x := make([]float64, m.basis.Dim)
+	m.basis.Map(vars, x)
+	tmp, err := inv.MulVec(x)
+	if err != nil {
+		return 0, err
+	}
+	quad, err := linalg.Dot(x, tmp)
+	if err != nil {
+		return 0, err
+	}
+	if quad < 0 {
+		quad = 0
+	}
+	return math.Sqrt(inf.Sigma2 * quad), nil
+}

@@ -1,0 +1,155 @@
+package mlr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Simple-regression standard errors have the closed form
+// se(β) = σ̂/√Σ(t−t̄)², se(α) = σ̂·√(1/n + t̄²/Σ(t−t̄)²); Infer must match.
+func TestInferMatchesClosedFormSimpleRegression(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	m := New(TimeBasis())
+	n := 50
+	var ts, ys []float64
+	for i := 0; i < n; i++ {
+		tk := float64(i)
+		y := 3 + 0.5*tk + r.NormFloat64()
+		_ = m.Observe([]float64{tk}, y)
+		ts = append(ts, tk)
+		ys = append(ys, y)
+	}
+	model, inf, err := m.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed forms.
+	tbar := float64(n-1) / 2
+	var svs float64
+	for _, tk := range ts {
+		svs += (tk - tbar) * (tk - tbar)
+	}
+	var rss float64
+	for i, tk := range ts {
+		pred := model.Coef[0] + model.Coef[1]*tk
+		d := ys[i] - pred
+		rss += d * d
+	}
+	sigma2 := rss / float64(n-2)
+	seBeta := math.Sqrt(sigma2 / svs)
+	seAlpha := math.Sqrt(sigma2 * (1/float64(n) + tbar*tbar/svs))
+	if math.Abs(inf.Sigma2-sigma2) > 1e-8*(1+sigma2) {
+		t.Fatalf("sigma2 = %g, want %g", inf.Sigma2, sigma2)
+	}
+	if math.Abs(inf.StdErr[1]-seBeta) > 1e-8*(1+seBeta) {
+		t.Fatalf("se(beta) = %g, want %g", inf.StdErr[1], seBeta)
+	}
+	if math.Abs(inf.StdErr[0]-seAlpha) > 1e-8*(1+seAlpha) {
+		t.Fatalf("se(alpha) = %g, want %g", inf.StdErr[0], seAlpha)
+	}
+	// t-values consistent.
+	if math.Abs(inf.TValue[1]-model.Coef[1]/seBeta) > 1e-6 {
+		t.Fatal("t-value inconsistent")
+	}
+}
+
+func TestInferPerfectFitHasZeroStdErr(t *testing.T) {
+	m := New(TimeBasis())
+	for i := 0; i < 10; i++ {
+		_ = m.Observe([]float64{float64(i)}, 2+3*float64(i))
+	}
+	model, inf, err := m.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.StdErr[1] > 1e-6 {
+		t.Fatalf("se = %g, want ~0", inf.StdErr[1])
+	}
+	if !math.IsInf(inf.TValue[1], 1) && math.Abs(inf.TValue[1]) < 1e6 {
+		t.Fatalf("t-value should diverge for a perfect fit, got %g", inf.TValue[1])
+	}
+	lo, hi := inf.ConfidenceInterval(model, 1, 1.96)
+	if math.Abs(lo-3) > 1e-5 || math.Abs(hi-3) > 1e-5 {
+		t.Fatalf("CI = [%g,%g], want tight around 3", lo, hi)
+	}
+}
+
+func TestInferRequiresDegreesOfFreedom(t *testing.T) {
+	m := New(TimeBasis())
+	_ = m.Observe([]float64{0}, 1)
+	_ = m.Observe([]float64{1}, 2)
+	if _, _, err := m.Infer(); err == nil {
+		t.Fatal("n == p must be rejected")
+	}
+}
+
+func TestInferRejectsStandardMerge(t *testing.T) {
+	a, b := New(TimeBasis()), New(TimeBasis())
+	for i := 0; i < 6; i++ {
+		_ = a.Observe([]float64{float64(i)}, 1)
+		_ = b.Observe([]float64{float64(i)}, 2)
+	}
+	merged, err := MergeStandard(1e-9, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := merged.Infer(); err == nil {
+		t.Fatal("standard-merged NCR cannot support inference")
+	}
+}
+
+func TestConfidenceIntervalCoversTruth(t *testing.T) {
+	// Repeated simulations: the 95% CI for the slope should cover the true
+	// slope in a clear majority of runs (loose bound to stay
+	// deterministic-friendly).
+	covered := 0
+	const runs = 60
+	for seed := int64(0); seed < runs; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		m := New(TimeBasis())
+		for i := 0; i < 40; i++ {
+			tk := float64(i)
+			_ = m.Observe([]float64{tk}, 1+0.3*tk+r.NormFloat64()*2)
+		}
+		model, inf, err := m.Infer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := inf.ConfidenceInterval(model, 1, 1.96)
+		if lo <= 0.3 && 0.3 <= hi {
+			covered++
+		}
+	}
+	if covered < runs*8/10 {
+		t.Fatalf("slope CI covered truth in only %d/%d runs", covered, runs)
+	}
+}
+
+func TestPredictionStdErr(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	m := New(TimeBasis())
+	for i := 0; i < 30; i++ {
+		tk := float64(i)
+		_ = m.Observe([]float64{tk}, 2+tk+r.NormFloat64()*0.5)
+	}
+	seMid, err := m.PredictionStdErr([]float64{14.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seFar, err := m.PredictionStdErr([]float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seMid <= 0 {
+		t.Fatal("mid-sample prediction must have positive uncertainty")
+	}
+	if seFar <= seMid {
+		t.Fatalf("extrapolation se %g must exceed interpolation se %g", seFar, seMid)
+	}
+	// Insufficient data propagates the error.
+	empty := New(TimeBasis())
+	if _, err := empty.PredictionStdErr([]float64{0}); err == nil {
+		t.Fatal("expected error for empty model")
+	}
+}

@@ -1,0 +1,419 @@
+package mlr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/regression"
+	"repro/internal/timeseries"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestTimeBasisMatchesISB(t *testing.T) {
+	// MLR with the (1,t) basis must reproduce the paper's simple linear
+	// regression exactly.
+	g := timeseries.NewSynth(71)
+	s := g.Linear(10, 50, 2, 0.4, 1)
+	isb := regression.MustFit(s)
+
+	m := New(TimeBasis())
+	for i, z := range s.Values {
+		if err := m.Observe([]float64{float64(s.Interval.Tb + int64(i))}, z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	md, err := m.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(md.Coef[0], isb.Base, 1e-8) || !almostEq(md.Coef[1], isb.Slope, 1e-8) {
+		t.Fatalf("MLR coef %v vs ISB %v", md.Coef, isb)
+	}
+}
+
+func TestNewPanicsOnBadBasis(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Basis{Dim: 0})
+}
+
+func TestObserveRejectsNonFinite(t *testing.T) {
+	m := New(TimeBasis())
+	if err := m.Observe([]float64{0}, math.NaN()); err == nil {
+		t.Fatal("expected NaN response rejection")
+	}
+	if err := m.Observe([]float64{math.Inf(1)}, 1); err == nil {
+		t.Fatal("expected Inf regressor rejection")
+	}
+	if m.N() != 0 {
+		t.Fatal("failed observes must not count")
+	}
+	// A basis producing non-finite features (log of a negative) is rejected.
+	lg := New(LogBasis())
+	if err := lg.Observe([]float64{-1}, 1); err == nil {
+		t.Fatal("expected non-finite feature rejection")
+	}
+}
+
+func TestFitRequiresEnoughObservations(t *testing.T) {
+	m := New(LinearBasis(2)) // 3 features
+	if _, err := m.Fit(); err == nil {
+		t.Fatal("expected ErrEmpty")
+	}
+	_ = m.Observe([]float64{1, 2}, 3)
+	_ = m.Observe([]float64{2, 1}, 4)
+	if _, err := m.Fit(); err == nil {
+		t.Fatal("expected too-few-observations error")
+	}
+}
+
+func TestFitSingularDesign(t *testing.T) {
+	// Two perfectly collinear regressors make XᵀX singular.
+	m := New(LinearBasis(2))
+	for i := 0; i < 10; i++ {
+		v := float64(i)
+		_ = m.Observe([]float64{v, 2 * v}, v)
+	}
+	if _, err := m.Fit(); err == nil {
+		t.Fatal("expected singular normal equations")
+	}
+}
+
+func TestExactPlaneRecovery(t *testing.T) {
+	// y = 3 + 2x − 0.5w fit exactly from noiseless data.
+	m := New(LinearBasis(2))
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		x, w := r.NormFloat64(), r.NormFloat64()
+		y := 3 + 2*x - 0.5*w
+		if err := m.Observe([]float64{x, w}, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	md, err := m.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -0.5}
+	for i, c := range want {
+		if !almostEq(md.Coef[i], c, 1e-8) {
+			t.Fatalf("coef[%d] = %g, want %g", i, md.Coef[i], c)
+		}
+	}
+	if !almostEq(md.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %g, want 1", md.R2)
+	}
+	if md.RSS > 1e-9 {
+		t.Fatalf("RSS = %g, want ~0", md.RSS)
+	}
+	if got := md.Predict([]float64{1, 2}); !almostEq(got, 3+2-1, 1e-8) {
+		t.Fatalf("Predict = %g", got)
+	}
+}
+
+func TestPolynomialBasisExact(t *testing.T) {
+	m := New(PolynomialBasis(2))
+	for i := -10; i <= 10; i++ {
+		x := float64(i)
+		_ = m.Observe([]float64{x}, 1+2*x+3*x*x)
+	}
+	md, err := m.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if !almostEq(md.Coef[i], want, 1e-7) {
+			t.Fatalf("coef[%d] = %g, want %g", i, md.Coef[i], want)
+		}
+	}
+}
+
+func TestLogBasisExact(t *testing.T) {
+	m := New(LogBasis())
+	for i := 1; i <= 30; i++ {
+		x := float64(i)
+		_ = m.Observe([]float64{x}, 5+2*math.Log(x))
+	}
+	md, err := m.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(md.Coef[0], 5, 1e-8) || !almostEq(md.Coef[1], 2, 1e-8) {
+		t.Fatalf("coef = %v", md.Coef)
+	}
+}
+
+func TestExpBasisExact(t *testing.T) {
+	m := New(ExpBasis(0.1))
+	for i := 0; i < 25; i++ {
+		x := float64(i)
+		_ = m.Observe([]float64{x}, -1+0.5*math.Exp(0.1*x))
+	}
+	md, err := m.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(md.Coef[0], -1, 1e-7) || !almostEq(md.Coef[1], 0.5, 1e-7) {
+		t.Fatalf("coef = %v", md.Coef)
+	}
+}
+
+func TestIrregularTicks(t *testing.T) {
+	// Irregular time points — the motivation for NCR over ISB.
+	ticks := []float64{0, 1, 5, 6, 42, 100, 101}
+	m := New(TimeBasis())
+	for _, tk := range ticks {
+		_ = m.Observe([]float64{tk}, 7-0.25*tk)
+	}
+	md, err := m.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(md.Coef[0], 7, 1e-8) || !almostEq(md.Coef[1], -0.25, 1e-8) {
+		t.Fatalf("coef = %v", md.Coef)
+	}
+}
+
+func TestMergeTimeMatchesPooledFit(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	pooled := New(LinearBasis(2))
+	a, b := New(LinearBasis(2)), New(LinearBasis(2))
+	for i := 0; i < 60; i++ {
+		x, w := r.NormFloat64(), r.NormFloat64()
+		y := 1 + x - w + r.NormFloat64()*0.1
+		_ = pooled.Observe([]float64{x, w}, y)
+		if i < 25 {
+			_ = a.Observe([]float64{x, w}, y)
+		} else {
+			_ = b.Observe([]float64{x, w}, y)
+		}
+	}
+	merged, err := MergeTime(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := pooled.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := merged.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mp.Coef {
+		if !almostEq(mp.Coef[i], mm.Coef[i], 1e-9) {
+			t.Fatalf("coef[%d]: pooled %g vs merged %g", i, mp.Coef[i], mm.Coef[i])
+		}
+	}
+	if !almostEq(mp.RSS, mm.RSS, 1e-8) {
+		t.Fatalf("RSS: pooled %g vs merged %g", mp.RSS, mm.RSS)
+	}
+	if !almostEq(mp.R2, mm.R2, 1e-8) {
+		t.Fatalf("R2: pooled %g vs merged %g", mp.R2, mm.R2)
+	}
+}
+
+func TestMergeTimeErrors(t *testing.T) {
+	if _, err := MergeTime(); err == nil {
+		t.Fatal("expected ErrEmpty")
+	}
+	a := New(TimeBasis())
+	b := New(LinearBasis(2))
+	if _, err := MergeTime(a, b); err == nil {
+		t.Fatal("expected basis mismatch")
+	}
+}
+
+func TestMergeStandardMatchesSummedResponses(t *testing.T) {
+	// Two "descendant cells" observed at the same design points; the
+	// aggregated cell's response is their pointwise sum.
+	r := rand.New(rand.NewSource(13))
+	a, b, sum := New(TimeBasis()), New(TimeBasis()), New(TimeBasis())
+	for i := 0; i < 30; i++ {
+		tk := float64(i)
+		ya := 2 + 0.1*tk + r.NormFloat64()*0.05
+		yb := 1 - 0.2*tk + r.NormFloat64()*0.05
+		_ = a.Observe([]float64{tk}, ya)
+		_ = b.Observe([]float64{tk}, yb)
+		_ = sum.Observe([]float64{tk}, ya+yb)
+	}
+	merged, err := MergeStandard(1e-9, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sum.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := merged.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Coef {
+		if !almostEq(want.Coef[i], got.Coef[i], 1e-8) {
+			t.Fatalf("coef[%d]: %g vs %g", i, want.Coef[i], got.Coef[i])
+		}
+	}
+	// Goodness-of-fit is intentionally not derivable for standard merges.
+	if !math.IsNaN(got.RSS) || !math.IsNaN(got.R2) {
+		t.Fatalf("RSS/R2 should be NaN after standard merge, got %g/%g", got.RSS, got.R2)
+	}
+}
+
+func TestMergeStandardErrors(t *testing.T) {
+	if _, err := MergeStandard(1e-9); err == nil {
+		t.Fatal("expected ErrEmpty")
+	}
+	a, b := New(TimeBasis()), New(TimeBasis())
+	_ = a.Observe([]float64{0}, 1)
+	_ = a.Observe([]float64{1}, 2)
+	_ = b.Observe([]float64{0}, 1)
+	if _, err := MergeStandard(1e-9, a, b); err == nil {
+		t.Fatal("expected count mismatch")
+	}
+	c := New(TimeBasis())
+	_ = c.Observe([]float64{5}, 1) // different design point
+	_ = c.Observe([]float64{9}, 2)
+	if _, err := MergeStandard(1e-9, a, c); err == nil {
+		t.Fatal("expected XᵀX mismatch")
+	}
+	d := New(LinearBasis(2))
+	if _, err := MergeStandard(1e-9, a, d); err == nil {
+		t.Fatal("expected basis mismatch")
+	}
+}
+
+func TestMergeStandardSinglePartKeepsStats(t *testing.T) {
+	a := New(TimeBasis())
+	for i := 0; i < 5; i++ {
+		_ = a.Observe([]float64{float64(i)}, float64(i))
+	}
+	merged, err := MergeStandard(1e-9, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := merged.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(md.RSS) {
+		t.Fatal("single-part standard merge must keep goodness-of-fit stats")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(TimeBasis())
+	_ = a.Observe([]float64{0}, 1)
+	c := a.Clone()
+	_ = c.Observe([]float64{1}, 2)
+	if a.N() != 1 || c.N() != 2 {
+		t.Fatalf("clone shares state: a.N=%d c.N=%d", a.N(), c.N())
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := New(TimeBasis())
+	_ = m.Observe([]float64{0}, 0)
+	_ = m.Observe([]float64{1}, 1)
+	md, err := m.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if m.Basis().Name != "time" {
+		t.Fatalf("basis name = %q", m.Basis().Name)
+	}
+}
+
+// Property: MergeTime over a random partition of observations equals the
+// pooled fit, for random spatio-temporal data (the §6.2 sensor-network
+// scenario: regressors t, x, y, z).
+func TestMergeTimePartitionProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(81))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nObs := 20 + r.Intn(80)
+		parts := 1 + r.Intn(5)
+		pooled := New(LinearBasis(4))
+		shards := make([]*NCR, parts)
+		for i := range shards {
+			shards[i] = New(LinearBasis(4))
+		}
+		for i := 0; i < nObs; i++ {
+			vars := []float64{float64(i), r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+			y := 2 + 0.1*vars[0] - vars[1] + 0.5*vars[2] + 3*vars[3] + r.NormFloat64()*0.2
+			if pooled.Observe(vars, y) != nil {
+				return false
+			}
+			if shards[r.Intn(parts)].Observe(vars, y) != nil {
+				return false
+			}
+		}
+		merged, err := MergeTime(shards...)
+		if err != nil {
+			return false
+		}
+		mp, err1 := pooled.Fit()
+		mm, err2 := merged.Fit()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range mp.Coef {
+			if !almostEq(mp.Coef[i], mm.Coef[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with the (1,t) basis, NCR fitting agrees with the ISB algebra on
+// random consecutive-tick series.
+func TestNCRAgreesWithISBProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(82))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		tb := int64(r.Intn(100) - 50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 3
+		}
+		s := timeseries.MustNew(tb, vals)
+		isb := regression.MustFit(s)
+		m := New(TimeBasis())
+		for i, z := range vals {
+			if m.Observe([]float64{float64(tb + int64(i))}, z) != nil {
+				return false
+			}
+		}
+		md, err := m.Fit()
+		if err != nil {
+			return false
+		}
+		return almostEq(md.Coef[0], isb.Base, 1e-6) && almostEq(md.Coef[1], isb.Slope, 1e-6)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

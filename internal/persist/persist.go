@@ -1,0 +1,147 @@
+// Package persist serializes regression-cube artifacts: cubing results
+// (the two critical layers plus exception cells) and online-engine
+// checkpoints, both as JSON. The paper's design keeps only the critical
+// layers "in memory or stored on disks" — this package is the disk half.
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/regression"
+	"repro/internal/stream"
+)
+
+// ErrFormat is returned for malformed or incompatible serialized data.
+var ErrFormat = errors.New("persist: invalid format")
+
+// formatVersion guards against silent cross-version decoding.
+const formatVersion = 1
+
+// cellRec flattens one (cell, measure) pair.
+type cellRec struct {
+	Levels  []int          `json:"levels"`
+	Members []int32        `json:"members"`
+	ISB     regression.ISB `json:"isb"`
+}
+
+// resultDoc is the on-disk form of a core.Result.
+type resultDoc struct {
+	Version    int       `json:"version"`
+	Algorithm  string    `json:"algorithm"`
+	Dims       int       `json:"dims"`
+	OLayer     []cellRec `json:"oLayer"`
+	Exceptions []cellRec `json:"exceptions"`
+}
+
+func toRec(key cube.CellKey, isb regression.ISB) cellRec {
+	rec := cellRec{ISB: isb}
+	for d := 0; d < key.Cuboid.NumDims(); d++ {
+		rec.Levels = append(rec.Levels, key.Cuboid.Level(d))
+		rec.Members = append(rec.Members, key.Member(d))
+	}
+	return rec
+}
+
+func fromRec(rec cellRec) (cube.CellKey, regression.ISB, error) {
+	if len(rec.Levels) == 0 || len(rec.Levels) != len(rec.Members) {
+		return cube.CellKey{}, regression.ISB{}, fmt.Errorf("%w: cell with %d levels, %d members",
+			ErrFormat, len(rec.Levels), len(rec.Members))
+	}
+	c, err := cube.NewCuboid(rec.Levels...)
+	if err != nil {
+		return cube.CellKey{}, regression.ISB{}, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return cube.NewCellKey(c, rec.Members...), rec.ISB, nil
+}
+
+// WriteResult serializes the retained layers of a cubing result.
+func WriteResult(w io.Writer, res *core.Result) error {
+	if res == nil {
+		return fmt.Errorf("%w: nil result", ErrFormat)
+	}
+	doc := resultDoc{
+		Version:   formatVersion,
+		Algorithm: res.Stats.Algorithm,
+		Dims:      res.Schema.NumDims(),
+	}
+	for key, isb := range res.OLayer {
+		doc.OLayer = append(doc.OLayer, toRec(key, isb))
+	}
+	for key, isb := range res.Exceptions {
+		doc.Exceptions = append(doc.Exceptions, toRec(key, isb))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadResult deserializes a result written by WriteResult against the
+// schema it was computed from. Stats and path cells are not round-tripped
+// (they describe the computation, not the retained cube).
+func ReadResult(r io.Reader, schema *cube.Schema) (*core.Result, error) {
+	var doc resultDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if doc.Version != formatVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrFormat, doc.Version, formatVersion)
+	}
+	if doc.Dims != schema.NumDims() {
+		return nil, fmt.Errorf("%w: result has %d dimensions, schema %d", ErrFormat, doc.Dims, schema.NumDims())
+	}
+	res := &core.Result{
+		Schema:     schema,
+		OLayer:     make(map[cube.CellKey]regression.ISB, len(doc.OLayer)),
+		Exceptions: make(map[cube.CellKey]regression.ISB, len(doc.Exceptions)),
+	}
+	res.Stats.Algorithm = doc.Algorithm
+	for _, rec := range doc.OLayer {
+		key, isb, err := fromRec(rec)
+		if err != nil {
+			return nil, err
+		}
+		res.OLayer[key] = isb
+	}
+	for _, rec := range doc.Exceptions {
+		key, isb, err := fromRec(rec)
+		if err != nil {
+			return nil, err
+		}
+		res.Exceptions[key] = isb
+	}
+	return res, nil
+}
+
+// checkpointDoc wraps a stream checkpoint with versioning.
+type checkpointDoc struct {
+	Version    int                `json:"version"`
+	Checkpoint *stream.Checkpoint `json:"checkpoint"`
+}
+
+// WriteCheckpoint serializes a stream-engine checkpoint.
+func WriteCheckpoint(w io.Writer, cp *stream.Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("%w: nil checkpoint", ErrFormat)
+	}
+	return json.NewEncoder(w).Encode(checkpointDoc{Version: formatVersion, Checkpoint: cp})
+}
+
+// ReadCheckpoint deserializes a stream-engine checkpoint.
+func ReadCheckpoint(r io.Reader) (*stream.Checkpoint, error) {
+	var doc checkpointDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if doc.Version != formatVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrFormat, doc.Version, formatVersion)
+	}
+	if doc.Checkpoint == nil {
+		return nil, fmt.Errorf("%w: empty checkpoint", ErrFormat)
+	}
+	return doc.Checkpoint, nil
+}

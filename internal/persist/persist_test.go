@@ -1,0 +1,263 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func dataset(t *testing.T) *gen.Dataset {
+	t.Helper()
+	ds, err := gen.Generate(gen.Config{Spec: gen.Spec{Dims: 2, Levels: 2, Fanout: 3, Tuples: 200}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	ds := dataset(t)
+	res, err := core.MOCubing(ds.Schema, ds.Inputs, exception.Global(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(&buf, ds.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats.Algorithm != "m/o-cubing" {
+		t.Fatalf("algorithm = %q", back.Stats.Algorithm)
+	}
+	if len(back.OLayer) != len(res.OLayer) || len(back.Exceptions) != len(res.Exceptions) {
+		t.Fatalf("sizes: o %d/%d exc %d/%d",
+			len(back.OLayer), len(res.OLayer), len(back.Exceptions), len(res.Exceptions))
+	}
+	for key, want := range res.OLayer {
+		got, ok := back.OLayer[key]
+		if !ok || got != want {
+			t.Fatalf("o-cell %v: %v vs %v", key, got, want)
+		}
+	}
+	for key, want := range res.Exceptions {
+		got, ok := back.Exceptions[key]
+		if !ok || got != want {
+			t.Fatalf("exception %v: %v vs %v", key, got, want)
+		}
+	}
+}
+
+func TestWriteResultNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, nil); err == nil {
+		t.Fatal("expected nil-result error")
+	}
+}
+
+func TestReadResultErrors(t *testing.T) {
+	ds := dataset(t)
+	if _, err := ReadResult(strings.NewReader("not json"), ds.Schema); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadResult(strings.NewReader(`{"version":99,"dims":2}`), ds.Schema); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := ReadResult(strings.NewReader(`{"version":1,"dims":5}`), ds.Schema); err == nil {
+		t.Fatal("expected dims mismatch error")
+	}
+	bad := `{"version":1,"dims":2,"oLayer":[{"levels":[1],"members":[0,0],"isb":{}}]}`
+	if _, err := ReadResult(strings.NewReader(bad), ds.Schema); err == nil {
+		t.Fatal("expected malformed cell error")
+	}
+}
+
+func streamEngine(t *testing.T) (*stream.Engine, *cube.Schema) {
+	t.Helper()
+	h, _ := cube.NewFanoutHierarchy("A", 2, 2)
+	schema, err := cube.NewSchema(cube.Dimension{Name: "A", Hierarchy: h, MLevel: 2, OLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := stream.NewEngine(stream.Config{
+		Schema: schema, TicksPerUnit: 4, Threshold: exception.Global(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, schema
+}
+
+func TestCheckpointRoundTripResumesExactly(t *testing.T) {
+	// Engine A: ingest 1.5 units, checkpoint mid-unit, keep going.
+	a, schema := streamEngine(t)
+	feed := func(e *stream.Engine, from, to int64) []*stream.UnitResult {
+		t.Helper()
+		var out []*stream.UnitResult
+		for tk := from; tk < to; tk++ {
+			for m := int32(0); m < 4; m++ {
+				closed, err := e.Ingest([]int32{m}, tk, float64(tk)*float64(m+1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, closed...)
+			}
+		}
+		return out
+	}
+	feed(a, 0, 6) // unit 0 closed, unit 1 half full
+
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, a.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Engine B restores and both continue with identical input.
+	b, _ := stream.NewEngine(stream.Config{
+		Schema: schema, TicksPerUnit: 4, Threshold: exception.Global(0.5),
+	})
+	cp, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if b.Unit() != a.Unit() || b.UnitsDone() != a.UnitsDone() || b.ActiveCells() != a.ActiveCells() {
+		t.Fatalf("restored state differs: unit %d/%d done %d/%d cells %d/%d",
+			b.Unit(), a.Unit(), b.UnitsDone(), a.UnitsDone(), b.ActiveCells(), a.ActiveCells())
+	}
+
+	ra := feed(a, 6, 12)
+	rb := feed(b, 6, 12)
+	if len(ra) != len(rb) {
+		t.Fatalf("unit results: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Result == nil || rb[i].Result == nil {
+			t.Fatal("missing results")
+		}
+		if len(ra[i].Result.OLayer) != len(rb[i].Result.OLayer) {
+			t.Fatal("o-layer sizes differ after restore")
+		}
+		for key, want := range ra[i].Result.OLayer {
+			got, ok := rb[i].Result.OLayer[key]
+			if !ok || got != want {
+				t.Fatalf("unit %d o-cell %v: %v vs %v", ra[i].Unit, key, got, want)
+			}
+		}
+	}
+	// Trend queries agree too (history restored).
+	oCell := cube.NewCellKey(schema.OLayer(), 0)
+	ta, err1 := a.TrendQuery(oCell, 2)
+	tb2, err2 := b.TrendQuery(oCell, 2)
+	if err1 != nil || err2 != nil || ta != tb2 {
+		t.Fatalf("trend queries differ: %v/%v %v/%v", ta, err1, tb2, err2)
+	}
+}
+
+func TestRestoreValidatesSchema(t *testing.T) {
+	a, _ := streamEngine(t)
+	cp := a.Checkpoint()
+
+	// Different fanout → different m-level cardinality → reject.
+	h2, _ := cube.NewFanoutHierarchy("A", 3, 2)
+	schema2, err := cube.NewSchema(cube.Dimension{Name: "A", Hierarchy: h2, MLevel: 2, OLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stream.NewEngine(stream.Config{
+		Schema: schema2, TicksPerUnit: 4, Threshold: exception.Global(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(cp); err == nil {
+		t.Fatal("expected schema-shape rejection")
+	}
+	if err := b.Restore(nil); err == nil {
+		t.Fatal("expected nil-checkpoint rejection")
+	}
+}
+
+func TestReadCheckpointErrors(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("garbage")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Fatal("expected empty-checkpoint error")
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, nil); err == nil {
+		t.Fatal("expected nil-checkpoint write error")
+	}
+}
+
+func TestDatasetCSVRoundTrip(t *testing.T) {
+	ds := dataset(t)
+	var buf bytes.Buffer
+	if err := gen.WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	inputs, err := gen.ReadCSV(&buf, ds.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inputs) != len(ds.Inputs) {
+		t.Fatalf("tuples = %d, want %d", len(inputs), len(ds.Inputs))
+	}
+	for i := range inputs {
+		if inputs[i].Measure != ds.Inputs[i].Measure {
+			t.Fatalf("tuple %d measure %v vs %v", i, inputs[i].Measure, ds.Inputs[i].Measure)
+		}
+		for d := range inputs[i].Members {
+			if inputs[i].Members[d] != ds.Inputs[i].Members[d] {
+				t.Fatalf("tuple %d members differ", i)
+			}
+		}
+	}
+	// Loaded inputs must cube identically.
+	a, err := core.MOCubing(ds.Schema, ds.Inputs, exception.Global(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.MOCubing(ds.Schema, inputs, exception.Global(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Exceptions) != len(b.Exceptions) {
+		t.Fatal("round-tripped dataset cubes differently")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	ds := dataset(t)
+	cases := []string{
+		"",
+		"dim0,dim1,tb,te,base,slope\nx,0,0,9,1,1\n",
+		"dim0,dim1,tb,te,base,slope\n99,0,0,9,1,1\n",
+		"dim0,dim1,tb,te,base,slope\n0,0,x,9,1,1\n",
+		"dim0,dim1,tb,te,base,slope\n0,0,0,x,1,1\n",
+		"dim0,dim1,tb,te,base,slope\n0,0,9,0,1,1\n",
+		"dim0,dim1,tb,te,base,slope\n0,0,0,9,x,1\n",
+		"dim0,dim1,tb,te,base,slope\n0,0,0,9,1,x\n",
+		"dim0,dim1,tb,te,base,slope\n0,0,0,9,1,NaN\n",
+		"dim0,tb,te,base,slope\n0,0,9,1,1\n", // wrong column count
+	}
+	for i, c := range cases {
+		if _, err := gen.ReadCSV(strings.NewReader(c), ds.Schema); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package regression
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timeseries"
+)
+
+func TestFoldFuncString(t *testing.T) {
+	names := map[FoldFunc]string{
+		FoldSum: "sum", FoldAvg: "avg", FoldMin: "min", FoldMax: "max", FoldLast: "last",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+	if FoldFunc(99).String() != "FoldFunc(99)" {
+		t.Fatalf("unknown fold name = %q", FoldFunc(99).String())
+	}
+}
+
+func TestFoldSumAvg(t *testing.T) {
+	s := timeseries.MustNew(0, []float64{1, 2, 3, 4, 5, 6})
+	sum, err := Fold(s, 3, FoldSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Values[0] != 6 || sum.Values[1] != 15 {
+		t.Fatalf("sum fold = %v", sum.Values)
+	}
+	avg, _ := Fold(s, 3, FoldAvg)
+	if avg.Values[0] != 2 || avg.Values[1] != 5 {
+		t.Fatalf("avg fold = %v", avg.Values)
+	}
+}
+
+func TestFoldMinMaxLast(t *testing.T) {
+	s := timeseries.MustNew(0, []float64{5, 1, 3, 2, 8, 4})
+	mn, _ := Fold(s, 3, FoldMin)
+	if mn.Values[0] != 1 || mn.Values[1] != 2 {
+		t.Fatalf("min fold = %v", mn.Values)
+	}
+	mx, _ := Fold(s, 3, FoldMax)
+	if mx.Values[0] != 5 || mx.Values[1] != 8 {
+		t.Fatalf("max fold = %v", mx.Values)
+	}
+	last, _ := Fold(s, 3, FoldLast)
+	if last.Values[0] != 3 || last.Values[1] != 4 {
+		t.Fatalf("last fold = %v", last.Values)
+	}
+}
+
+func TestFoldErrors(t *testing.T) {
+	s := timeseries.MustNew(0, []float64{1, 2, 3})
+	if _, err := Fold(s, 2, FoldSum); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := Fold(s, 0, FoldSum); err == nil {
+		t.Fatal("expected factor error")
+	}
+	if _, err := Fold(nil, 1, FoldSum); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := Fold(s, 3, FoldFunc(42)); err == nil {
+		t.Fatal("expected unknown func error")
+	}
+}
+
+func TestFoldISBErrors(t *testing.T) {
+	r := ISB{Tb: 0, Te: 9, Base: 1, Slope: 1}
+	if _, err := FoldISB(r, 3, FoldSum); err == nil {
+		t.Fatal("expected length error (10 % 3 != 0)")
+	}
+	if _, err := FoldISB(r, 0, FoldSum); err == nil {
+		t.Fatal("expected factor error")
+	}
+	if _, err := FoldISB(r, 5, FoldFunc(42)); err == nil {
+		t.Fatal("expected unknown func error")
+	}
+}
+
+// The §6.2 example: "folds the 365 daily values into 12 monthly values" —
+// here 360 days into 12 months of 30 days, checking exactness on a line.
+func TestFoldISBExactOnLine(t *testing.T) {
+	const days, perMonth = 360, 30
+	line := timeseries.Ramp(0, days, 100, 0.5)
+	isb := MustFit(line)
+
+	for _, f := range []FoldFunc{FoldSum, FoldAvg, FoldMin, FoldMax, FoldLast} {
+		folded, err := Fold(line, perMonth, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		directISB := MustFit(folded)
+		closed, err := FoldISB(isb, perMonth, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(closed.Base, directISB.Base, 1e-8) || !almostEq(closed.Slope, directISB.Slope, 1e-8) {
+			t.Fatalf("%v: closed form %v vs direct %v", f, closed, directISB)
+		}
+		if closed.Tb != 0 || closed.Te != 11 {
+			t.Fatalf("%v: folded interval [%d,%d], want [0,11]", f, closed.Tb, closed.Te)
+		}
+	}
+}
+
+func TestFoldISBNegativeSlopeMinMax(t *testing.T) {
+	// With negative slope the min of a block is at its end, the max at its start.
+	line := timeseries.Ramp(0, 12, 10, -1)
+	isb := MustFit(line)
+	for _, f := range []FoldFunc{FoldMin, FoldMax} {
+		folded, _ := Fold(line, 4, f)
+		direct := MustFit(folded)
+		closed, err := FoldISB(isb, 4, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(closed.Base, direct.Base, 1e-9) || !almostEq(closed.Slope, direct.Slope, 1e-9) {
+			t.Fatalf("%v: closed %v vs direct %v", f, closed, direct)
+		}
+	}
+}
+
+func TestFoldISBNonZeroStart(t *testing.T) {
+	// Interval starting away from 0 exercises the tb term in the closed form.
+	line := timeseries.Ramp(100, 20, -3, 0.25)
+	isb := MustFit(line)
+	folded, _ := Fold(line, 5, FoldSum)
+	direct := MustFit(folded)
+	closed, err := FoldISB(isb, 5, FoldSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(closed.Base, direct.Base, 1e-8) || !almostEq(closed.Slope, direct.Slope, 1e-8) {
+		t.Fatalf("closed %v vs direct %v", closed, direct)
+	}
+}
+
+// Property: for exact lines, fold-then-fit equals FoldISB for every
+// aggregate and random parameters.
+func TestFoldISBProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(61))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(8)
+		blocks := 1 + r.Intn(12)
+		tb := int64(r.Intn(100) - 50)
+		base := r.NormFloat64() * 20
+		slope := r.NormFloat64()
+		line := timeseries.Ramp(tb, k*blocks, base, slope)
+		isb := MustFit(line)
+		for _, fn := range []FoldFunc{FoldSum, FoldAvg, FoldMin, FoldMax, FoldLast} {
+			folded, err := Fold(line, k, fn)
+			if err != nil {
+				return false
+			}
+			direct := MustFit(folded)
+			closed, err := FoldISB(isb, k, fn)
+			if err != nil {
+				return false
+			}
+			if !almostEq(closed.Base, direct.Base, 1e-6) || !almostEq(closed.Slope, direct.Slope, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: avg-folding commutes with standard-dimension aggregation.
+func TestFoldCommutesWithStandardAgg(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(62))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(4)
+		blocks := 2 + r.Intn(6)
+		n := k * blocks
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		sa, sb := timeseries.MustNew(0, a), timeseries.MustNew(0, b)
+		// Path 1: sum series, fold, fit.
+		sum, _ := timeseries.Add(sa, sb)
+		f1, err := Fold(sum, k, FoldSum)
+		if err != nil {
+			return false
+		}
+		p1 := MustFit(f1)
+		// Path 2: fold each, fit each, standard-aggregate.
+		fa, _ := Fold(sa, k, FoldSum)
+		fb, _ := Fold(sb, k, FoldSum)
+		p2, err := AggregateStandard(MustFit(fa), MustFit(fb))
+		if err != nil {
+			return false
+		}
+		return almostEq(p1.Base, p2.Base, 1e-7) && almostEq(p1.Slope, p2.Slope, 1e-7)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

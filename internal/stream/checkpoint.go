@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/regression"
+)
+
+// Checkpoint is the serializable state of an Engine: the open unit, every
+// active cell's accumulator statistics, and the per-o-cell regression
+// history. Together with the (static) Config it fully restores an engine
+// after a crash or restart — the paper's "stored on disks" half of the
+// critical-layer design.
+type Checkpoint struct {
+	Unit      int64            `json:"unit"`
+	UnitsDone int64            `json:"unitsDone"`
+	Cells     []CellState      `json:"cells"`
+	History   []CellHistory    `json:"history"`
+	Schema    []DimensionShape `json:"schema"` // shape fingerprint for validation
+}
+
+// CellState checkpoints one active m-layer cell.
+type CellState struct {
+	Members []int32                     `json:"members"`
+	Acc     regression.AccumulatorState `json:"acc"`
+}
+
+// CellHistory checkpoints one o-cell's unit history.
+type CellHistory struct {
+	Levels  []int             `json:"levels"`
+	Members []int32           `json:"members"`
+	Entries []HistoryEntryRec `json:"entries"`
+}
+
+// HistoryEntryRec is one unit of o-cell history.
+type HistoryEntryRec struct {
+	Unit int64          `json:"unit"`
+	ISB  regression.ISB `json:"isb"`
+}
+
+// DimensionShape fingerprints one schema dimension so a checkpoint cannot
+// be restored against an incompatible schema.
+type DimensionShape struct {
+	Name   string `json:"name"`
+	MLevel int    `json:"mLevel"`
+	OLevel int    `json:"oLevel"`
+	Card   int    `json:"card"` // cardinality at the m-level
+}
+
+func shapeOf(s *cube.Schema) []DimensionShape {
+	out := make([]DimensionShape, len(s.Dims))
+	for i, d := range s.Dims {
+		out[i] = DimensionShape{
+			Name:   d.Name,
+			MLevel: d.MLevel,
+			OLevel: d.OLevel,
+			Card:   d.Hierarchy.Cardinality(d.MLevel),
+		}
+	}
+	return out
+}
+
+// Checkpoint exports the engine's full dynamic state.
+func (e *Engine) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Unit:      e.unit,
+		UnitsDone: e.unitsDone,
+		Schema:    shapeOf(e.cfg.Schema),
+	}
+	for _, cs := range e.cells {
+		cp.Cells = append(cp.Cells, CellState{
+			Members: append([]int32(nil), cs.members...),
+			Acc:     cs.acc.State(),
+		})
+	}
+	for key, entries := range e.history {
+		ch := CellHistory{}
+		for d := 0; d < key.Cuboid.NumDims(); d++ {
+			ch.Levels = append(ch.Levels, key.Cuboid.Level(d))
+			ch.Members = append(ch.Members, key.Member(d))
+		}
+		for _, h := range entries {
+			ch.Entries = append(ch.Entries, HistoryEntryRec{Unit: h.unit, ISB: h.isb})
+		}
+		cp.History = append(cp.History, ch)
+	}
+	return cp
+}
+
+// Restore loads a checkpoint into a freshly configured engine. The
+// engine's schema shape must match the checkpoint's.
+func (e *Engine) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("%w: nil checkpoint", ErrConfig)
+	}
+	shape := shapeOf(e.cfg.Schema)
+	if len(shape) != len(cp.Schema) {
+		return fmt.Errorf("%w: checkpoint has %d dimensions, schema %d", ErrConfig, len(cp.Schema), len(shape))
+	}
+	for i := range shape {
+		if shape[i] != cp.Schema[i] {
+			return fmt.Errorf("%w: dimension %d shape %+v differs from checkpoint %+v",
+				ErrConfig, i, shape[i], cp.Schema[i])
+		}
+	}
+	e.unit = cp.Unit
+	e.unitsDone = cp.UnitsDone
+	e.cells = make(map[[cube.MaxDims]int32]*cellState, len(cp.Cells))
+	for _, cs := range cp.Cells {
+		if len(cs.Members) != len(e.cfg.Schema.Dims) {
+			return fmt.Errorf("%w: checkpoint cell has %d members", ErrConfig, len(cs.Members))
+		}
+		acc, err := regression.RestoreAccumulator(cs.Acc)
+		if err != nil {
+			return fmt.Errorf("stream: restoring accumulator: %w", err)
+		}
+		var key [cube.MaxDims]int32
+		copy(key[:], cs.Members)
+		e.cells[key] = &cellState{
+			members: append([]int32(nil), cs.Members...),
+			acc:     acc,
+		}
+	}
+	e.history = make(map[cube.CellKey][]historyEntry, len(cp.History))
+	for _, ch := range cp.History {
+		if len(ch.Levels) != len(e.cfg.Schema.Dims) || len(ch.Members) != len(ch.Levels) {
+			return fmt.Errorf("%w: malformed history key", ErrConfig)
+		}
+		cb, err := cube.NewCuboid(ch.Levels...)
+		if err != nil {
+			return fmt.Errorf("stream: restoring history: %w", err)
+		}
+		key := cube.NewCellKey(cb, ch.Members...)
+		entries := make([]historyEntry, len(ch.Entries))
+		for i, rec := range ch.Entries {
+			entries[i] = historyEntry{unit: rec.Unit, isb: rec.ISB}
+		}
+		e.history[key] = entries
+	}
+	return nil
+}

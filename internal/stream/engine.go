@@ -1,0 +1,379 @@
+// Package stream implements the paper's on-line operation (§4.5): raw
+// stream records accumulate per m-layer cell in O(1) regression
+// accumulators; each completed tilt-frame unit (e.g. a quarter of an hour)
+// triggers a cube computation over the unit's m-layer ISBs with one of the
+// two exception-based algorithms, produces o-layer observation alerts, and
+// promotes per-o-cell regression history for multi-granularity trend
+// queries. "Although the stream data flows in-and-out, regression always
+// keeps up to the most recent granularity time unit at each layer."
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/regression"
+	"repro/internal/timeseries"
+)
+
+// ErrConfig is returned for invalid engine configurations.
+var ErrConfig = errors.New("stream: invalid configuration")
+
+// ErrRecord is returned for unusable records.
+var ErrRecord = errors.New("stream: invalid record")
+
+// Algorithm selects the cubing algorithm run at each unit boundary.
+type Algorithm int
+
+// The paper's two algorithms.
+const (
+	MOCubing Algorithm = iota
+	PopularPath
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case MOCubing:
+		return "m/o-cubing"
+	case PopularPath:
+		return "popular-path"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config configures the online engine.
+type Config struct {
+	Schema *cube.Schema
+	// TicksPerUnit is the number of raw stream ticks per finest tilt-frame
+	// unit (15 for minute data with quarter units).
+	TicksPerUnit int
+	// StartTick is the tick of the first expected record (default 0).
+	StartTick int64
+	// Threshold drives exception detection at every layer.
+	Threshold exception.Thresholder
+	// Algorithm selects m/o-cubing (default) or popular-path.
+	Algorithm Algorithm
+	// Path is the popular drilling path; defaults to the lattice's
+	// DefaultPath when the popular-path algorithm is selected.
+	Path cube.Path
+	// HistoryUnits bounds per-o-cell regression history (default 64).
+	HistoryUnits int
+	// Delta, when set, also raises change alerts comparing each o-cell's
+	// slope against its previous unit ("current quarter vs. the last").
+	Delta *exception.Delta
+	// DeltaDrill, together with Delta, computes the full change-based
+	// exception cube between consecutive units (core.DeltaCubing) and
+	// attaches it to each UnitResult. Costs one extra cube pass plus
+	// retention of the previous unit's m-layer.
+	DeltaDrill bool
+}
+
+// AlertKind distinguishes alert causes.
+type AlertKind int
+
+// Alert causes.
+const (
+	// SlopeException fires when an o-cell's slope magnitude passes the
+	// threshold.
+	SlopeException AlertKind = iota
+	// SlopeChange fires when an o-cell's slope moved more than the Delta
+	// detector allows between consecutive units.
+	SlopeChange
+)
+
+// String names the alert kind.
+func (k AlertKind) String() string {
+	switch k {
+	case SlopeException:
+		return "slope-exception"
+	case SlopeChange:
+		return "slope-change"
+	default:
+		return fmt.Sprintf("AlertKind(%d)", int(k))
+	}
+}
+
+// Alert is one o-layer observation the analyst would act on, with the
+// exception descendants ("supporters") found below the cell by the
+// exception-guided drill.
+type Alert struct {
+	Unit int64
+	Kind AlertKind
+	Cell cube.CellKey
+	ISB  regression.ISB
+	// Drill lists retained exception cells that roll up to this o-cell,
+	// coarsest cuboids first.
+	Drill []core.Cell
+}
+
+// UnitResult is the outcome of one completed unit.
+type UnitResult struct {
+	Unit     int64
+	Interval timeseries.Interval
+	// Result is the cube computation outcome; nil for units that closed
+	// with no data at all.
+	Result *core.Result
+	Alerts []Alert
+	// Delta is the change-based exception cube against the previous unit
+	// (only with Config.DeltaDrill; nil for the first unit, empty units,
+	// or after a unit gap).
+	Delta *core.DeltaResult
+}
+
+type cellState struct {
+	members []int32
+	acc     *regression.Accumulator
+}
+
+type historyEntry struct {
+	unit int64
+	isb  regression.ISB
+}
+
+// Engine is the online analyzer. Not safe for concurrent use; wrap it in
+// SafeEngine or confine it to one goroutine (share memory by
+// communicating).
+type Engine struct {
+	cfg       Config
+	unit      int64 // index of the current (open) unit
+	cells     map[[cube.MaxDims]int32]*cellState
+	history   map[cube.CellKey][]historyEntry
+	unitsDone int64
+	// prevInputs is the previous unit's m-layer (DeltaDrill only).
+	prevInputs []core.Input
+	prevUnit   int64
+}
+
+// NewEngine validates the config and returns an engine expecting its first
+// record at StartTick.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("%w: nil schema", ErrConfig)
+	}
+	if cfg.TicksPerUnit < 1 {
+		return nil, fmt.Errorf("%w: ticks per unit %d", ErrConfig, cfg.TicksPerUnit)
+	}
+	if cfg.Threshold == nil {
+		return nil, fmt.Errorf("%w: nil thresholder", ErrConfig)
+	}
+	if cfg.HistoryUnits == 0 {
+		cfg.HistoryUnits = 64
+	}
+	if cfg.HistoryUnits < 1 {
+		return nil, fmt.Errorf("%w: history units %d", ErrConfig, cfg.HistoryUnits)
+	}
+	if cfg.Algorithm == PopularPath && len(cfg.Path.Cuboids) == 0 {
+		cfg.Path = cube.NewLattice(cfg.Schema).DefaultPath()
+	}
+	return &Engine{
+		cfg:     cfg,
+		cells:   make(map[[cube.MaxDims]int32]*cellState),
+		history: make(map[cube.CellKey][]historyEntry),
+	}, nil
+}
+
+// Unit returns the index of the currently open unit.
+func (e *Engine) Unit() int64 { return e.unit }
+
+// UnitsDone returns how many units have been closed.
+func (e *Engine) UnitsDone() int64 { return e.unitsDone }
+
+// ActiveCells returns the number of m-layer cells with data in the open
+// unit.
+func (e *Engine) ActiveCells() int { return len(e.cells) }
+
+func (e *Engine) unitStart(u int64) int64 {
+	return e.cfg.StartTick + u*int64(e.cfg.TicksPerUnit)
+}
+
+// Ingest consumes one record. Records may skip ticks (absent readings
+// count as zero usage) and may open new cells mid-unit, but each cell's
+// ticks must be non-decreasing and at most one reading per tick. Crossing
+// a unit boundary closes earlier units; their results are returned in
+// order (units that received no data yield a UnitResult with a nil
+// Result).
+func (e *Engine) Ingest(members []int32, tick int64, value float64) ([]*UnitResult, error) {
+	if len(members) != len(e.cfg.Schema.Dims) {
+		return nil, fmt.Errorf("%w: %d members for %d dimensions", ErrRecord, len(members), len(e.cfg.Schema.Dims))
+	}
+	if tick < e.unitStart(e.unit) {
+		return nil, fmt.Errorf("%w: tick %d before open unit start %d", ErrRecord, tick, e.unitStart(e.unit))
+	}
+	var closed []*UnitResult
+	for tick >= e.unitStart(e.unit+1) {
+		ur, err := e.closeUnit()
+		if err != nil {
+			return closed, err
+		}
+		closed = append(closed, ur)
+	}
+
+	var key [cube.MaxDims]int32
+	copy(key[:], members)
+	cs, ok := e.cells[key]
+	if !ok {
+		cs = &cellState{
+			members: append([]int32(nil), members...),
+			acc:     regression.NewAccumulator(e.unitStart(e.unit)),
+		}
+		e.cells[key] = cs
+	}
+	if tick < cs.acc.NextTick() {
+		return closed, fmt.Errorf("%w: tick %d already consumed for cell (next %d)", ErrRecord, tick, cs.acc.NextTick())
+	}
+	for cs.acc.NextTick() < tick {
+		if err := cs.acc.Add(cs.acc.NextTick(), 0); err != nil {
+			return closed, err
+		}
+	}
+	if err := cs.acc.Add(tick, value); err != nil {
+		return closed, err
+	}
+	return closed, nil
+}
+
+// Flush closes the currently open unit even if it is mid-way: every active
+// cell is zero-padded to the unit boundary first. Returns the unit's
+// result (nil Result when no cell had data).
+func (e *Engine) Flush() (*UnitResult, error) {
+	return e.closeUnit()
+}
+
+func (e *Engine) closeUnit() (*UnitResult, error) {
+	lo := e.unitStart(e.unit)
+	hi := e.unitStart(e.unit+1) - 1
+	ur := &UnitResult{Unit: e.unit, Interval: timeseries.Interval{Tb: lo, Te: hi}}
+
+	inputs := make([]core.Input, 0, len(e.cells))
+	for _, cs := range e.cells {
+		for cs.acc.NextTick() <= hi {
+			if err := cs.acc.Add(cs.acc.NextTick(), 0); err != nil {
+				return nil, err
+			}
+		}
+		isb, err := cs.acc.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, core.Input{Members: cs.members, Measure: isb})
+	}
+	// Stream data flows in-and-out: per-unit accumulators are dropped.
+	e.cells = make(map[[cube.MaxDims]int32]*cellState)
+	e.unit++
+
+	if len(inputs) == 0 {
+		e.unitsDone++
+		return ur, nil
+	}
+
+	var res *core.Result
+	var err error
+	switch e.cfg.Algorithm {
+	case PopularPath:
+		res, err = core.PopularPath(e.cfg.Schema, inputs, e.cfg.Threshold, e.cfg.Path)
+	default:
+		res, err = core.MOCubing(e.cfg.Schema, inputs, e.cfg.Threshold)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ur.Result = res
+	ur.Alerts = e.raiseAlerts(ur, res)
+	if e.cfg.DeltaDrill && e.cfg.Delta != nil {
+		// Only adjacent units can be compared; a gap resets the base.
+		if e.prevInputs != nil && e.prevUnit == ur.Unit-1 {
+			delta, err := core.DeltaCubing(e.cfg.Schema, inputs, e.prevInputs, *e.cfg.Delta)
+			if err != nil {
+				return nil, err
+			}
+			ur.Delta = delta
+		}
+		e.prevInputs = inputs
+		e.prevUnit = ur.Unit
+	}
+	e.recordHistory(ur, res)
+	e.unitsDone++
+	return ur, nil
+}
+
+func (e *Engine) raiseAlerts(ur *UnitResult, res *core.Result) []Alert {
+	var alerts []Alert
+	oThr := e.cfg.Threshold.Threshold(e.cfg.Schema.OLayer())
+	for key, isb := range res.OLayer {
+		if exception.IsException(isb, oThr) {
+			alerts = append(alerts, Alert{
+				Unit:  ur.Unit,
+				Kind:  SlopeException,
+				Cell:  key,
+				ISB:   isb,
+				Drill: e.drill(res, key),
+			})
+		}
+		if e.cfg.Delta != nil {
+			if hist := e.history[key]; len(hist) > 0 {
+				last := hist[len(hist)-1]
+				if last.unit == ur.Unit-1 && e.cfg.Delta.Exceptional(isb, last.isb, true) {
+					alerts = append(alerts, Alert{Unit: ur.Unit, Kind: SlopeChange, Cell: key, ISB: isb})
+				}
+			}
+		}
+	}
+	return alerts
+}
+
+// drill collects retained exception cells that roll up to the o-cell — the
+// "exception supporters" an analyst drills into (§4.3).
+func (e *Engine) drill(res *core.Result, oCell cube.CellKey) []core.Cell {
+	var out []core.Cell
+	for key, isb := range res.Exceptions {
+		if key == oCell {
+			continue
+		}
+		up, err := cube.RollUpKey(e.cfg.Schema, key, oCell.Cuboid)
+		if err != nil {
+			continue // cuboid not dominating the o-layer cannot support it
+		}
+		if up == oCell {
+			out = append(out, core.Cell{Key: key, ISB: isb})
+		}
+	}
+	return out
+}
+
+func (e *Engine) recordHistory(ur *UnitResult, res *core.Result) {
+	for key, isb := range res.OLayer {
+		h := append(e.history[key], historyEntry{unit: ur.Unit, isb: isb})
+		if over := len(h) - e.cfg.HistoryUnits; over > 0 {
+			h = append(h[:0], h[over:]...)
+		}
+		e.history[key] = h
+	}
+}
+
+// TrendQuery aggregates the last k units of an o-cell's history into one
+// regression over the combined interval (Theorem 3.3). It fails when the
+// cell lacks k consecutive trailing units.
+func (e *Engine) TrendQuery(cell cube.CellKey, k int) (regression.ISB, error) {
+	h := e.history[cell]
+	if k < 1 || k > len(h) {
+		return regression.ISB{}, fmt.Errorf("%w: %d units requested, %d recorded", ErrRecord, k, len(h))
+	}
+	tail := h[len(h)-k:]
+	isbs := make([]regression.ISB, k)
+	for i, entry := range tail {
+		if i > 0 && entry.unit != tail[i-1].unit+1 {
+			return regression.ISB{}, fmt.Errorf("%w: history gap between units %d and %d",
+				ErrRecord, tail[i-1].unit, entry.unit)
+		}
+		isbs[i] = entry.isb
+	}
+	return regression.AggregateTime(isbs...)
+}
+
+// HistoryLen returns how many units of history an o-cell currently has.
+func (e *Engine) HistoryLen(cell cube.CellKey) int { return len(e.history[cell]) }

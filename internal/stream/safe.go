@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"sync"
+
+	"repro/internal/cube"
+	"repro/internal/regression"
+)
+
+// SafeEngine wraps Engine with a mutex so multiple collector goroutines
+// can feed one analyzer. All methods have the same semantics as Engine's.
+// For high-throughput pipelines prefer sharding records to per-goroutine
+// engines and merging o-layers with AggregateStandard, but a single locked
+// engine is the simple correct default.
+type SafeEngine struct {
+	mu  sync.Mutex
+	eng *Engine
+}
+
+// NewSafeEngine builds a mutex-guarded engine.
+func NewSafeEngine(cfg Config) (*SafeEngine, error) {
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SafeEngine{eng: eng}, nil
+}
+
+// Ingest is Engine.Ingest under the lock.
+func (s *SafeEngine) Ingest(members []int32, tick int64, value float64) ([]*UnitResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Ingest(members, tick, value)
+}
+
+// Flush is Engine.Flush under the lock.
+func (s *SafeEngine) Flush() (*UnitResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Flush()
+}
+
+// Unit is Engine.Unit under the lock.
+func (s *SafeEngine) Unit() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Unit()
+}
+
+// UnitsDone is Engine.UnitsDone under the lock.
+func (s *SafeEngine) UnitsDone() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.UnitsDone()
+}
+
+// ActiveCells is Engine.ActiveCells under the lock.
+func (s *SafeEngine) ActiveCells() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.ActiveCells()
+}
+
+// TrendQuery is Engine.TrendQuery under the lock.
+func (s *SafeEngine) TrendQuery(cell cube.CellKey, k int) (regression.ISB, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.TrendQuery(cell, k)
+}
+
+// HistoryLen is Engine.HistoryLen under the lock.
+func (s *SafeEngine) HistoryLen(cell cube.CellKey) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.HistoryLen(cell)
+}
+
+// Checkpoint is Engine.Checkpoint under the lock.
+func (s *SafeEngine) Checkpoint() *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Checkpoint()
+}
+
+// Restore is Engine.Restore under the lock.
+func (s *SafeEngine) Restore(cp *Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Restore(cp)
+}

@@ -1,0 +1,275 @@
+// Package tilt implements the paper's tilt time frame (§4.1): time is
+// registered at multiple granularities, with the most recent time at the
+// finest granularity and progressively older time at coarser granularity.
+//
+// A Frame is configured as a chain of levels (e.g. quarter → hour → day →
+// month). Raw stream ticks feed an O(1) regression accumulator; whenever a
+// unit at some level completes, its ISB occupies a slot at that level, and
+// whenever enough units complete to fill one unit of the next level they
+// are combined with the time-dimension aggregation theorem (Theorem 3.3)
+// and promoted (§4.5). Slots at each level are retained in a bounded ring,
+// so total state is the paper's "71 units instead of 35,136".
+package tilt
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/regression"
+)
+
+// ErrConfig is returned for invalid frame configurations.
+var ErrConfig = errors.New("tilt: invalid frame configuration")
+
+// ErrQuery is returned for unsatisfiable queries.
+var ErrQuery = errors.New("tilt: unsatisfiable query")
+
+// Level configures one granularity of a tilt frame.
+type Level struct {
+	// Name labels the granularity ("quarter", "hour", ...).
+	Name string
+	// Multiple is the number of next-finer units composing one unit of
+	// this level. For the finest level it is the number of raw stream
+	// ticks per unit (e.g. 15 minutes per quarter).
+	Multiple int
+	// Slots is how many completed units this level retains.
+	Slots int
+}
+
+// CalendarLevels returns the paper's Example 3 configuration: stream ticks
+// are minutes; the frame keeps 4 quarters (15 min each), 24 hours, 31 days,
+// and 12 months (a month is modelled as 31 days so the slot arithmetic
+// matches the paper's 4+24+31+12 = 71 units).
+func CalendarLevels() []Level {
+	return []Level{
+		{Name: "quarter", Multiple: 15, Slots: 4},
+		{Name: "hour", Multiple: 4, Slots: 24},
+		{Name: "day", Multiple: 24, Slots: 31},
+		{Name: "month", Multiple: 31, Slots: 12},
+	}
+}
+
+// LogarithmicLevels returns a natural tilt frame (§6 extensions): level i
+// aggregates 2 units of level i−1 and retains `slots` units, so coverage
+// doubles per level while state stays linear in the number of levels.
+func LogarithmicLevels(levels, ticksPerUnit, slots int) []Level {
+	out := make([]Level, levels)
+	for i := range out {
+		mult := 2
+		if i == 0 {
+			mult = ticksPerUnit
+		}
+		out[i] = Level{Name: fmt.Sprintf("log%d", i), Multiple: mult, Slots: slots}
+	}
+	return out
+}
+
+// Slot is one completed unit at some level: the unit's ordinal since the
+// frame origin and the ISB of the regression over the unit's ticks.
+type Slot struct {
+	Unit int64 // 0-based unit index at this level since frame start
+	ISB  regression.ISB
+}
+
+type levelState struct {
+	cfg   Level
+	span  int64  // raw ticks per unit of this level
+	slots []Slot // completed units, oldest first, len ≤ cfg.Slots
+	next  int64  // index of the next unit to complete
+}
+
+// Frame is a multi-granularity register of regression measures over an
+// ever-growing time-series stream. The zero value is unusable; use New.
+type Frame struct {
+	start  int64
+	levels []levelState
+	acc    *regression.Accumulator
+	ticks  int64 // raw ticks consumed
+}
+
+// New validates the level chain and returns an empty frame whose first raw
+// tick will be startTick. Each level needs Multiple ≥ 1 (≥ 2 above the
+// finest to be meaningful) and Slots ≥ Multiple of the level above it so
+// promotion always finds its children still resident.
+func New(levels []Level, startTick int64) (*Frame, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("%w: no levels", ErrConfig)
+	}
+	f := &Frame{start: startTick, acc: regression.NewAccumulator(startTick)}
+	span := int64(1)
+	for i, lv := range levels {
+		if lv.Multiple < 1 {
+			return nil, fmt.Errorf("%w: level %q multiple %d", ErrConfig, lv.Name, lv.Multiple)
+		}
+		if lv.Slots < 1 {
+			return nil, fmt.Errorf("%w: level %q slots %d", ErrConfig, lv.Name, lv.Slots)
+		}
+		if i+1 < len(levels) && lv.Slots < levels[i+1].Multiple {
+			return nil, fmt.Errorf("%w: level %q retains %d slots but level %q needs %d children",
+				ErrConfig, lv.Name, lv.Slots, levels[i+1].Name, levels[i+1].Multiple)
+		}
+		span *= int64(lv.Multiple)
+		f.levels = append(f.levels, levelState{cfg: lv, span: span})
+	}
+	return f, nil
+}
+
+// MustNew is New for tests and examples; it panics on error.
+func MustNew(levels []Level, startTick int64) *Frame {
+	f, err := New(levels, startTick)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Levels returns the number of granularity levels.
+func (f *Frame) Levels() int { return len(f.levels) }
+
+// LevelName returns the configured name of level i.
+func (f *Frame) LevelName(i int) string { return f.levels[i].cfg.Name }
+
+// Ticks returns the number of raw ticks consumed so far.
+func (f *Frame) Ticks() int64 { return f.ticks }
+
+// NextTick returns the tick the next Add must carry.
+func (f *Frame) NextTick() int64 { return f.start + f.ticks }
+
+// Add consumes the observation z at raw tick t. Ticks must be consecutive
+// from the frame's start tick. Completing a finest-level unit triggers the
+// §4.5 promotion cascade.
+func (f *Frame) Add(t int64, z float64) error {
+	if err := f.acc.Add(t, z); err != nil {
+		return err
+	}
+	f.ticks++
+	if f.acc.N() == int64(f.levels[0].cfg.Multiple) {
+		isb, err := f.acc.Snapshot()
+		if err != nil {
+			return err
+		}
+		f.completeUnit(0, isb)
+		f.acc.Reset(f.start + f.ticks)
+	}
+	return nil
+}
+
+// completeUnit registers a finished unit ISB at level i and cascades
+// promotion when it fills a unit of level i+1.
+func (f *Frame) completeUnit(i int, isb regression.ISB) {
+	ls := &f.levels[i]
+	ls.slots = append(ls.slots, Slot{Unit: ls.next, ISB: isb})
+	ls.next++
+
+	if i+1 < len(f.levels) {
+		mult := int64(f.levels[i+1].cfg.Multiple)
+		if ls.next%mult == 0 {
+			// The most recent `mult` slots are exactly the children of the
+			// parent unit (Slots ≥ mult was validated at construction).
+			children := ls.slots[len(ls.slots)-int(mult):]
+			isbs := make([]regression.ISB, len(children))
+			for j, s := range children {
+				isbs[j] = s.ISB
+			}
+			parent, err := regression.AggregateTime(isbs...)
+			if err != nil {
+				// Children are adjacent complete units by construction;
+				// failure here indicates internal corruption.
+				panic(fmt.Sprintf("tilt: promotion aggregation failed: %v", err))
+			}
+			f.completeUnit(i+1, parent)
+		}
+	}
+	// Evict beyond retention after promotion so children were available.
+	if over := len(ls.slots) - ls.cfg.Slots; over > 0 {
+		ls.slots = append(ls.slots[:0], ls.slots[over:]...)
+	}
+}
+
+// SlotsAt returns a copy of the completed, retained units at level i,
+// oldest first.
+func (f *Frame) SlotsAt(i int) []Slot {
+	if i < 0 || i >= len(f.levels) {
+		return nil
+	}
+	out := make([]Slot, len(f.levels[i].slots))
+	copy(out, f.levels[i].slots)
+	return out
+}
+
+// Completed returns how many units have ever completed at level i
+// (including ones already evicted).
+func (f *Frame) Completed(i int) int64 {
+	if i < 0 || i >= len(f.levels) {
+		return 0
+	}
+	return f.levels[i].next
+}
+
+// Query returns the regression over the last k completed units at level i,
+// computed purely from stored ISBs with Theorem 3.3 — e.g. "the last hour
+// with the precision of a quarter" is Query(0, 4).
+func (f *Frame) Query(i, k int) (regression.ISB, error) {
+	if i < 0 || i >= len(f.levels) {
+		return regression.ISB{}, fmt.Errorf("%w: level %d of %d", ErrQuery, i, len(f.levels))
+	}
+	ls := &f.levels[i]
+	if k <= 0 || k > len(ls.slots) {
+		return regression.ISB{}, fmt.Errorf("%w: %d units requested at level %q, %d retained",
+			ErrQuery, k, ls.cfg.Name, len(ls.slots))
+	}
+	tail := ls.slots[len(ls.slots)-k:]
+	isbs := make([]regression.ISB, k)
+	for j, s := range tail {
+		isbs[j] = s.ISB
+	}
+	return regression.AggregateTime(isbs...)
+}
+
+// Partial returns the ISB over the raw ticks of the current incomplete
+// finest-level unit, and false when that unit has no points yet. This is
+// the "Now" edge of Figure 4.
+func (f *Frame) Partial() (regression.ISB, bool) {
+	if f.acc.Empty() {
+		return regression.ISB{}, false
+	}
+	isb, err := f.acc.Snapshot()
+	if err != nil {
+		return regression.ISB{}, false
+	}
+	return isb, true
+}
+
+// SlotCapacity returns the total number of slots the frame can hold — the
+// paper's "71 units" for the calendar configuration.
+func (f *Frame) SlotCapacity() int {
+	var total int
+	for i := range f.levels {
+		total += f.levels[i].cfg.Slots
+	}
+	return total
+}
+
+// SlotsInUse returns the number of retained completed units across levels.
+func (f *Frame) SlotsInUse() int {
+	var total int
+	for i := range f.levels {
+		total += len(f.levels[i].slots)
+	}
+	return total
+}
+
+// Span returns the number of raw ticks covered by one unit of level i.
+func (f *Frame) Span(i int) int64 {
+	if i < 0 || i >= len(f.levels) {
+		return 0
+	}
+	return f.levels[i].span
+}
+
+// CompressionVsRaw returns the ratio between registering rawUnits units of
+// the finest granularity individually and the frame's slot capacity —
+// Example 3's "saving of about 495 times" with rawUnits = 366·24·4.
+func (f *Frame) CompressionVsRaw(rawUnits int64) float64 {
+	return float64(rawUnits) / float64(f.SlotCapacity())
+}

@@ -1,0 +1,338 @@
+package tilt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/regression"
+	"repro/internal/timeseries"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func feed(t *testing.T, f *Frame, s *timeseries.Series) {
+	t.Helper()
+	for i, z := range s.Values {
+		if err := f.Add(s.Interval.Tb+int64(i), z); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExample3Savings(t *testing.T) {
+	f := MustNew(CalendarLevels(), 0)
+	if got := f.SlotCapacity(); got != 71 {
+		t.Fatalf("SlotCapacity = %d, want 71 (paper Example 3)", got)
+	}
+	ratio := f.CompressionVsRaw(366 * 24 * 4)
+	if ratio < 490 || ratio > 500 {
+		t.Fatalf("compression ratio = %g, want ≈495", ratio)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := [][]Level{
+		nil,
+		{{Name: "a", Multiple: 0, Slots: 4}},
+		{{Name: "a", Multiple: 2, Slots: 0}},
+		// Level "a" retains fewer slots than level "b" needs children.
+		{{Name: "a", Multiple: 2, Slots: 2}, {Name: "b", Multiple: 3, Slots: 1}},
+	}
+	for i, levels := range cases {
+		if _, err := New(levels, 0); err == nil {
+			t.Fatalf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(nil, 0)
+}
+
+func TestAddTickDiscipline(t *testing.T) {
+	f := MustNew([]Level{{Name: "u", Multiple: 3, Slots: 4}}, 10)
+	if f.NextTick() != 10 {
+		t.Fatalf("NextTick = %d", f.NextTick())
+	}
+	if err := f.Add(11, 1); err == nil {
+		t.Fatal("expected out-of-order rejection")
+	}
+	if err := f.Add(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add(11, math.NaN()); err == nil {
+		t.Fatal("expected NaN rejection")
+	}
+	if f.Ticks() != 1 {
+		t.Fatalf("Ticks = %d", f.Ticks())
+	}
+}
+
+func TestUnitCompletionAndSlots(t *testing.T) {
+	f := MustNew([]Level{{Name: "u", Multiple: 4, Slots: 3}}, 0)
+	s := timeseries.Ramp(0, 11, 1, 0.5) // 2 complete units + 3 leftover ticks
+	feed(t, f, s)
+	slots := f.SlotsAt(0)
+	if len(slots) != 2 {
+		t.Fatalf("completed slots = %d, want 2", len(slots))
+	}
+	if slots[0].Unit != 0 || slots[1].Unit != 1 {
+		t.Fatalf("unit indices = %d,%d", slots[0].Unit, slots[1].Unit)
+	}
+	// Each slot must equal the direct fit of its ticks.
+	sub, _ := s.Slice(0, 3)
+	want := regression.MustFit(sub)
+	if !almostEq(slots[0].ISB.Slope, want.Slope, 1e-10) || !almostEq(slots[0].ISB.Base, want.Base, 1e-10) {
+		t.Fatalf("slot 0 = %v, want %v", slots[0].ISB, want)
+	}
+	// The partial unit holds the 3 leftover ticks.
+	part, ok := f.Partial()
+	if !ok {
+		t.Fatal("expected a partial unit")
+	}
+	if part.Tb != 8 || part.Te != 10 {
+		t.Fatalf("partial interval [%d,%d]", part.Tb, part.Te)
+	}
+}
+
+func TestPartialEmpty(t *testing.T) {
+	f := MustNew([]Level{{Name: "u", Multiple: 2, Slots: 2}}, 0)
+	if _, ok := f.Partial(); ok {
+		t.Fatal("fresh frame should have no partial")
+	}
+	_ = f.Add(0, 1)
+	_ = f.Add(1, 2) // completes the unit; partial empty again
+	if _, ok := f.Partial(); ok {
+		t.Fatal("no partial right after unit completion")
+	}
+}
+
+func TestEviction(t *testing.T) {
+	f := MustNew([]Level{{Name: "u", Multiple: 2, Slots: 3}}, 0)
+	feed(t, f, timeseries.Ramp(0, 12, 0, 1)) // 6 units, retention 3
+	slots := f.SlotsAt(0)
+	if len(slots) != 3 {
+		t.Fatalf("retained = %d, want 3", len(slots))
+	}
+	if slots[0].Unit != 3 || slots[2].Unit != 5 {
+		t.Fatalf("retained units = %d..%d, want 3..5", slots[0].Unit, slots[2].Unit)
+	}
+	if f.Completed(0) != 6 {
+		t.Fatalf("Completed = %d, want 6", f.Completed(0))
+	}
+}
+
+func TestPromotionCascade(t *testing.T) {
+	// quarters of 3 ticks; hours of 2 quarters; days of 2 hours.
+	levels := []Level{
+		{Name: "q", Multiple: 3, Slots: 4},
+		{Name: "h", Multiple: 2, Slots: 4},
+		{Name: "d", Multiple: 2, Slots: 2},
+	}
+	f := MustNew(levels, 0)
+	s := timeseries.NewSynth(3).Linear(0, 24, 5, 0.2, 0.4) // exactly 2 days
+	feed(t, f, s)
+
+	if got := f.Completed(0); got != 8 {
+		t.Fatalf("quarters completed = %d, want 8", got)
+	}
+	if got := f.Completed(1); got != 4 {
+		t.Fatalf("hours completed = %d, want 4", got)
+	}
+	if got := f.Completed(2); got != 2 {
+		t.Fatalf("days completed = %d, want 2", got)
+	}
+
+	// Every promoted slot must equal the direct fit of its tick range.
+	for lvl := 0; lvl < 3; lvl++ {
+		span := f.Span(lvl)
+		for _, slot := range f.SlotsAt(lvl) {
+			lo := slot.Unit * span
+			sub, err := s.Slice(lo, lo+span-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := regression.MustFit(sub)
+			if !almostEq(slot.ISB.Slope, want.Slope, 1e-9) || !almostEq(slot.ISB.Base, want.Base, 1e-9) {
+				t.Fatalf("level %d unit %d: %v want %v", lvl, slot.Unit, slot.ISB, want)
+			}
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	f := MustNew(CalendarLevels(), 0)
+	wants := []int64{15, 60, 1440, 44640}
+	for i, w := range wants {
+		if got := f.Span(i); got != w {
+			t.Fatalf("Span(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if f.Span(-1) != 0 || f.Span(99) != 0 {
+		t.Fatal("out-of-range Span should be 0")
+	}
+}
+
+func TestQueryAggregatesTail(t *testing.T) {
+	f := MustNew([]Level{{Name: "u", Multiple: 5, Slots: 8}}, 0)
+	s := timeseries.NewSynth(7).Linear(0, 40, 2, -0.1, 0.3) // 8 units
+	feed(t, f, s)
+	// Query last 4 units == direct fit over ticks [20,39].
+	got, err := f.Query(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := s.Slice(20, 39)
+	want := regression.MustFit(sub)
+	if !almostEq(got.Slope, want.Slope, 1e-9) || !almostEq(got.Base, want.Base, 1e-9) {
+		t.Fatalf("Query = %v, want %v", got, want)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	f := MustNew([]Level{{Name: "u", Multiple: 2, Slots: 4}}, 0)
+	_ = f.Add(0, 1)
+	_ = f.Add(1, 2) // one completed unit
+	if _, err := f.Query(0, 2); err == nil {
+		t.Fatal("expected error: only 1 unit retained")
+	}
+	if _, err := f.Query(0, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := f.Query(1, 1); err == nil {
+		t.Fatal("expected error for bad level")
+	}
+	if _, err := f.Query(-1, 1); err == nil {
+		t.Fatal("expected error for negative level")
+	}
+}
+
+func TestSlotsAtOutOfRange(t *testing.T) {
+	f := MustNew(CalendarLevels(), 0)
+	if f.SlotsAt(-1) != nil || f.SlotsAt(9) != nil {
+		t.Fatal("out-of-range SlotsAt should be nil")
+	}
+	if f.Completed(-1) != 0 || f.Completed(9) != 0 {
+		t.Fatal("out-of-range Completed should be 0")
+	}
+}
+
+func TestSlotsInUseBounded(t *testing.T) {
+	f := MustNew(CalendarLevels(), 0)
+	// Feed 3 days of minutes.
+	g := timeseries.NewSynth(11)
+	s := g.Linear(0, 3*24*60, 10, 0.001, 1)
+	feed(t, f, s)
+	if f.SlotsInUse() > f.SlotCapacity() {
+		t.Fatalf("SlotsInUse %d exceeds capacity %d", f.SlotsInUse(), f.SlotCapacity())
+	}
+	if f.Levels() != 4 {
+		t.Fatalf("Levels = %d", f.Levels())
+	}
+	if f.LevelName(2) != "day" {
+		t.Fatalf("LevelName(2) = %q", f.LevelName(2))
+	}
+	// 3 days of minutes = 288 quarters, 72 hours, 3 days, 0 months.
+	if f.Completed(0) != 288 || f.Completed(1) != 72 || f.Completed(2) != 3 || f.Completed(3) != 0 {
+		t.Fatalf("completions = %d/%d/%d/%d", f.Completed(0), f.Completed(1), f.Completed(2), f.Completed(3))
+	}
+}
+
+func TestLogarithmicLevels(t *testing.T) {
+	levels := LogarithmicLevels(5, 4, 4)
+	f := MustNew(levels, 0)
+	if f.Levels() != 5 {
+		t.Fatalf("Levels = %d", f.Levels())
+	}
+	// Coverage doubles per level: spans 4, 8, 16, 32, 64.
+	for i, want := range []int64{4, 8, 16, 32, 64} {
+		if f.Span(i) != want {
+			t.Fatalf("Span(%d) = %d, want %d", i, f.Span(i), want)
+		}
+	}
+	feed(t, f, timeseries.NewSynth(13).Linear(0, 256, 1, 0.05, 0.2))
+	if f.Completed(4) != 4 {
+		t.Fatalf("top-level completions = %d, want 4", f.Completed(4))
+	}
+}
+
+func TestNonZeroStartTick(t *testing.T) {
+	f := MustNew([]Level{{Name: "u", Multiple: 3, Slots: 4}}, 100)
+	s := timeseries.Ramp(100, 6, 0, 1)
+	feed(t, f, s)
+	slots := f.SlotsAt(0)
+	if len(slots) != 2 {
+		t.Fatalf("slots = %d", len(slots))
+	}
+	if slots[0].ISB.Tb != 100 || slots[0].ISB.Te != 102 {
+		t.Fatalf("slot interval [%d,%d]", slots[0].ISB.Tb, slots[0].ISB.Te)
+	}
+}
+
+// Property: for random streams, every retained slot at every level equals
+// the direct OLS fit of the raw ticks it covers, and query results equal
+// direct fits over the combined range. This is the §4.5 guarantee that the
+// tilt frame loses nothing within its retention horizon.
+func TestFrameSlotsMatchDirectFitsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(91))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		levels := []Level{
+			{Name: "a", Multiple: 2 + r.Intn(4), Slots: 4 + r.Intn(4)},
+			{Name: "b", Multiple: 2 + r.Intn(3), Slots: 3 + r.Intn(3)},
+		}
+		// Ensure retention supports promotion.
+		if levels[0].Slots < levels[1].Multiple {
+			levels[0].Slots = levels[1].Multiple
+		}
+		fr, err := New(levels, 0)
+		if err != nil {
+			return false
+		}
+		n := 20 + r.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 5
+		}
+		s := timeseries.MustNew(0, vals)
+		for i, z := range vals {
+			if fr.Add(int64(i), z) != nil {
+				return false
+			}
+		}
+		for lvl := 0; lvl < fr.Levels(); lvl++ {
+			span := fr.Span(lvl)
+			for _, slot := range fr.SlotsAt(lvl) {
+				lo := slot.Unit * span
+				sub, err := s.Slice(lo, lo+span-1)
+				if err != nil {
+					return false
+				}
+				want := regression.MustFit(sub)
+				if !almostEq(slot.ISB.Slope, want.Slope, 1e-7) || !almostEq(slot.ISB.Base, want.Base, 1e-7) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

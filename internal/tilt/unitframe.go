@@ -1,0 +1,161 @@
+package tilt
+
+import (
+	"fmt"
+
+	"repro/internal/regression"
+)
+
+// UnitFrame is a tilt frame fed with already-fitted unit ISBs instead of
+// raw ticks — the natural register for an o-layer cell in the online
+// engine (§4.5): each completed unit's cube computation yields one ISB per
+// o-cell, and the frame promotes them to coarser granularities exactly
+// like Frame does for raw streams.
+//
+// Level 0's Multiple is interpreted as 1 (each pushed ISB is one level-0
+// unit); higher levels behave as in Frame.
+type UnitFrame struct {
+	levels    []levelState
+	unitTicks int64 // ticks per pushed unit, fixed by the first push
+	nextTb    int64 // required Tb of the next pushed unit
+	pushed    int64
+}
+
+// NewUnitFrame validates the level chain. The finest level's Multiple is
+// forced to 1; retention/promotion constraints match Frame's.
+func NewUnitFrame(levels []Level) (*UnitFrame, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("%w: no levels", ErrConfig)
+	}
+	f := &UnitFrame{}
+	span := int64(1)
+	for i, lv := range levels {
+		if i == 0 {
+			lv.Multiple = 1
+		}
+		if lv.Multiple < 1 {
+			return nil, fmt.Errorf("%w: level %q multiple %d", ErrConfig, lv.Name, lv.Multiple)
+		}
+		if lv.Slots < 1 {
+			return nil, fmt.Errorf("%w: level %q slots %d", ErrConfig, lv.Name, lv.Slots)
+		}
+		if i+1 < len(levels) && lv.Slots < levels[i+1].Multiple {
+			return nil, fmt.Errorf("%w: level %q retains %d slots but level %q needs %d children",
+				ErrConfig, lv.Name, lv.Slots, levels[i+1].Name, levels[i+1].Multiple)
+		}
+		span *= int64(lv.Multiple)
+		f.levels = append(f.levels, levelState{cfg: lv, span: span})
+	}
+	return f, nil
+}
+
+// Push registers the next completed unit's ISB. All units must have equal
+// tick counts and be adjacent in time.
+func (f *UnitFrame) Push(isb regression.ISB) error {
+	n := isb.N()
+	if n < 1 {
+		return fmt.Errorf("%w: empty unit interval", ErrConfig)
+	}
+	if !isb.IsFinite() {
+		return fmt.Errorf("%w: non-finite unit measure", ErrConfig)
+	}
+	if f.pushed == 0 {
+		f.unitTicks = n
+		f.nextTb = isb.Tb
+	}
+	if n != f.unitTicks {
+		return fmt.Errorf("%w: unit has %d ticks, frame expects %d", ErrConfig, n, f.unitTicks)
+	}
+	if isb.Tb != f.nextTb {
+		return fmt.Errorf("%w: unit starts at %d, frame expects %d", ErrConfig, isb.Tb, f.nextTb)
+	}
+	f.completeUnit(0, isb)
+	f.nextTb = isb.Te + 1
+	f.pushed++
+	return nil
+}
+
+// completeUnit mirrors Frame.completeUnit for pushed units.
+func (f *UnitFrame) completeUnit(i int, isb regression.ISB) {
+	ls := &f.levels[i]
+	ls.slots = append(ls.slots, Slot{Unit: ls.next, ISB: isb})
+	ls.next++
+	if i+1 < len(f.levels) {
+		mult := int64(f.levels[i+1].cfg.Multiple)
+		if ls.next%mult == 0 {
+			children := ls.slots[len(ls.slots)-int(mult):]
+			isbs := make([]regression.ISB, len(children))
+			for j, s := range children {
+				isbs[j] = s.ISB
+			}
+			parent, err := regression.AggregateTime(isbs...)
+			if err != nil {
+				panic(fmt.Sprintf("tilt: unit-frame promotion failed: %v", err))
+			}
+			f.completeUnit(i+1, parent)
+		}
+	}
+	if over := len(ls.slots) - ls.cfg.Slots; over > 0 {
+		ls.slots = append(ls.slots[:0], ls.slots[over:]...)
+	}
+}
+
+// Levels returns the number of granularity levels.
+func (f *UnitFrame) Levels() int { return len(f.levels) }
+
+// Pushed returns how many unit ISBs have been registered.
+func (f *UnitFrame) Pushed() int64 { return f.pushed }
+
+// SlotsAt returns the retained completed units at level i, oldest first.
+func (f *UnitFrame) SlotsAt(i int) []Slot {
+	if i < 0 || i >= len(f.levels) {
+		return nil
+	}
+	out := make([]Slot, len(f.levels[i].slots))
+	copy(out, f.levels[i].slots)
+	return out
+}
+
+// Completed returns how many units have ever completed at level i.
+func (f *UnitFrame) Completed(i int) int64 {
+	if i < 0 || i >= len(f.levels) {
+		return 0
+	}
+	return f.levels[i].next
+}
+
+// Query aggregates the last k completed units at level i (Theorem 3.3).
+func (f *UnitFrame) Query(i, k int) (regression.ISB, error) {
+	if i < 0 || i >= len(f.levels) {
+		return regression.ISB{}, fmt.Errorf("%w: level %d of %d", ErrQuery, i, len(f.levels))
+	}
+	ls := &f.levels[i]
+	if k <= 0 || k > len(ls.slots) {
+		return regression.ISB{}, fmt.Errorf("%w: %d units requested at level %q, %d retained",
+			ErrQuery, k, ls.cfg.Name, len(ls.slots))
+	}
+	tail := ls.slots[len(ls.slots)-k:]
+	isbs := make([]regression.ISB, k)
+	for j, s := range tail {
+		isbs[j] = s.ISB
+	}
+	return regression.AggregateTime(isbs...)
+}
+
+// SlotCapacity returns the total retention across levels.
+func (f *UnitFrame) SlotCapacity() int {
+	var total int
+	for i := range f.levels {
+		total += f.levels[i].cfg.Slots
+	}
+	return total
+}
+
+// SlotsInUse returns the retained completed units across levels.
+func (f *UnitFrame) SlotsInUse() int {
+	var total int
+	for i := range f.levels {
+		total += len(f.levels[i].slots)
+	}
+	return total
+}
