@@ -280,6 +280,121 @@ func BenchmarkStreamIngest(b *testing.B) {
 	}
 }
 
+// --- Sharded stream engine (DESIGN.md §6): throughput vs shard count ------
+
+// shardedBenchSchema is sized for parallelism: the 8×8 o-layer gives 64
+// hash partitions, so up to 64 shards stay busy.
+func shardedBenchSchema(b *testing.B) *cube.Schema {
+	b.Helper()
+	ha, err := cube.NewFanoutHierarchy("A", 8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hb, err := cube.NewFanoutHierarchy("B", 8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema, err := cube.NewSchema(
+		cube.Dimension{Name: "A", Hierarchy: ha, MLevel: 2, OLevel: 1},
+		cube.Dimension{Name: "B", Hierarchy: hb, MLevel: 2, OLevel: 1},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return schema
+}
+
+// shardedBenchCells spreads 256 distinct m-cells over every o-partition.
+func shardedBenchCells() [][]int32 {
+	cells := make([][]int32, 256)
+	for i := range cells {
+		cells[i] = []int32{int32(i % 64), int32((i*7 + i/64) % 64)}
+	}
+	return cells
+}
+
+// Pure accumulate path: no unit ever closes; the final drain (an
+// ActiveCells barrier, inside the timer) waits for queued shard work so it
+// is charged to the run. Near-linear scaling here needs ≥ `shards` cores.
+func BenchmarkShardedIngest(b *testing.B) {
+	schema := shardedBenchSchema(b)
+	cells := shardedBenchCells()
+	cfg := stream.Config{
+		Schema:       schema,
+		TicksPerUnit: 1 << 30,
+		Threshold:    exception.Global(1e18), // no alerts: isolate ingest
+	}
+	run := func(b *testing.B, ingest func(members []int32, tick int64, v float64) error, drain func() error) {
+		b.Helper()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			tick := int64(n / len(cells))
+			if err := ingest(cells[n%len(cells)], tick, float64(n%13)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := drain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("single-engine", func(b *testing.B) {
+		eng, err := stream.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b,
+			func(m []int32, t int64, v float64) error { _, err := eng.Ingest(m, t, v); return err },
+			func() error { _ = eng.ActiveCells(); return nil })
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng, err := stream.NewShardedEngine(cfg, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			run(b,
+				func(m []int32, t int64, v float64) error { _, err := eng.Ingest(m, t, v); return err },
+				func() error { _, err := eng.ActiveCells(); return err })
+		})
+	}
+}
+
+// End-to-end pipeline: a unit closes (and cubes, in parallel across
+// shards) every 64 ticks × 256 cells, the dominant cost at stream scale.
+func BenchmarkShardedPipeline(b *testing.B) {
+	schema := shardedBenchSchema(b)
+	cells := shardedBenchCells()
+	cfg := stream.Config{
+		Schema:       schema,
+		TicksPerUnit: 64,
+		Threshold:    exception.Global(100),
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng, err := stream.NewShardedEngine(cfg, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			var units int64
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				tick := int64(n / len(cells))
+				closed, err := eng.Ingest(cells[n%len(cells)], tick, float64(n%13))
+				if err != nil {
+					b.Fatal(err)
+				}
+				units += int64(len(closed))
+			}
+			if _, err := eng.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(units+1)/float64(b.N), "units/op")
+		})
+	}
+}
+
 // --- Ablation benches (DESIGN.md §5) --------------------------------------
 
 // Ablation: H-tree construction vs a flat map of m-layer cells. The H-tree

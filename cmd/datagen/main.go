@@ -2,12 +2,20 @@
 // stdout: one row per m-layer tuple with its dimension members and ISB
 // regression measure.
 //
+// With -stream it instead emits raw stream records in streamd's input
+// format — tick,dim0,...,dimN,value — one reading per distinct m-cell per
+// tick in global tick order, synthesized from each cell's regression line
+// plus noise. `datagen -stream | streamd` is then a complete online
+// pipeline.
+//
 // Usage:
 //
 //	datagen -spec D3L3C10T100K -seed 7 > dataset.csv
-//	datagen -spec D2L4C5T10K -raw        # fit measures from raw series
+//	datagen -spec D2L4C5T10K -raw                  # fit measures from raw series
+//	datagen -spec D2L2C4T2K -stream -ticks 60 | streamd -spec D2L2C4 -unit 15
 //
-// Columns: dim0,...,dimN,tb,te,base,slope
+// Columns: dim0,...,dimN,tb,te,base,slope (batch) or
+// tick,dim0,...,dimN,value (-stream).
 package main
 
 import (
@@ -18,12 +26,15 @@ import (
 	"strconv"
 
 	"repro/internal/gen"
+	"repro/internal/regression"
+	"repro/internal/timeseries"
 )
 
 func main() {
 	specStr := flag.String("spec", "D3L3C10T100K", "dataset spec (D/L/C/T convention)")
 	seed := flag.Int64("seed", 2002, "generator seed")
 	raw := flag.Bool("raw", false, "fit measures from synthetic raw series (slower)")
+	stream := flag.Bool("stream", false, "emit raw stream records (tick,dims...,value) for streamd")
 	ticks := flag.Int("ticks", 10, "regression interval length per tuple")
 	flag.Parse()
 
@@ -46,6 +57,13 @@ func main() {
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
+	if *stream {
+		if err := writeStream(w, ds, *ticks, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	// Header.
 	for d := 0; d < spec.Dims; d++ {
 		fmt.Fprintf(w, "dim%d,", d)
@@ -59,4 +77,59 @@ func main() {
 		fmt.Fprintf(w, "%d,%d,%g,%g\n", in.Measure.Tb, in.Measure.Te, in.Measure.Base, in.Measure.Slope)
 	}
 	fmt.Fprintf(os.Stderr, "datagen: wrote %d tuples of %s (seed %d)\n", len(ds.Inputs), spec, *seed)
+}
+
+// writeStream renders the dataset as raw records for the online engine:
+// tuples sharing an m-cell merge (the engine allows one reading per cell
+// per tick), each cell synthesizes a noisy series around its regression
+// line, and rows stream out in global tick order.
+func writeStream(w *bufio.Writer, ds *gen.Dataset, ticks int, seed int64) error {
+	type cell struct {
+		members []int32
+		isb     regression.ISB
+	}
+	var cells []*cell
+	index := make(map[string]*cell, len(ds.Inputs))
+	var keyBuf []byte
+	for _, in := range ds.Inputs {
+		keyBuf = keyBuf[:0]
+		for _, m := range in.Members {
+			keyBuf = strconv.AppendInt(keyBuf, int64(m), 10)
+			keyBuf = append(keyBuf, ',')
+		}
+		c, ok := index[string(keyBuf)]
+		if !ok {
+			c = &cell{members: in.Members, isb: in.Measure}
+			index[string(keyBuf)] = c
+			cells = append(cells, c)
+			continue
+		}
+		merged, err := regression.AggregateStandard(c.isb, in.Measure)
+		if err != nil {
+			return err
+		}
+		c.isb = merged
+	}
+	g := timeseries.NewSynth(seed + 2)
+	series := make([]*timeseries.Series, len(cells))
+	for i, c := range cells {
+		series[i] = g.Linear(0, ticks, c.isb.Base, c.isb.Slope, 0.5)
+	}
+	var rows int64
+	for t := 0; t < ticks; t++ {
+		for i, c := range cells {
+			w.WriteString(strconv.FormatInt(int64(t), 10))
+			for _, m := range c.members {
+				w.WriteByte(',')
+				w.WriteString(strconv.FormatInt(int64(m), 10))
+			}
+			w.WriteByte(',')
+			w.WriteString(strconv.FormatFloat(series[i].Values[t], 'g', -1, 64))
+			w.WriteByte('\n')
+			rows++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d stream records over %d ticks, %d cells (seed %d)\n",
+		rows, ticks, len(cells), seed)
+	return nil
 }

@@ -3,12 +3,25 @@
 // drill-down as units complete. It checkpoints its state so a restart
 // resumes mid-unit without data loss.
 //
+// With -shards N > 1 the analyzer hash-partitions m-layer cells by their
+// o-layer ancestors across N per-shard engines that ingest and cube in
+// parallel (see stream.ShardedEngine); the merged output is identical to
+// a single engine's, with alerts deterministically sorted. The default is
+// GOMAXPROCS; -shards 1 runs the plain single-threaded engine.
+//
+// Checkpoint files are versioned: a single engine writes version 1 (one
+// checkpoint), a sharded engine writes version 2 (one checkpoint per
+// shard). Either version loads regardless of the current -shards value —
+// v1 files repartition across the shards, v2 files merge back into a
+// single engine — so the shard count can change freely between restarts.
+//
 // Record format (no header): tick,dim0,...,dimN,value
 //
 // Usage:
 //
 //	datagen-style producer | streamd -spec D2L2C4 -unit 15 -threshold 2
 //	streamd -spec D2L2C4 -unit 15 -threshold 2 -checkpoint state.json < records.csv
+//	streamd -spec D2L2C4 -shards 8 -checkpoint state.json < records.csv
 package main
 
 import (
@@ -18,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 
 	"repro/internal/cube"
@@ -28,20 +42,31 @@ import (
 )
 
 func main() {
-	specStr := flag.String("spec", "D2L2C4", "schema spec: D<dims>L<levels>C<fanout> (no T component)")
+	specStr := flag.String("spec", "D2L2C4", "schema spec D<dims>L<levels>C<fanout> (no T component); "+
+		"the o-layer sits at level 1 per dimension, bounding -shards parallelism by fanout^dims o-cells")
 	unit := flag.Int("unit", 15, "ticks per finest tilt-frame unit")
 	threshold := flag.Float64("threshold", 1, "slope exception threshold")
 	algName := flag.String("alg", "mo", "cubing algorithm: mo | popular-path")
-	checkpoint := flag.String("checkpoint", "", "checkpoint file (loaded if present, saved after every unit)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file (loaded if present, saved after every unit; "+
+		"v1 single-engine and v2 per-shard formats both load at any -shards value)")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "engine shards ingesting and cubing in parallel; 1 = single-threaded engine")
 	flag.Parse()
 
-	if err := run(*specStr, *unit, *threshold, *algName, *checkpoint, os.Stdin, os.Stdout); err != nil {
+	if err := run(*specStr, *unit, *threshold, *algName, *checkpoint, *shards, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "streamd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(specStr string, unit int, threshold float64, algName, checkpointPath string, in io.Reader, out io.Writer) error {
+// engine is the surface shared by the single and sharded analyzers.
+type engine interface {
+	Ingest(members []int32, tick int64, value float64) ([]*stream.UnitResult, error)
+	Flush() (*stream.UnitResult, error)
+	Unit() int64
+	UnitsDone() int64
+}
+
+func run(specStr string, unit int, threshold float64, algName, checkpointPath string, shards int, in io.Reader, out io.Writer) error {
 	spec, err := gen.ParseSpec(specStr + "T1") // reuse the D/L/C parser
 	if err != nil {
 		return fmt.Errorf("bad -spec: %w", err)
@@ -65,23 +90,65 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 	} else if algName != "mo" {
 		return fmt.Errorf("unknown -alg %q", algName)
 	}
-	eng, err := stream.NewEngine(stream.Config{
+	if shards < 1 {
+		return fmt.Errorf("-shards %d: need at least 1", shards)
+	}
+	cfg := stream.Config{
 		Schema:       schema,
 		TicksPerUnit: unit,
 		Threshold:    exception.Global(threshold),
 		Algorithm:    alg,
-	})
-	if err != nil {
-		return err
 	}
+
+	// The two engine flavors differ only in construction and checkpoint
+	// plumbing; the record loop runs against the shared interface.
+	var eng engine
+	var loadCheckpoint func(io.Reader) error
+	var writeCheckpoint func(io.Writer) error
+	if shards > 1 {
+		seng, err := stream.NewShardedEngine(cfg, shards)
+		if err != nil {
+			return err
+		}
+		defer seng.Close()
+		eng = seng
+		loadCheckpoint = func(r io.Reader) error {
+			scp, err := persist.ReadShardedCheckpoint(r)
+			if err != nil {
+				return err
+			}
+			return seng.Restore(scp)
+		}
+		writeCheckpoint = func(w io.Writer) error {
+			scp, err := seng.Checkpoint()
+			if err != nil {
+				return err
+			}
+			return persist.WriteShardedCheckpoint(w, scp)
+		}
+	} else {
+		single, err := stream.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		eng = single
+		loadCheckpoint = func(r io.Reader) error {
+			cp, err := persist.ReadCheckpoint(r)
+			if err != nil {
+				return err
+			}
+			return single.Restore(cp)
+		}
+		writeCheckpoint = func(w io.Writer) error {
+			return persist.WriteCheckpoint(w, single.Checkpoint())
+		}
+	}
+
 	if checkpointPath != "" {
 		if f, err := os.Open(checkpointPath); err == nil {
-			cp, err := persist.ReadCheckpoint(f)
+			err := loadCheckpoint(f)
 			f.Close()
 			if err != nil {
-				return fmt.Errorf("loading checkpoint: %w", err)
-			}
-			if err := eng.Restore(cp); err != nil {
 				return fmt.Errorf("restoring checkpoint: %w", err)
 			}
 			fmt.Fprintf(out, "# resumed at unit %d (%d units done)\n", eng.Unit(), eng.UnitsDone())
@@ -97,7 +164,7 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 		if err != nil {
 			return err
 		}
-		if err := persist.WriteCheckpoint(f, eng.Checkpoint()); err != nil {
+		if err := writeCheckpoint(f); err != nil {
 			f.Close()
 			return err
 		}
@@ -153,17 +220,20 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 		if err != nil {
 			return fmt.Errorf("record %d value: %w", records+1, err)
 		}
-		closed, err := eng.Ingest(members, tick, value)
-		if err != nil {
-			return fmt.Errorf("record %d: %w", records+1, err)
-		}
-		records++
+		closed, ingestErr := eng.Ingest(members, tick, value)
+		// Units can close even when the record itself is rejected (the
+		// boundary crossing happens first); report and checkpoint them
+		// before surfacing the error, or their state would be lost.
 		if len(closed) > 0 {
 			report(closed)
 			if err := saveCheckpoint(); err != nil {
 				return fmt.Errorf("saving checkpoint: %w", err)
 			}
 		}
+		if ingestErr != nil {
+			return fmt.Errorf("record %d: %w", records+1, ingestErr)
+		}
+		records++
 	}
 	// Final partial unit.
 	ur, err := eng.Flush()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ func TestRunEndToEnd(t *testing.T) {
 		"4,0,5.0",
 	)
 	var out bytes.Buffer
-	if err := run("D1L2C2", 4, 0.5, "mo", "", in, &out); err != nil {
+	if err := run("D1L2C2", 4, 0.5, "mo", "", 1, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -39,7 +40,7 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunPopularPath(t *testing.T) {
 	in := records("0,0,1.0", "1,0,2.0")
 	var out bytes.Buffer
-	if err := run("D1L2C2", 2, 99, "popular-path", "", in, &out); err != nil {
+	if err := run("D1L2C2", 2, 99, "popular-path", "", 1, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "popular-path") {
@@ -47,24 +48,53 @@ func TestRunPopularPath(t *testing.T) {
 	}
 }
 
+// The sharded engine prints the same reports as the single engine for the
+// same stream.
+func TestRunShardedMatchesSingle(t *testing.T) {
+	lines := []string{
+		"0,0,0,1.0", "0,1,2,4.0", "1,0,0,2.0", "1,3,1,1.0",
+		"2,0,0,3.0", "2,1,2,2.0", "3,0,0,4.0", "3,3,1,9.0",
+		"4,0,0,5.0", "4,2,3,1.0", "5,1,2,6.0",
+	}
+	var single, sharded bytes.Buffer
+	if err := run("D2L2C2", 4, 0.5, "mo", "", 1, records(lines...), &single); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("D2L2C2", 4, 0.5, "mo", "", 4, records(lines...), &sharded); err != nil {
+		t.Fatal(err)
+	}
+	// Alerts print sorted only in sharded mode, so compare line sets.
+	norm := func(s string) string {
+		ls := strings.Split(strings.TrimSpace(s), "\n")
+		sort.Strings(ls)
+		return strings.Join(ls, "\n")
+	}
+	if norm(single.String()) != norm(sharded.String()) {
+		t.Fatalf("sharded output differs:\n%s\nvs single:\n%s", sharded.String(), single.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("garbage", 4, 1, "mo", "", records("0,0,1"), &out); err == nil {
+	if err := run("garbage", 4, 1, "mo", "", 1, records("0,0,1"), &out); err == nil {
 		t.Fatal("expected spec error")
 	}
-	if err := run("D1L2C2", 4, 1, "nope", "", records("0,0,1"), &out); err == nil {
+	if err := run("D1L2C2", 4, 1, "nope", "", 1, records("0,0,1"), &out); err == nil {
 		t.Fatal("expected algorithm error")
 	}
-	if err := run("D1L2C2", 4, 1, "mo", "", records("x,0,1"), &out); err == nil {
+	if err := run("D1L2C2", 4, 1, "mo", "", 0, records("0,0,1"), &out); err == nil {
+		t.Fatal("expected shard-count error")
+	}
+	if err := run("D1L2C2", 4, 1, "mo", "", 1, records("x,0,1"), &out); err == nil {
 		t.Fatal("expected tick parse error")
 	}
-	if err := run("D1L2C2", 4, 1, "mo", "", records("0,x,1"), &out); err == nil {
+	if err := run("D1L2C2", 4, 1, "mo", "", 1, records("0,x,1"), &out); err == nil {
 		t.Fatal("expected member parse error")
 	}
-	if err := run("D1L2C2", 4, 1, "mo", "", records("0,0,x"), &out); err == nil {
+	if err := run("D1L2C2", 4, 1, "mo", "", 1, records("0,0,x"), &out); err == nil {
 		t.Fatal("expected value parse error")
 	}
-	if err := run("D1L2C2", 4, 1, "mo", "", records("0,0"), &out); err == nil {
+	if err := run("D1L2C2", 4, 1, "mo", "", 1, records("0,0"), &out); err == nil {
 		t.Fatal("expected column count error")
 	}
 }
@@ -76,7 +106,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// First run: 6 ticks of unit size 4 → one closed unit + checkpoint.
 	var out1 bytes.Buffer
 	in1 := records("0,0,1", "1,0,2", "2,0,3", "3,0,4", "4,0,5", "5,0,6")
-	if err := run("D1L2C2", 4, 99, "mo", cpPath, in1, &out1); err != nil {
+	if err := run("D1L2C2", 4, 99, "mo", cpPath, 1, in1, &out1); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(cpPath); err != nil {
@@ -86,10 +116,46 @@ func TestRunCheckpointResume(t *testing.T) {
 	// Second run resumes from the checkpoint (unit 2 open after flush).
 	var out2 bytes.Buffer
 	in2 := records("8,0,1", "9,0,2")
-	if err := run("D1L2C2", 4, 99, "mo", cpPath, in2, &out2); err != nil {
+	if err := run("D1L2C2", 4, 99, "mo", cpPath, 1, in2, &out2); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out2.String(), "# resumed at unit") {
 		t.Fatalf("missing resume banner: %q", out2.String())
+	}
+}
+
+// A checkpoint written at one shard count resumes at another, in both
+// directions across the v1/v2 envelope versions.
+func TestRunCheckpointAcrossShardCounts(t *testing.T) {
+	dir := t.TempDir()
+
+	// v1 (single) → sharded resume.
+	cpPath := filepath.Join(dir, "v1.json")
+	var out bytes.Buffer
+	if err := run("D1L2C2", 4, 99, "mo", cpPath, 1,
+		records("0,0,1", "1,0,2", "2,0,3", "3,0,4", "4,0,5", "5,0,6"), &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run("D1L2C2", 4, 99, "mo", cpPath, 4, records("8,0,1", "9,0,2"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# resumed at unit 2") {
+		t.Fatalf("v1→sharded resume failed: %q", out.String())
+	}
+
+	// v2 (sharded) → single resume.
+	cpPath = filepath.Join(dir, "v2.json")
+	out.Reset()
+	if err := run("D1L2C2", 4, 99, "mo", cpPath, 4,
+		records("0,0,1", "1,0,2", "2,0,3", "3,0,4", "4,0,5", "5,0,6"), &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run("D1L2C2", 4, 99, "mo", cpPath, 1, records("8,0,1", "9,0,2"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# resumed at unit 2") {
+		t.Fatalf("v2→single resume failed: %q", out.String())
 	}
 }

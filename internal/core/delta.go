@@ -94,23 +94,26 @@ func DeltaCubing(s *cube.Schema, cur, prev []Input, det exception.Delta) (*Delta
 
 	cubeStart := time.Now()
 	oLayer := s.OLayer()
+	// Canonical m-cell order: per-cell sums are then bitwise reproducible.
+	curKeys := sortedCellKeys(curM)
+	prevKeys := sortedCellKeys(prevM)
 	for _, c := range lattice.Cuboids() {
 		st.CuboidsComputed++
 		curCells := make(map[cube.CellKey]regression.ISB)
-		for key, isb := range curM {
+		for _, key := range curKeys {
 			up, err := cube.RollUpKey(s, key, c)
 			if err != nil {
 				return nil, err
 			}
-			accumulate(curCells, up, isb)
+			accumulate(curCells, up, curM[key])
 		}
 		prevCells := make(map[cube.CellKey]regression.ISB)
-		for key, isb := range prevM {
+		for _, key := range prevKeys {
 			up, err := cube.RollUpKey(s, key, c)
 			if err != nil {
 				return nil, err
 			}
-			accumulate(prevCells, up, isb)
+			accumulate(prevCells, up, prevM[key])
 		}
 		st.CellsComputed += int64(len(curCells))
 		if n := int64(len(curCells) + len(prevCells)); n > st.PeakScratchCells {

@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cube"
@@ -138,6 +139,18 @@ func accumulate(scratch map[cube.CellKey]regression.ISB, key cube.CellKey, isb r
 	} else {
 		scratch[key] = isb
 	}
+}
+
+// sortedCellKeys returns a scratch table's keys in cube.CompareKeys order —
+// the canonical iteration order wherever retention order feeds later
+// aggregation, keeping float results bitwise reproducible.
+func sortedCellKeys[V any](m map[cube.CellKey]V) []cube.CellKey {
+	keys := make([]cube.CellKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return cube.CompareKeys(keys[i], keys[j]) < 0 })
+	return keys
 }
 
 // MOCubing runs Algorithm 1 (m/o H-cubing). It aggregates every cuboid of

@@ -183,7 +183,10 @@ func PopularPath(s *cube.Schema, inputs []Input, thr exception.Thresholder, path
 			st.PeakScratchCells = n
 		}
 		updatePeak(int64(len(scratch)))
-		for key, cell := range scratch {
+		// Canonical key order: the registry's append order feeds the visit
+		// order of deeper drills, which must be reproducible.
+		for _, key := range sortedCellKeys(scratch) {
+			cell := scratch[key]
 			if exception.IsException(cell.isb, threshold) {
 				if _, dup := res.Exceptions[key]; !dup {
 					res.Exceptions[key] = cell.isb

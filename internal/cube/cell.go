@@ -122,6 +122,37 @@ func (k CellKey) Describe(s *Schema) string {
 	return b.String()
 }
 
+// CompareKeys orders cell keys totally: by dimension count, then cuboid
+// levels, then members, all lexicographically. It anchors every
+// deterministic ordering in the system — sorted alert output, canonical
+// float-aggregation order — so results are reproducible across runs and
+// engine shardings.
+func CompareKeys(a, b CellKey) int {
+	if a.Cuboid.n != b.Cuboid.n {
+		if a.Cuboid.n < b.Cuboid.n {
+			return -1
+		}
+		return 1
+	}
+	for d := 0; d < int(a.Cuboid.n); d++ {
+		if a.Cuboid.levels[d] != b.Cuboid.levels[d] {
+			if a.Cuboid.levels[d] < b.Cuboid.levels[d] {
+				return -1
+			}
+			return 1
+		}
+	}
+	for d := 0; d < int(a.Cuboid.n); d++ {
+		if a.Members[d] != b.Members[d] {
+			if a.Members[d] < b.Members[d] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // RollUpKey lifts a cell key from its cuboid to the coarser cuboid `to`
 // (which must be dominated by the key's cuboid) by walking each
 // dimension's hierarchy upward.

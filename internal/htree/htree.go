@@ -228,6 +228,20 @@ func (t *HTree) PropagateUp() error {
 	return t.propagate(t.root)
 }
 
+// sortedChildren returns a node's children ordered by member. Float
+// aggregation is order-sensitive in the last ulp, so every traversal that
+// sums measures walks children in this canonical order — results are then
+// bitwise reproducible across runs and identical between sharded and
+// single-engine computation.
+func sortedChildren(n *Node) []*Node {
+	out := make([]*Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Member < out[j].Member })
+	return out
+}
+
 func (t *HTree) propagate(n *Node) error {
 	if len(n.Children) == 0 {
 		if !n.HasMeasure && n != t.root {
@@ -236,10 +250,10 @@ func (t *HTree) propagate(n *Node) error {
 		return nil
 	}
 	// Inline Theorem 3.2 accumulation: bases and slopes add over children
-	// sharing one interval (allocation-free; this runs once per node).
+	// sharing one interval (this runs once per node).
 	var agg regression.ISB
 	first := true
-	for _, c := range n.Children {
+	for _, c := range sortedChildren(n) {
 		if err := t.propagate(c); err != nil {
 			return err
 		}
@@ -261,9 +275,10 @@ func (t *HTree) propagate(n *Node) error {
 }
 
 // WalkAtDepth visits every descendant of n at exactly the given tree depth
-// (n itself when already there). Popular-path drilling uses this to
-// enumerate the covering-cuboid cells below one exception cell — "the
-// cells to be computed are related only to the exception cells".
+// (n itself when already there), children in member order. Popular-path
+// drilling uses this to enumerate the covering-cuboid cells below one
+// exception cell — "the cells to be computed are related only to the
+// exception cells".
 func (n *Node) WalkAtDepth(depth int, fn func(*Node)) {
 	if n.Depth == depth {
 		fn(n)
@@ -272,7 +287,7 @@ func (n *Node) WalkAtDepth(depth int, fn func(*Node)) {
 	if n.Depth > depth {
 		return
 	}
-	for _, c := range n.Children {
+	for _, c := range sortedChildren(n) {
 		c.WalkAtDepth(depth, fn)
 	}
 }
@@ -299,14 +314,16 @@ func (t *HTree) HeaderMembers(attr int) []int32 {
 	return out
 }
 
-// NodesAtDepth returns every node at depth k (1-based; k ≤ len(attrs)).
+// NodesAtDepth returns every node at depth k (1-based; k ≤ len(attrs)),
+// ordered by member and, within a member, by creation order — a canonical
+// order so downstream aggregation is reproducible.
 func (t *HTree) NodesAtDepth(k int) []*Node {
 	if k < 1 || k > len(t.attrs) {
 		return nil
 	}
 	var out []*Node
-	for _, nodes := range t.headers[k-1] {
-		out = append(out, nodes...)
+	for _, m := range t.HeaderMembers(k - 1) {
+		out = append(out, t.headers[k-1][m]...)
 	}
 	return out
 }

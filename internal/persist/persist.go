@@ -22,6 +22,16 @@ var ErrFormat = errors.New("persist: invalid format")
 // formatVersion guards against silent cross-version decoding.
 const formatVersion = 1
 
+// Checkpoint envelope versions. Version 1 wraps one single-engine
+// checkpoint; version 2 wraps one checkpoint per shard of a
+// stream.ShardedEngine. Readers accept both: a v1 file loads into a
+// sharded engine as a one-shard set (repartitioned on restore) and a v2
+// file loads into a single engine by merging its disjoint shards.
+const (
+	checkpointVersionSingle  = 1
+	checkpointVersionSharded = 2
+)
+
 // cellRec flattens one (cell, measure) pair.
 type cellRec struct {
 	Levels  []int          `json:"levels"`
@@ -117,31 +127,91 @@ func ReadResult(r io.Reader, schema *cube.Schema) (*core.Result, error) {
 	return res, nil
 }
 
-// checkpointDoc wraps a stream checkpoint with versioning.
+// checkpointDoc wraps a stream checkpoint with versioning. Exactly one of
+// Checkpoint (v1) and Shards (v2) is set.
 type checkpointDoc struct {
-	Version    int                `json:"version"`
-	Checkpoint *stream.Checkpoint `json:"checkpoint"`
+	Version    int                  `json:"version"`
+	Checkpoint *stream.Checkpoint   `json:"checkpoint,omitempty"`
+	Shards     []*stream.Checkpoint `json:"shards,omitempty"`
 }
 
-// WriteCheckpoint serializes a stream-engine checkpoint.
-func WriteCheckpoint(w io.Writer, cp *stream.Checkpoint) error {
-	if cp == nil {
-		return fmt.Errorf("%w: nil checkpoint", ErrFormat)
-	}
-	return json.NewEncoder(w).Encode(checkpointDoc{Version: formatVersion, Checkpoint: cp})
-}
-
-// ReadCheckpoint deserializes a stream-engine checkpoint.
-func ReadCheckpoint(r io.Reader) (*stream.Checkpoint, error) {
+func decodeCheckpointDoc(r io.Reader) (*checkpointDoc, error) {
 	var doc checkpointDoc
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
-	if doc.Version != formatVersion {
-		return nil, fmt.Errorf("%w: version %d, want %d", ErrFormat, doc.Version, formatVersion)
+	switch doc.Version {
+	case checkpointVersionSingle:
+		if doc.Checkpoint == nil {
+			return nil, fmt.Errorf("%w: empty checkpoint", ErrFormat)
+		}
+	case checkpointVersionSharded:
+		if len(doc.Shards) == 0 {
+			return nil, fmt.Errorf("%w: sharded checkpoint with no shards", ErrFormat)
+		}
+		for i, cp := range doc.Shards {
+			if cp == nil {
+				return nil, fmt.Errorf("%w: nil shard checkpoint %d", ErrFormat, i)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: version %d, want %d or %d", ErrFormat,
+			doc.Version, checkpointVersionSingle, checkpointVersionSharded)
 	}
-	if doc.Checkpoint == nil {
-		return nil, fmt.Errorf("%w: empty checkpoint", ErrFormat)
+	return &doc, nil
+}
+
+// WriteCheckpoint serializes a single-engine checkpoint (version 1).
+func WriteCheckpoint(w io.Writer, cp *stream.Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("%w: nil checkpoint", ErrFormat)
 	}
-	return doc.Checkpoint, nil
+	return json.NewEncoder(w).Encode(checkpointDoc{Version: checkpointVersionSingle, Checkpoint: cp})
+}
+
+// ReadCheckpoint deserializes a checkpoint for a single engine. Version-2
+// (sharded) files are accepted too: their disjoint shards merge into one
+// equivalent single-engine checkpoint, so shard-count changes between runs
+// — including back to 1 — never strand a state file.
+func ReadCheckpoint(r io.Reader) (*stream.Checkpoint, error) {
+	doc, err := decodeCheckpointDoc(r)
+	if err != nil {
+		return nil, err
+	}
+	if doc.Version == checkpointVersionSingle {
+		return doc.Checkpoint, nil
+	}
+	cp, err := (&stream.ShardedCheckpoint{Shards: doc.Shards}).Merge()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return cp, nil
+}
+
+// WriteShardedCheckpoint serializes a sharded-engine checkpoint
+// (version 2).
+func WriteShardedCheckpoint(w io.Writer, scp *stream.ShardedCheckpoint) error {
+	if scp == nil || len(scp.Shards) == 0 {
+		return fmt.Errorf("%w: empty sharded checkpoint", ErrFormat)
+	}
+	for i, cp := range scp.Shards {
+		if cp == nil {
+			return fmt.Errorf("%w: nil shard checkpoint %d", ErrFormat, i)
+		}
+	}
+	return json.NewEncoder(w).Encode(checkpointDoc{Version: checkpointVersionSharded, Shards: scp.Shards})
+}
+
+// ReadShardedCheckpoint deserializes a checkpoint for a sharded engine.
+// Version-1 (single-engine) files are accepted as a one-shard set;
+// ShardedEngine.Restore repartitions either form across its shards.
+func ReadShardedCheckpoint(r io.Reader) (*stream.ShardedCheckpoint, error) {
+	doc, err := decodeCheckpointDoc(r)
+	if err != nil {
+		return nil, err
+	}
+	if doc.Version == checkpointVersionSingle {
+		return &stream.ShardedCheckpoint{Shards: []*stream.Checkpoint{doc.Checkpoint}}, nil
+	}
+	return &stream.ShardedCheckpoint{Shards: doc.Shards}, nil
 }

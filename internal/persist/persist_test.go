@@ -198,9 +198,117 @@ func TestReadCheckpointErrors(t *testing.T) {
 	if _, err := ReadCheckpoint(strings.NewReader(`{"version":1}`)); err == nil {
 		t.Fatal("expected empty-checkpoint error")
 	}
+	if _, err := ReadCheckpoint(strings.NewReader(`{"version":2}`)); err == nil {
+		t.Fatal("expected no-shards error")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader(`{"version":2,"shards":[null]}`)); err == nil {
+		t.Fatal("expected nil-shard error")
+	}
+	if _, err := ReadShardedCheckpoint(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Fatal("expected version error")
+	}
 	var buf bytes.Buffer
 	if err := WriteCheckpoint(&buf, nil); err == nil {
 		t.Fatal("expected nil-checkpoint write error")
+	}
+	if err := WriteShardedCheckpoint(&buf, nil); err == nil {
+		t.Fatal("expected nil-sharded-checkpoint write error")
+	}
+	if err := WriteShardedCheckpoint(&buf, &stream.ShardedCheckpoint{}); err == nil {
+		t.Fatal("expected empty-sharded-checkpoint write error")
+	}
+}
+
+// shardedEngine builds a 3-shard analyzer over the persist test schema.
+func shardedEngine(t *testing.T, schema *cube.Schema) *stream.ShardedEngine {
+	t.Helper()
+	e, err := stream.NewShardedEngine(stream.Config{
+		Schema: schema, TicksPerUnit: 4, Threshold: exception.Global(0.5),
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// A v2 envelope round-trips through a sharded engine, and the same file
+// loads into a single engine via ReadCheckpoint's merge path.
+func TestShardedCheckpointCrossVersion(t *testing.T) {
+	single, schema := streamEngine(t)
+	sharded := shardedEngine(t, schema)
+	for tk := int64(0); tk < 6; tk++ {
+		for m := int32(0); m < 4; m++ {
+			if _, err := single.Ingest([]int32{m}, tk, float64(tk)*float64(m+1)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sharded.Ingest([]int32{m}, tk, float64(tk)*float64(m+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// v2 file → sharded engine (round trip) and single engine (merge).
+	scp, err := sharded.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := WriteShardedCheckpoint(&v2, scp); err != nil {
+		t.Fatal(err)
+	}
+	gotSharded, err := ReadShardedCheckpoint(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := shardedEngine(t, schema)
+	if err := restored.Restore(gotSharded); err != nil {
+		t.Fatal(err)
+	}
+	gotSingle, err := ReadCheckpoint(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := stream.NewEngine(stream.Config{
+		Schema: schema, TicksPerUnit: 4, Threshold: exception.Global(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Restore(gotSingle); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := restored.ActiveCells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != plain.ActiveCells() || restored.Unit() != plain.Unit() {
+		t.Fatalf("cross-version restore differs: %d/%d cells, units %d/%d",
+			cells, plain.ActiveCells(), restored.Unit(), plain.Unit())
+	}
+
+	// v1 file → sharded engine (one-shard set, repartitioned on restore).
+	var v1 bytes.Buffer
+	if err := WriteCheckpoint(&v1, single.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	upgraded, err := ReadShardedCheckpoint(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(upgraded.Shards) != 1 {
+		t.Fatalf("v1 file read as %d shards, want 1", len(upgraded.Shards))
+	}
+	fromV1 := shardedEngine(t, schema)
+	if err := fromV1.Restore(upgraded); err != nil {
+		t.Fatal(err)
+	}
+	cells, err = fromV1.ActiveCells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != single.ActiveCells() {
+		t.Fatalf("v1→sharded restore: %d cells, want %d", cells, single.ActiveCells())
 	}
 }
 

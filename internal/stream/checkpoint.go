@@ -106,6 +106,9 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	}
 	e.unit = cp.Unit
 	e.unitsDone = cp.UnitsDone
+	// The delta base is not checkpointed; restoring always starts a fresh
+	// base (the first restored unit carries no delta cube).
+	e.prevInputs = nil
 	e.cells = make(map[[cube.MaxDims]int32]*cellState, len(cp.Cells))
 	for _, cs := range cp.Cells {
 		if len(cs.Members) != len(e.cfg.Schema.Dims) {

@@ -11,6 +11,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -147,6 +148,12 @@ type Engine struct {
 	// prevInputs is the previous unit's m-layer (DeltaDrill only).
 	prevInputs []core.Input
 	prevUnit   int64
+	// shardDelta is set on the per-shard engines of a ShardedEngine: the
+	// delta base then tracks through locally-empty units (the global unit
+	// may still have data in other shards), so per-shard delta cubes union
+	// to the single-engine result. The coordinator suppresses the merged
+	// delta when the previous unit was globally empty.
+	shardDelta bool
 }
 
 // NewEngine validates the config and returns an engine expecting its first
@@ -244,6 +251,23 @@ func (e *Engine) Flush() (*UnitResult, error) {
 	return e.closeUnit()
 }
 
+// AdvanceTo closes units in order until `unit` is the open unit, as if a
+// record at unit's first tick had arrived. It is how a coordinator (a
+// ShardedEngine, or a wall-clock driver with sparse data) forces engines
+// past boundaries without a record; already being at or past `unit` is a
+// no-op.
+func (e *Engine) AdvanceTo(unit int64) ([]*UnitResult, error) {
+	var out []*UnitResult
+	for e.unit < unit {
+		ur, err := e.closeUnit()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ur)
+	}
+	return out, nil
+}
+
 func (e *Engine) closeUnit() (*UnitResult, error) {
 	lo := e.unitStart(e.unit)
 	hi := e.unitStart(e.unit+1) - 1
@@ -262,11 +286,27 @@ func (e *Engine) closeUnit() (*UnitResult, error) {
 		}
 		inputs = append(inputs, core.Input{Members: cs.members, Measure: isb})
 	}
+	// Canonical member order: cubing accumulates floats in input order, so
+	// sorting here makes every unit result bitwise reproducible across runs
+	// and identical between sharded and single-engine computation.
+	sort.Slice(inputs, func(i, j int) bool {
+		a, b := inputs[i].Members, inputs[j].Members
+		for d := range a {
+			if a[d] != b[d] {
+				return a[d] < b[d]
+			}
+		}
+		return false
+	})
 	// Stream data flows in-and-out: per-unit accumulators are dropped.
 	e.cells = make(map[[cube.MaxDims]int32]*cellState)
 	e.unit++
 
 	if len(inputs) == 0 {
+		if e.shardDelta && e.cfg.DeltaDrill && e.cfg.Delta != nil {
+			e.prevInputs = inputs // empty but non-nil: the base is this unit
+			e.prevUnit = ur.Unit
+		}
 		e.unitsDone++
 		return ur, nil
 	}

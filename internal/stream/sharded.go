@@ -1,0 +1,672 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/regression"
+)
+
+// ingestBatchSize is how many records the coordinator buffers per shard
+// before handing them to the shard goroutine in one channel send. Batching
+// amortizes channel synchronization over the per-record accumulator work;
+// correctness never depends on it because every unit boundary, query, and
+// checkpoint drains the buffers first.
+const ingestBatchSize = 256
+
+// record is one buffered stream record. Members are stored inline so a
+// batch is a single allocation.
+type record struct {
+	members [cube.MaxDims]int32
+	tick    int64
+	value   float64
+}
+
+// shardReply carries a control operation's outcome back to the
+// coordinator.
+type shardReply struct {
+	val any
+	err error
+}
+
+// shardMsg is one message to a shard goroutine: either a record batch
+// (recs, fire-and-forget) or a control operation (fn, answered on reply).
+// reset clears the shard's sticky error first — only Restore sets it,
+// because restoring replaces whatever state the error poisoned.
+type shardMsg struct {
+	recs  []record
+	fn    func(*Engine) (any, error)
+	reply chan shardReply
+	reset bool
+}
+
+// shard is the coordinator's handle on one shard goroutine.
+type shard struct {
+	in   chan shardMsg
+	done chan struct{}
+}
+
+// ShardedEngine partitions the online analyzer (§4.5) across N independent
+// per-shard Engines, each confined to its own goroutine and fed over a
+// channel — share memory by communicating; no locks on the hot path.
+//
+// The partition function is the m-layer cell's o-layer ancestor: every
+// record hashes by the o-level member tuple its members roll up to. Because
+// roll-up is per-dimension hierarchical, all m-cells below one o-cell — and
+// therefore every cell of every cuboid between the critical layers that
+// aggregates them — live in exactly one shard. Per-shard cube results are
+// disjoint and union to precisely the single-engine result: the merged
+// o-layer, exception sets, drill-downs, per-o-cell history, and delta cubes
+// are identical (bitwise, thanks to the canonical aggregation order) to
+// what one Engine would produce from the same stream. Alerts are returned
+// deterministically sorted (see SortAlerts); a single Engine's alert order
+// follows map iteration instead.
+//
+// Unit boundaries are the only synchronization points: a record crossing
+// the open unit's end makes the coordinator drain all shard buffers, close
+// the finished units on every shard in parallel, and merge the per-shard
+// results in shard-stable order. Between boundaries, shards ingest
+// concurrently without coordination.
+//
+// Like Engine, a ShardedEngine's methods must be called from one goroutine
+// (the issue is the coordinator state, not the shards). Record errors that
+// surface inside a shard (for example per-cell tick regressions) are
+// reported at the next unit boundary, query, or Flush rather than on the
+// Ingest call that enqueued the bad record; the first error sticks and
+// fails all subsequent calls.
+type ShardedEngine struct {
+	cfg     Config
+	nDims   int
+	shards  []*shard
+	anc     [][]int32 // per dimension: m-level member → o-level ancestor
+	pending [][]record
+	unit    int64
+	done    int64
+	// prevNonEmpty tracks whether the last closed unit had data in any
+	// shard — the delta-base adjacency rule at global scope.
+	prevNonEmpty bool
+	err          error
+	closed       bool
+}
+
+// NewShardedEngine builds a sharded analyzer with `shards` partitions. Each
+// shard runs the exact Config the single engine would; shards must be ≥ 1.
+// Call Close when done to stop the shard goroutines (Flush first for the
+// final partial unit).
+//
+// Parallelism is bounded by the number of distinct o-layer cells: a schema
+// whose o-layer is the apex cuboid has a single partition and degrades to
+// one active shard.
+func NewShardedEngine(cfg Config, shards int) (*ShardedEngine, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: %d shards", ErrConfig, shards)
+	}
+	s := &ShardedEngine{
+		cfg:     cfg,
+		shards:  make([]*shard, shards),
+		pending: make([][]record, shards),
+	}
+	engines := make([]*Engine, shards)
+	for i := range engines {
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.shardDelta = true
+		engines[i] = eng
+	}
+	s.cfg = engines[0].cfg // normalized (history bound, default path)
+	s.nDims = len(cfg.Schema.Dims)
+	s.anc = make([][]int32, s.nDims)
+	for d, dim := range cfg.Schema.Dims {
+		card := dim.Hierarchy.Cardinality(dim.MLevel)
+		tab := make([]int32, card)
+		for m := range tab {
+			tab[m] = cube.Ancestor(dim.Hierarchy, dim.MLevel, dim.OLevel, int32(m))
+		}
+		s.anc[d] = tab
+	}
+	for i := range s.shards {
+		sh := &shard{in: make(chan shardMsg, 4), done: make(chan struct{})}
+		s.shards[i] = sh
+		go sh.run(engines[i], s.nDims)
+	}
+	return s, nil
+}
+
+// run is the shard goroutine: drain record batches into the engine,
+// answer control operations, keep the first ingest error sticky.
+func (sh *shard) run(eng *Engine, nDims int) {
+	defer close(sh.done)
+	var sticky error
+	for msg := range sh.in {
+		if msg.fn == nil {
+			if sticky != nil {
+				continue
+			}
+			for i := range msg.recs {
+				r := &msg.recs[i]
+				closed, err := eng.Ingest(r.members[:nDims], r.tick, r.value)
+				if err != nil {
+					sticky = err
+					break
+				}
+				if len(closed) > 0 {
+					// The coordinator barriers every boundary before
+					// dispatching the crossing record, so a shard never
+					// closes units on its own.
+					sticky = fmt.Errorf("%w: shard closed unit outside a barrier", ErrConfig)
+					break
+				}
+			}
+			continue
+		}
+		if msg.reset {
+			sticky = nil
+		}
+		if sticky != nil {
+			msg.reply <- shardReply{err: sticky}
+			continue
+		}
+		val, err := msg.fn(eng)
+		msg.reply <- shardReply{val: val, err: err}
+	}
+}
+
+// Shards returns the shard count.
+func (s *ShardedEngine) Shards() int { return len(s.shards) }
+
+// Unit returns the index of the currently open unit.
+func (s *ShardedEngine) Unit() int64 { return s.unit }
+
+// UnitsDone returns how many units have been closed.
+func (s *ShardedEngine) UnitsDone() int64 { return s.done }
+
+func (s *ShardedEngine) unitStart(u int64) int64 {
+	return s.cfg.StartTick + u*int64(s.cfg.TicksPerUnit)
+}
+
+// hashMembers is FNV-1a over the o-level member tuple — a stable partition
+// function, so checkpoints repartition identically on every run.
+func (s *ShardedEngine) hashMembers(members *[cube.MaxDims]int32) int {
+	h := uint32(2166136261)
+	for d := 0; d < s.nDims; d++ {
+		m := uint32(members[d])
+		for i := 0; i < 4; i++ {
+			h ^= m & 0xff
+			h *= 16777619
+			m >>= 8
+		}
+	}
+	return int(h % uint32(len(s.shards)))
+}
+
+// shardOf routes an m-layer member tuple by its o-layer ancestor.
+func (s *ShardedEngine) shardOf(members []int32) (int, error) {
+	var o [cube.MaxDims]int32
+	for d := 0; d < s.nDims; d++ {
+		if members[d] < 0 || int(members[d]) >= len(s.anc[d]) {
+			return 0, fmt.Errorf("%w: member %d of dimension %s outside [0,%d)",
+				ErrRecord, members[d], s.cfg.Schema.Dims[d].Name, len(s.anc[d]))
+		}
+		o[d] = s.anc[d][members[d]]
+	}
+	return s.hashMembers(&o), nil
+}
+
+// ready guards every public operation behind the closed/sticky-error state.
+func (s *ShardedEngine) ready() error {
+	if s.closed {
+		return fmt.Errorf("%w: engine closed", ErrConfig)
+	}
+	return s.err
+}
+
+// flushPending hands every buffered batch to its shard goroutine.
+func (s *ShardedEngine) flushPending() {
+	for i, batch := range s.pending {
+		if len(batch) > 0 {
+			s.shards[i].in <- shardMsg{recs: batch}
+			s.pending[i] = nil
+		}
+	}
+}
+
+// broadcast drains buffers, runs fn on every shard concurrently, and
+// returns the replies in shard order. The first error becomes sticky.
+func (s *ShardedEngine) broadcast(fn func(*Engine) (any, error)) ([]any, error) {
+	s.flushPending()
+	replies := make([]chan shardReply, len(s.shards))
+	for i, sh := range s.shards {
+		ch := make(chan shardReply, 1)
+		replies[i] = ch
+		sh.in <- shardMsg{fn: fn, reply: ch}
+	}
+	out := make([]any, len(s.shards))
+	var firstErr error
+	for i, ch := range replies {
+		rep := <-ch
+		if rep.err != nil && firstErr == nil {
+			firstErr = rep.err
+		}
+		out[i] = rep.val
+	}
+	if firstErr != nil {
+		s.err = firstErr
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Ingest consumes one record with Engine.Ingest semantics: crossing a unit
+// boundary closes the finished units on every shard and returns the merged
+// results in order. Per-cell validation happens inside the owning shard;
+// its errors surface at the next boundary instead of here.
+func (s *ShardedEngine) Ingest(members []int32, tick int64, value float64) ([]*UnitResult, error) {
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	if len(members) != s.nDims {
+		return nil, fmt.Errorf("%w: %d members for %d dimensions", ErrRecord, len(members), s.nDims)
+	}
+	if tick < s.unitStart(s.unit) {
+		return nil, fmt.Errorf("%w: tick %d before open unit start %d", ErrRecord, tick, s.unitStart(s.unit))
+	}
+	var closed []*UnitResult
+	if tick >= s.unitStart(s.unit+1) {
+		target := (tick - s.cfg.StartTick) / int64(s.cfg.TicksPerUnit)
+		var err error
+		closed, err = s.advanceTo(target)
+		if err != nil {
+			return closed, err
+		}
+	}
+	// The single engine only range-checks members when the unit's H-tree is
+	// built; routing needs the check per record, so bad members fail here
+	// (after boundary handling, like any other record error).
+	sid, err := s.shardOf(members)
+	if err != nil {
+		return closed, err
+	}
+	var r record
+	copy(r.members[:], members)
+	r.tick, r.value = tick, value
+	s.pending[sid] = append(s.pending[sid], r)
+	if len(s.pending[sid]) >= ingestBatchSize {
+		s.shards[sid].in <- shardMsg{recs: s.pending[sid]}
+		s.pending[sid] = nil
+	}
+	return closed, nil
+}
+
+// advanceTo closes units up to (excluding) target on every shard in
+// parallel and merges the per-unit results.
+func (s *ShardedEngine) advanceTo(target int64) ([]*UnitResult, error) {
+	n := int(target - s.unit)
+	vals, err := s.broadcast(func(e *Engine) (any, error) { return e.AdvanceTo(target) })
+	if err != nil {
+		return nil, err
+	}
+	perShard := make([][]*UnitResult, len(vals))
+	for i, v := range vals {
+		urs, _ := v.([]*UnitResult)
+		if len(urs) != n {
+			s.err = fmt.Errorf("%w: shard %d closed %d units, want %d", ErrConfig, i, len(urs), n)
+			return nil, s.err
+		}
+		perShard[i] = urs
+	}
+	out := make([]*UnitResult, n)
+	for u := 0; u < n; u++ {
+		shardURs := make([]*UnitResult, len(perShard))
+		for i := range perShard {
+			shardURs[i] = perShard[i][u]
+		}
+		out[u] = s.mergeUnit(shardURs)
+	}
+	s.unit = target
+	s.done += int64(n)
+	return out, nil
+}
+
+// mergeUnit combines one unit's per-shard results. Cell maps are disjoint
+// by the partition invariant, so merging is a union; alerts are sorted into
+// the canonical order.
+func (s *ShardedEngine) mergeUnit(urs []*UnitResult) *UnitResult {
+	merged := &UnitResult{Unit: urs[0].Unit, Interval: urs[0].Interval}
+	nonEmpty := false
+	for _, ur := range urs {
+		if ur.Result != nil {
+			nonEmpty = true
+			break
+		}
+	}
+	prevNonEmpty := s.prevNonEmpty
+	s.prevNonEmpty = nonEmpty
+	if !nonEmpty {
+		return merged
+	}
+	res := &core.Result{
+		Schema:     s.cfg.Schema,
+		OLayer:     make(map[cube.CellKey]regression.ISB),
+		Exceptions: make(map[cube.CellKey]regression.ISB),
+	}
+	first := true
+	for _, ur := range urs {
+		if ur.Result == nil {
+			continue
+		}
+		for k, v := range ur.Result.OLayer {
+			res.OLayer[k] = v
+		}
+		for k, v := range ur.Result.Exceptions {
+			res.Exceptions[k] = v
+		}
+		for cb, cells := range ur.Result.PathCells {
+			if res.PathCells == nil {
+				res.PathCells = make(map[cube.Cuboid]map[cube.CellKey]regression.ISB)
+			}
+			dst := res.PathCells[cb]
+			if dst == nil {
+				dst = make(map[cube.CellKey]regression.ISB, len(cells))
+				res.PathCells[cb] = dst
+			}
+			for k, v := range cells {
+				dst[k] = v
+			}
+		}
+		mergeStats(&res.Stats, &ur.Result.Stats, first)
+		first = false
+		merged.Alerts = append(merged.Alerts, ur.Alerts...)
+	}
+	merged.Result = res
+	SortAlerts(merged.Alerts)
+	if s.cfg.DeltaDrill && s.cfg.Delta != nil && prevNonEmpty {
+		merged.Delta = mergeDeltas(s.cfg.Schema, urs)
+	}
+	return merged
+}
+
+// mergeStats folds one shard's cube statistics into the merged result.
+// Additive counters sum — including the peak estimates, since concurrent
+// shards can peak simultaneously and the sum is the safe whole-process
+// bound. Wall-clock phases take the maximum (shards run in parallel), and
+// per-cuboid counts too, since every shard walks the same lattice.
+func mergeStats(dst *core.Stats, src *core.Stats, first bool) {
+	if first {
+		*dst = *src
+		return
+	}
+	dst.Tuples += src.Tuples
+	dst.TreeNodes += src.TreeNodes
+	dst.TreeLeaves += src.TreeLeaves
+	dst.CellsComputed += src.CellsComputed
+	dst.CellsRetained += src.CellsRetained
+	dst.BytesRetained += src.BytesRetained
+	dst.PeakScratchCells += src.PeakScratchCells
+	dst.PeakBytes += src.PeakBytes
+	if src.CuboidsComputed > dst.CuboidsComputed {
+		dst.CuboidsComputed = src.CuboidsComputed
+	}
+	if src.BuildTime > dst.BuildTime {
+		dst.BuildTime = src.BuildTime
+	}
+	if src.CubeTime > dst.CubeTime {
+		dst.CubeTime = src.CubeTime
+	}
+}
+
+// mergeDeltas unions the per-shard delta cubes of one unit. Shards whose
+// current unit was empty contribute nothing, exactly as their cells
+// contribute nothing to the single engine's delta pass.
+func mergeDeltas(schema *cube.Schema, urs []*UnitResult) *core.DeltaResult {
+	var out *core.DeltaResult
+	first := true
+	for _, ur := range urs {
+		if ur.Delta == nil {
+			continue
+		}
+		if out == nil {
+			out = &core.DeltaResult{
+				Schema:     schema,
+				OLayer:     make(map[cube.CellKey]core.DeltaCell),
+				Exceptions: make(map[cube.CellKey]core.DeltaCell),
+			}
+		}
+		for k, v := range ur.Delta.OLayer {
+			out.OLayer[k] = v
+		}
+		for k, v := range ur.Delta.Exceptions {
+			out.Exceptions[k] = v
+		}
+		mergeStats(&out.Stats, &ur.Delta.Stats, first)
+		first = false
+	}
+	return out
+}
+
+// SortAlerts orders alerts canonically — by unit, cell (cube.CompareKeys),
+// then kind — and each alert's drill-down by cell. ShardedEngine results
+// are always in this order; apply it to a single Engine's results before
+// comparing the two.
+func SortAlerts(alerts []Alert) {
+	for i := range alerts {
+		drill := alerts[i].Drill
+		sort.Slice(drill, func(a, b int) bool { return cube.CompareKeys(drill[a].Key, drill[b].Key) < 0 })
+	}
+	sort.Slice(alerts, func(a, b int) bool {
+		if alerts[a].Unit != alerts[b].Unit {
+			return alerts[a].Unit < alerts[b].Unit
+		}
+		if c := cube.CompareKeys(alerts[a].Cell, alerts[b].Cell); c != 0 {
+			return c < 0
+		}
+		return alerts[a].Kind < alerts[b].Kind
+	})
+}
+
+// Flush closes the currently open unit on every shard and returns the
+// merged result (nil Result when no shard had data).
+func (s *ShardedEngine) Flush() (*UnitResult, error) {
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	urs, err := s.advanceTo(s.unit + 1)
+	if err != nil {
+		return nil, err
+	}
+	return urs[0], nil
+}
+
+// ActiveCells returns the number of m-layer cells with data in the open
+// unit, across all shards. It drains ingest buffers first.
+func (s *ShardedEngine) ActiveCells() (int, error) {
+	if err := s.ready(); err != nil {
+		return 0, err
+	}
+	vals, err := s.broadcast(func(e *Engine) (any, error) { return e.ActiveCells(), nil })
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, v := range vals {
+		total += v.(int)
+	}
+	return total, nil
+}
+
+// ask runs fn on one shard and returns its reply.
+func (s *ShardedEngine) ask(sid int, fn func(*Engine) (any, error)) (any, error) {
+	ch := make(chan shardReply, 1)
+	s.shards[sid].in <- shardMsg{fn: fn, reply: ch}
+	rep := <-ch
+	return rep.val, rep.err
+}
+
+// TrendQuery aggregates the last k units of an o-cell's history
+// (Theorem 3.3) from the shard that owns the cell.
+func (s *ShardedEngine) TrendQuery(cell cube.CellKey, k int) (regression.ISB, error) {
+	if err := s.ready(); err != nil {
+		return regression.ISB{}, err
+	}
+	val, err := s.ask(s.hashMembers(&cell.Members), func(e *Engine) (any, error) {
+		return e.TrendQuery(cell, k)
+	})
+	if err != nil {
+		return regression.ISB{}, err
+	}
+	return val.(regression.ISB), nil
+}
+
+// HistoryLen returns how many units of history an o-cell currently has.
+func (s *ShardedEngine) HistoryLen(cell cube.CellKey) (int, error) {
+	if err := s.ready(); err != nil {
+		return 0, err
+	}
+	val, err := s.ask(s.hashMembers(&cell.Members), func(e *Engine) (any, error) {
+		return e.HistoryLen(cell), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return val.(int), nil
+}
+
+// ShardedCheckpoint is the serializable state of a ShardedEngine: one
+// Checkpoint per shard. All shards agree on the open unit (boundaries are
+// barriers), so the set restores into any shard count — including 1, via
+// Merge — by repartitioning cells and history.
+type ShardedCheckpoint struct {
+	Shards []*Checkpoint `json:"shards"`
+}
+
+// validateSharded checks cross-shard consistency and returns the common
+// unit counters.
+func (scp *ShardedCheckpoint) validate() (unit, done int64, err error) {
+	if scp == nil || len(scp.Shards) == 0 {
+		return 0, 0, fmt.Errorf("%w: empty sharded checkpoint", ErrConfig)
+	}
+	for i, cp := range scp.Shards {
+		if cp == nil {
+			return 0, 0, fmt.Errorf("%w: nil shard checkpoint %d", ErrConfig, i)
+		}
+		if cp.Unit != scp.Shards[0].Unit || cp.UnitsDone != scp.Shards[0].UnitsDone {
+			return 0, 0, fmt.Errorf("%w: shard %d at unit %d/%d, shard 0 at %d/%d",
+				ErrConfig, i, cp.Unit, cp.UnitsDone, scp.Shards[0].Unit, scp.Shards[0].UnitsDone)
+		}
+	}
+	return scp.Shards[0].Unit, scp.Shards[0].UnitsDone, nil
+}
+
+// Merge flattens a sharded checkpoint into a single-engine Checkpoint.
+// Shards hold disjoint cells and history, so concatenation is lossless;
+// the result loads into a plain Engine (or re-shards into any count).
+func (scp *ShardedCheckpoint) Merge() (*Checkpoint, error) {
+	unit, done, err := scp.validate()
+	if err != nil {
+		return nil, err
+	}
+	out := &Checkpoint{Unit: unit, UnitsDone: done, Schema: scp.Shards[0].Schema}
+	for _, cp := range scp.Shards {
+		out.Cells = append(out.Cells, cp.Cells...)
+		out.History = append(out.History, cp.History...)
+	}
+	return out, nil
+}
+
+// Checkpoint drains ingest buffers and exports every shard's state.
+func (s *ShardedEngine) Checkpoint() (*ShardedCheckpoint, error) {
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	vals, err := s.broadcast(func(e *Engine) (any, error) { return e.Checkpoint(), nil })
+	if err != nil {
+		return nil, err
+	}
+	scp := &ShardedCheckpoint{Shards: make([]*Checkpoint, len(vals))}
+	for i, v := range vals {
+		scp.Shards[i] = v.(*Checkpoint)
+	}
+	return scp, nil
+}
+
+// Restore loads a checkpoint taken at any shard count — including a plain
+// Engine's (wrap it in a one-shard ShardedCheckpoint) — by repartitioning
+// cells by o-ancestor and history by o-cell across this engine's shards.
+// Buffered records not yet past a boundary are discarded, mirroring
+// Engine.Restore replacing un-checkpointed accumulator state.
+func (s *ShardedEngine) Restore(scp *ShardedCheckpoint) error {
+	if s.closed {
+		return fmt.Errorf("%w: engine closed", ErrConfig)
+	}
+	unit, done, err := scp.validate()
+	if err != nil {
+		return err
+	}
+	parts := make([]*Checkpoint, len(s.shards))
+	for i := range parts {
+		parts[i] = &Checkpoint{Unit: unit, UnitsDone: done, Schema: scp.Shards[0].Schema}
+	}
+	for _, cp := range scp.Shards {
+		for _, cs := range cp.Cells {
+			if len(cs.Members) != s.nDims {
+				return fmt.Errorf("%w: checkpoint cell has %d members", ErrConfig, len(cs.Members))
+			}
+			sid, err := s.shardOf(cs.Members)
+			if err != nil {
+				return fmt.Errorf("%w: checkpoint %v", ErrConfig, err)
+			}
+			parts[sid].Cells = append(parts[sid].Cells, cs)
+		}
+		for _, ch := range cp.History {
+			var members [cube.MaxDims]int32
+			copy(members[:], ch.Members)
+			sid := s.hashMembers(&members)
+			parts[sid].History = append(parts[sid].History, ch)
+		}
+	}
+	for i := range s.pending {
+		s.pending[i] = nil
+	}
+	replies := make([]chan shardReply, len(s.shards))
+	for i, sh := range s.shards {
+		part := parts[i]
+		ch := make(chan shardReply, 1)
+		replies[i] = ch
+		sh.in <- shardMsg{fn: func(e *Engine) (any, error) { return nil, e.Restore(part) }, reply: ch, reset: true}
+	}
+	var firstErr error
+	for _, ch := range replies {
+		if rep := <-ch; rep.err != nil && firstErr == nil {
+			firstErr = rep.err
+		}
+	}
+	if firstErr != nil {
+		s.err = firstErr
+		return firstErr
+	}
+	s.unit = unit
+	s.done = done
+	s.prevNonEmpty = false
+	s.err = nil
+	return nil
+}
+
+// Close stops the shard goroutines and waits for them to exit. Buffered
+// records that have not reached a unit boundary are dropped — Flush first
+// for the final partial unit. Close is idempotent; every other method
+// fails after it.
+func (s *ShardedEngine) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.in)
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+}

@@ -267,6 +267,24 @@ func NewSafeStreamEngine(cfg StreamConfig) (*SafeStreamEngine, error) {
 	return stream.NewSafeEngine(cfg)
 }
 
+// ShardedStreamEngine is the parallel online analyzer: m-layer cells
+// hash-partition by o-layer ancestor across per-shard engines that ingest
+// and cube concurrently, merging into results identical to a single
+// engine's (alerts deterministically sorted). See DESIGN.md §6.
+type ShardedStreamEngine = stream.ShardedEngine
+
+// NewShardedStreamEngine builds a sharded online analyzer with the given
+// shard count (≥ 1; runtime.GOMAXPROCS(0) is the natural default). Call
+// Close when done.
+func NewShardedStreamEngine(cfg StreamConfig, shards int) (*ShardedStreamEngine, error) {
+	return stream.NewShardedEngine(cfg, shards)
+}
+
+// SortStreamAlerts orders alerts (and their drill-downs) canonically —
+// sharded engines already return this order; apply it to a single engine's
+// alerts before comparing the two.
+func SortStreamAlerts(alerts []Alert) { stream.SortAlerts(alerts) }
+
 // FitMLRRaw fits a multiple regression by Householder QR on the raw
 // design matrix — the robust path for ill-conditioned bases.
 func FitMLRRaw(b MLRBasis, vars [][]float64, ys []float64) (*MLRModel, error) {
@@ -338,6 +356,10 @@ func IsException(isb ISB, threshold float64) bool { return exception.IsException
 // StreamCheckpoint is the serializable state of a stream engine.
 type StreamCheckpoint = stream.Checkpoint
 
+// ShardedStreamCheckpoint is the serializable state of a sharded stream
+// engine: one checkpoint per shard, restorable at any shard count.
+type ShardedStreamCheckpoint = stream.ShardedCheckpoint
+
 // WriteResult serializes a cubing result's retained layers as JSON.
 func WriteResult(w io.Writer, res *Result) error { return persist.WriteResult(w, res) }
 
@@ -349,8 +371,21 @@ func WriteCheckpoint(w io.Writer, cp *StreamCheckpoint) error {
 	return persist.WriteCheckpoint(w, cp)
 }
 
-// ReadCheckpoint deserializes a stream-engine checkpoint.
+// ReadCheckpoint deserializes a stream-engine checkpoint; per-shard
+// (version 2) files are merged into an equivalent single-engine state.
 func ReadCheckpoint(r io.Reader) (*StreamCheckpoint, error) { return persist.ReadCheckpoint(r) }
+
+// WriteShardedCheckpoint serializes a sharded-engine checkpoint as JSON
+// (envelope version 2).
+func WriteShardedCheckpoint(w io.Writer, scp *ShardedStreamCheckpoint) error {
+	return persist.WriteShardedCheckpoint(w, scp)
+}
+
+// ReadShardedCheckpoint deserializes a checkpoint for a sharded engine;
+// single-engine (version 1) files load as a one-shard set.
+func ReadShardedCheckpoint(r io.Reader) (*ShardedStreamCheckpoint, error) {
+	return persist.ReadShardedCheckpoint(r)
+}
 
 // WriteDatasetCSV emits a dataset in the cmd/datagen CSV format.
 func WriteDatasetCSV(w io.Writer, ds *Dataset) error { return gen.WriteCSV(w, ds) }

@@ -1,0 +1,116 @@
+package regcube
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The facade surface for the sharded analyzer: construct, ingest, flush,
+// checkpoint through the versioned envelope, and restore — with results
+// identical to the single-engine facade path.
+func TestShardedFacadeRoundTrip(t *testing.T) {
+	h, err := NewFanoutHierarchy("region", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := NewSchema(Dimension{Name: "region", Hierarchy: h, MLevel: 2, OLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StreamConfig{Schema: schema, TicksPerUnit: 4, Threshold: GlobalThreshold(0.5)}
+
+	single, err := NewStreamEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedStreamEngine(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	var wantAlerts, gotAlerts []Alert
+	for tick := int64(0); tick < 8; tick++ {
+		for m := int32(0); m < 16; m++ {
+			v := float64(tick) * float64(m%5)
+			ws, err := single.Ingest([]int32{m}, tick, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, err := sharded.Ingest([]int32{m}, tick, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ur := range ws {
+				wantAlerts = append(wantAlerts, ur.Alerts...)
+			}
+			for _, ur := range gs {
+				gotAlerts = append(gotAlerts, ur.Alerts...)
+			}
+		}
+	}
+	wf, err := single.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := sharded.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAlerts = append(wantAlerts, wf.Alerts...)
+	gotAlerts = append(gotAlerts, gf.Alerts...)
+	SortStreamAlerts(wantAlerts)
+	SortStreamAlerts(gotAlerts)
+	if len(wantAlerts) == 0 {
+		t.Fatal("expected alerts from rising slopes")
+	}
+	if len(wantAlerts) != len(gotAlerts) {
+		t.Fatalf("alerts: %d vs %d", len(gotAlerts), len(wantAlerts))
+	}
+	for i := range wantAlerts {
+		if wantAlerts[i].Cell != gotAlerts[i].Cell || wantAlerts[i].ISB != gotAlerts[i].ISB {
+			t.Fatalf("alert %d differs: %+v vs %+v", i, gotAlerts[i], wantAlerts[i])
+		}
+	}
+
+	// Versioned checkpoint envelope round-trips through the facade.
+	scp, err := sharded.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteShardedCheckpoint(&buf, scp); err != nil {
+		t.Fatal(err)
+	}
+	// The same file serves a sharded engine (any count) or a single engine.
+	raw := buf.Bytes()
+	back, err := ReadShardedCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewShardedStreamEngine(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.Restore(back); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Unit() != sharded.Unit() {
+		t.Fatalf("restored unit %d, want %d", restored.Unit(), sharded.Unit())
+	}
+	cp, err := ReadCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewStreamEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Unit() != single.Unit() {
+		t.Fatalf("merged-restore unit %d, want %d", plain.Unit(), single.Unit())
+	}
+}
