@@ -42,12 +42,14 @@ func reportCubing(b *testing.B, res *core.Result) {
 // --- Figure 8: time & space vs exception rate (D3L3C6T10K bench scale) ---
 
 func BenchmarkFig8MOCubing(b *testing.B) {
+	b.ReportAllocs()
 	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 8)
 	rates := []float64{0.001, 0.01, 0.1, 1}
 	thresholds := ds.CalibrateThresholds(rates)
 	for i, rate := range rates {
 		thr := exception.Global(thresholds[i])
 		b.Run(fmt.Sprintf("exc=%g%%", rate*100), func(b *testing.B) {
+			b.ReportAllocs()
 			var last *core.Result
 			for n := 0; n < b.N; n++ {
 				res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
@@ -62,6 +64,7 @@ func BenchmarkFig8MOCubing(b *testing.B) {
 }
 
 func BenchmarkFig8PopularPath(b *testing.B) {
+	b.ReportAllocs()
 	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 8)
 	path := cube.NewLattice(ds.Schema).DefaultPath()
 	rates := []float64{0.001, 0.01, 0.1, 1}
@@ -69,6 +72,7 @@ func BenchmarkFig8PopularPath(b *testing.B) {
 	for i, rate := range rates {
 		thr := exception.Global(thresholds[i])
 		b.Run(fmt.Sprintf("exc=%g%%", rate*100), func(b *testing.B) {
+			b.ReportAllocs()
 			var last *core.Result
 			for n := 0; n < b.N; n++ {
 				res, err := core.PopularPath(ds.Schema, ds.Inputs, thr, path)
@@ -85,6 +89,7 @@ func BenchmarkFig8PopularPath(b *testing.B) {
 // --- Figure 9: time & space vs m-layer size (D3L3C6, 1% exceptions) ------
 
 func BenchmarkFig9MOCubing(b *testing.B) {
+	b.ReportAllocs()
 	full := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 32000}, 9)
 	for _, size := range []int{4000, 8000, 16000, 32000} {
 		ds, err := full.Subset(size)
@@ -93,6 +98,7 @@ func BenchmarkFig9MOCubing(b *testing.B) {
 		}
 		thr := exception.Global(ds.CalibrateThreshold(0.01))
 		b.Run(fmt.Sprintf("T=%dK", size/1000), func(b *testing.B) {
+			b.ReportAllocs()
 			var last *core.Result
 			for n := 0; n < b.N; n++ {
 				res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
@@ -107,6 +113,7 @@ func BenchmarkFig9MOCubing(b *testing.B) {
 }
 
 func BenchmarkFig9PopularPath(b *testing.B) {
+	b.ReportAllocs()
 	full := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 32000}, 9)
 	path := cube.NewLattice(full.Schema).DefaultPath()
 	for _, size := range []int{4000, 8000, 16000, 32000} {
@@ -116,6 +123,7 @@ func BenchmarkFig9PopularPath(b *testing.B) {
 		}
 		thr := exception.Global(ds.CalibrateThreshold(0.01))
 		b.Run(fmt.Sprintf("T=%dK", size/1000), func(b *testing.B) {
+			b.ReportAllocs()
 			var last *core.Result
 			for n := 0; n < b.N; n++ {
 				res, err := core.PopularPath(ds.Schema, ds.Inputs, thr, path)
@@ -132,10 +140,12 @@ func BenchmarkFig9PopularPath(b *testing.B) {
 // --- Figure 10: time & space vs #levels (D2C10T10K bench scale) ----------
 
 func BenchmarkFig10MOCubing(b *testing.B) {
+	b.ReportAllocs()
 	for _, levels := range []int{3, 4, 5} {
 		ds := benchDataset(b, gen.Spec{Dims: 2, Levels: levels, Fanout: 10, Tuples: 10000}, 10)
 		thr := exception.Global(ds.CalibrateThreshold(0.01))
 		b.Run(fmt.Sprintf("L=%d", levels), func(b *testing.B) {
+			b.ReportAllocs()
 			var last *core.Result
 			for n := 0; n < b.N; n++ {
 				res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
@@ -150,11 +160,13 @@ func BenchmarkFig10MOCubing(b *testing.B) {
 }
 
 func BenchmarkFig10PopularPath(b *testing.B) {
+	b.ReportAllocs()
 	for _, levels := range []int{3, 4, 5} {
 		ds := benchDataset(b, gen.Spec{Dims: 2, Levels: levels, Fanout: 10, Tuples: 10000}, 10)
 		path := cube.NewLattice(ds.Schema).DefaultPath()
 		thr := exception.Global(ds.CalibrateThreshold(0.01))
 		b.Run(fmt.Sprintf("L=%d", levels), func(b *testing.B) {
+			b.ReportAllocs()
 			var last *core.Result
 			for n := 0; n < b.N; n++ {
 				res, err := core.PopularPath(ds.Schema, ds.Inputs, thr, path)
@@ -171,6 +183,7 @@ func BenchmarkFig10PopularPath(b *testing.B) {
 // --- Substrate micro-benchmarks ------------------------------------------
 
 func BenchmarkFit100Points(b *testing.B) {
+	b.ReportAllocs()
 	s := timeseries.NewSynth(1).Linear(0, 100, 5, 0.2, 1)
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
@@ -181,6 +194,7 @@ func BenchmarkFit100Points(b *testing.B) {
 }
 
 func BenchmarkAggregateStandard8(b *testing.B) {
+	b.ReportAllocs()
 	isbs := make([]regression.ISB, 8)
 	for i := range isbs {
 		isbs[i] = regression.ISB{Tb: 0, Te: 99, Base: float64(i), Slope: float64(i) / 10}
@@ -194,6 +208,7 @@ func BenchmarkAggregateStandard8(b *testing.B) {
 }
 
 func BenchmarkAggregateTime8(b *testing.B) {
+	b.ReportAllocs()
 	isbs := make([]regression.ISB, 8)
 	for i := range isbs {
 		isbs[i] = regression.ISB{Tb: int64(i * 10), Te: int64(i*10 + 9), Base: float64(i), Slope: 0.5}
@@ -207,6 +222,7 @@ func BenchmarkAggregateTime8(b *testing.B) {
 }
 
 func BenchmarkAccumulatorAdd(b *testing.B) {
+	b.ReportAllocs()
 	acc := regression.NewAccumulator(0)
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
@@ -217,6 +233,7 @@ func BenchmarkAccumulatorAdd(b *testing.B) {
 }
 
 func BenchmarkHTreeInsert(b *testing.B) {
+	b.ReportAllocs()
 	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 11)
 	attrs := htree.CardinalityOrder(ds.Schema)
 	b.ResetTimer()
@@ -241,6 +258,7 @@ func BenchmarkHTreeInsert(b *testing.B) {
 var benchTree *htree.HTree
 
 func BenchmarkTiltFrameAdd(b *testing.B) {
+	b.ReportAllocs()
 	f := tilt.MustNew(tilt.CalendarLevels(), 0)
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
@@ -251,6 +269,7 @@ func BenchmarkTiltFrameAdd(b *testing.B) {
 }
 
 func BenchmarkStreamIngest(b *testing.B) {
+	b.ReportAllocs()
 	h, err := cube.NewFanoutHierarchy("A", 4, 2)
 	if err != nil {
 		b.Fatal(err)
@@ -317,6 +336,7 @@ func shardedBenchCells() [][]int32 {
 // ActiveCells barrier, inside the timer) waits for queued shard work so it
 // is charged to the run. Near-linear scaling here needs ≥ `shards` cores.
 func BenchmarkShardedIngest(b *testing.B) {
+	b.ReportAllocs()
 	schema := shardedBenchSchema(b)
 	cells := shardedBenchCells()
 	cfg := stream.Config{
@@ -338,6 +358,7 @@ func BenchmarkShardedIngest(b *testing.B) {
 		}
 	}
 	b.Run("single-engine", func(b *testing.B) {
+		b.ReportAllocs()
 		eng, err := stream.NewEngine(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -348,6 +369,7 @@ func BenchmarkShardedIngest(b *testing.B) {
 	})
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			eng, err := stream.NewShardedEngine(cfg, shards)
 			if err != nil {
 				b.Fatal(err)
@@ -363,6 +385,7 @@ func BenchmarkShardedIngest(b *testing.B) {
 // End-to-end pipeline: a unit closes (and cubes, in parallel across
 // shards) every 64 ticks × 256 cells, the dominant cost at stream scale.
 func BenchmarkShardedPipeline(b *testing.B) {
+	b.ReportAllocs()
 	schema := shardedBenchSchema(b)
 	cells := shardedBenchCells()
 	cfg := stream.Config{
@@ -372,6 +395,7 @@ func BenchmarkShardedPipeline(b *testing.B) {
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			eng, err := stream.NewShardedEngine(cfg, shards)
 			if err != nil {
 				b.Fatal(err)
@@ -401,6 +425,7 @@ func BenchmarkShardedPipeline(b *testing.B) {
 // pays for prefix structure; the flat map cannot serve path cuboids or
 // header-table traversals.
 func BenchmarkAblationHTreeBuild(b *testing.B) {
+	b.ReportAllocs()
 	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 12)
 	attrs := htree.CardinalityOrder(ds.Schema)
 	b.ResetTimer()
@@ -418,6 +443,7 @@ func BenchmarkAblationHTreeBuild(b *testing.B) {
 }
 
 func BenchmarkAblationFlatMapBuild(b *testing.B) {
+	b.ReportAllocs()
 	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 12)
 	m := ds.Schema.MLayer()
 	b.ResetTimer()
@@ -441,9 +467,11 @@ func BenchmarkAblationFlatMapBuild(b *testing.B) {
 // Ablation: exception-only retention (the paper's Framework 4.1) vs full
 // materialization of every cuboid — the memory blowup the framework avoids.
 func BenchmarkAblationExceptionRetention(b *testing.B) {
+	b.ReportAllocs()
 	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 2, Fanout: 8, Tuples: 10000}, 13)
 	thr := exception.Global(ds.CalibrateThreshold(0.01))
 	b.Run("exception-only", func(b *testing.B) {
+		b.ReportAllocs()
 		var last *core.Result
 		for n := 0; n < b.N; n++ {
 			res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
@@ -455,6 +483,7 @@ func BenchmarkAblationExceptionRetention(b *testing.B) {
 		b.ReportMetric(float64(last.Stats.CellsRetained), "retained/op")
 	})
 	b.Run("full-materialization", func(b *testing.B) {
+		b.ReportAllocs()
 		// Threshold 0 makes every cell exceptional: everything is retained.
 		full := exception.Global(0)
 		var last *core.Result
@@ -473,9 +502,11 @@ func BenchmarkAblationExceptionRetention(b *testing.B) {
 // BUC partitioning vs dense multiway arrays vs full materialization
 // (§7's suggested alternatives, all producing identical answers).
 func BenchmarkAblationEngines(b *testing.B) {
+	b.ReportAllocs()
 	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 2, Fanout: 8, Tuples: 20000}, 14)
 	thr := exception.Global(ds.CalibrateThreshold(0.01))
 	b.Run("mo-cubing", func(b *testing.B) {
+		b.ReportAllocs()
 		var last *core.Result
 		for n := 0; n < b.N; n++ {
 			res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
@@ -487,6 +518,7 @@ func BenchmarkAblationEngines(b *testing.B) {
 		reportCubing(b, last)
 	})
 	b.Run("buc", func(b *testing.B) {
+		b.ReportAllocs()
 		var last *core.Result
 		for n := 0; n < b.N; n++ {
 			res, err := core.BUCCubing(ds.Schema, ds.Inputs, thr, core.BUCOptions{})
@@ -498,6 +530,7 @@ func BenchmarkAblationEngines(b *testing.B) {
 		reportCubing(b, last)
 	})
 	b.Run("buc-minsup8", func(b *testing.B) {
+		b.ReportAllocs()
 		var last *core.Result
 		for n := 0; n < b.N; n++ {
 			res, err := core.BUCCubing(ds.Schema, ds.Inputs, thr, core.BUCOptions{MinSupport: 8})
@@ -509,6 +542,7 @@ func BenchmarkAblationEngines(b *testing.B) {
 		reportCubing(b, last)
 	})
 	b.Run("array", func(b *testing.B) {
+		b.ReportAllocs()
 		var last *core.Result
 		for n := 0; n < b.N; n++ {
 			res, err := core.ArrayCubing(ds.Schema, ds.Inputs, thr)
@@ -520,6 +554,7 @@ func BenchmarkAblationEngines(b *testing.B) {
 		reportCubing(b, last)
 	})
 	b.Run("full-materialize", func(b *testing.B) {
+		b.ReportAllocs()
 		var last *core.FullResult
 		for n := 0; n < b.N; n++ {
 			res, err := core.FullCubing(ds.Schema, ds.Inputs)
@@ -532,9 +567,70 @@ func BenchmarkAblationEngines(b *testing.B) {
 	})
 }
 
+// Ablation: precomputed AncestorIndex roll-up vs the interface-walking
+// cube.RollUpKey in m/o-cubing's cuboid×leaf loop — identical sorted-run
+// aggregation (and identical bitwise results) in both arms, so the gap is
+// purely the per-leaf ancestor resolution (DESIGN.md §5 #7).
+func BenchmarkAblationAncestorIndex(b *testing.B) {
+	b.ReportAllocs()
+	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 16)
+	thr := exception.Global(ds.CalibrateThreshold(0.01))
+	for _, bc := range []struct {
+		name string
+		opts core.CubingOptions
+	}{
+		{"indexed", core.CubingOptions{}},
+		{"interface-walk", core.CubingOptions{NoAncestorIndex: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var last *core.Result
+			for n := 0; n < b.N; n++ {
+				res, err := core.MOCubingWith(ds.Schema, ds.Inputs, thr, bc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			reportCubing(b, last)
+		})
+	}
+}
+
+// Ablation: the reusable sorted-run scratch aggregator vs the original
+// per-cuboid map header table — AncestorIndex roll-ups (and identical
+// bitwise results) in both arms, so the gap is purely the scratch
+// strategy's allocation and hashing churn (DESIGN.md §5 #8).
+func BenchmarkAblationScratchReuse(b *testing.B) {
+	b.ReportAllocs()
+	ds := benchDataset(b, gen.Spec{Dims: 3, Levels: 3, Fanout: 6, Tuples: 10000}, 16)
+	thr := exception.Global(ds.CalibrateThreshold(0.01))
+	for _, bc := range []struct {
+		name string
+		opts core.CubingOptions
+	}{
+		{"sorted-run", core.CubingOptions{}},
+		{"map-scratch", core.CubingOptions{MapScratch: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var last *core.Result
+			for n := 0; n < b.N; n++ {
+				res, err := core.MOCubingWith(ds.Schema, ds.Inputs, thr, bc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			reportCubing(b, last)
+		})
+	}
+}
+
 // Ablation: workload skew. Zipf-hot cells share H-tree prefixes, shrinking
 // the tree and the m-layer relative to a uniform draw of the same size.
 func BenchmarkAblationSkew(b *testing.B) {
+	b.ReportAllocs()
 	for _, skew := range []float64{0, 0.5, 1.0} {
 		ds, err := gen.Generate(gen.Config{
 			Spec: gen.Spec{Dims: 3, Levels: 2, Fanout: 8, Tuples: 20000},
@@ -545,6 +641,7 @@ func BenchmarkAblationSkew(b *testing.B) {
 		}
 		thr := exception.Global(ds.CalibrateThreshold(0.01))
 		b.Run(fmt.Sprintf("skew=%.1f", skew), func(b *testing.B) {
+			b.ReportAllocs()
 			var last *core.Result
 			for n := 0; n < b.N; n++ {
 				res, err := core.MOCubing(ds.Schema, ds.Inputs, thr)
@@ -563,8 +660,10 @@ func BenchmarkAblationSkew(b *testing.B) {
 // Example 3 space saving, measured as retained slots after a year of
 // quarter-hours.
 func BenchmarkAblationTiltVsFullFrame(b *testing.B) {
+	b.ReportAllocs()
 	const quartersPerYear = 366 * 24 * 4
 	b.Run("tilt-frame", func(b *testing.B) {
+		b.ReportAllocs()
 		for n := 0; n < b.N; n++ {
 			f := tilt.MustNew(tilt.CalendarLevels(), 0)
 			for q := 0; q < quartersPerYear/32; q++ { // scaled year
@@ -578,6 +677,7 @@ func BenchmarkAblationTiltVsFullFrame(b *testing.B) {
 		}
 	})
 	b.Run("full-frame", func(b *testing.B) {
+		b.ReportAllocs()
 		for n := 0; n < b.N; n++ {
 			slots := make([]regression.ISB, 0, quartersPerYear/32)
 			acc := regression.NewAccumulator(0)

@@ -94,26 +94,22 @@ func DeltaCubing(s *cube.Schema, cur, prev []Input, det exception.Delta) (*Delta
 
 	cubeStart := time.Now()
 	oLayer := s.OLayer()
+	// Precomputed ancestor tables: every m-cell rolls up per cuboid with
+	// slice indexing instead of an interface walk (m-layer keys dominate
+	// every lattice cuboid, so the unchecked RollUp is safe).
+	idx := cube.NewAncestorIndex(s)
 	// Canonical m-cell order: per-cell sums are then bitwise reproducible.
 	curKeys := sortedCellKeys(curM)
 	prevKeys := sortedCellKeys(prevM)
 	for _, c := range lattice.Cuboids() {
 		st.CuboidsComputed++
-		curCells := make(map[cube.CellKey]regression.ISB)
+		curCells := make(map[cube.CellKey]regression.ISB, len(curKeys))
 		for _, key := range curKeys {
-			up, err := cube.RollUpKey(s, key, c)
-			if err != nil {
-				return nil, err
-			}
-			accumulate(curCells, up, curM[key])
+			accumulate(curCells, idx.RollUp(key, c), curM[key])
 		}
-		prevCells := make(map[cube.CellKey]regression.ISB)
+		prevCells := make(map[cube.CellKey]regression.ISB, len(prevKeys))
 		for _, key := range prevKeys {
-			up, err := cube.RollUpKey(s, key, c)
-			if err != nil {
-				return nil, err
-			}
-			accumulate(prevCells, up, prevM[key])
+			accumulate(prevCells, idx.RollUp(key, c), prevM[key])
 		}
 		st.CellsComputed += int64(len(curCells))
 		if n := int64(len(curCells) + len(prevCells)); n > st.PeakScratchCells {

@@ -20,7 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/cube"
@@ -149,15 +149,122 @@ func sortedCellKeys[V any](m map[cube.CellKey]V) []cube.CellKey {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return cube.CompareKeys(keys[i], keys[j]) < 0 })
+	slices.SortFunc(keys, cube.CompareKeys)
 	return keys
+}
+
+// CubingOptions disables the hot-path optimizations of MOCubing, keeping
+// the original implementation callable for the ablation benchmarks and the
+// old-vs-new bitwise agreement tests. The zero value — every optimization
+// on — is what MOCubing runs.
+type CubingOptions struct {
+	// MapScratch restores the per-cuboid map[cube.CellKey]regression.ISB
+	// header table instead of the reusable sorted-run aggregator.
+	MapScratch bool
+	// NoAncestorIndex resolves roll-ups with the interface-walking
+	// cube.RollUpKey instead of the precomputed cube.AncestorIndex.
+	NoAncestorIndex bool
+}
+
+// runEntry is one rolled-up leaf in the sorted-run aggregator: the target
+// cell as a linear code and the index of the source leaf. The stable radix
+// sort groups equal cells while preserving leaf order inside each group, so
+// the float accumulation order is exactly the map path's.
+type runEntry struct {
+	code uint64
+	idx  int32
+}
+
+// dimResolver is one dimension's precompiled (m-level → cuboid-level)
+// resolution: exactly one of table / divide / walk, already multiplied into
+// the cuboid's linear code by stride. The zero mode (everything unset)
+// is the ALL level, contributing nothing to the code.
+type dimResolver struct {
+	stride uint64
+	tab    []int32 // table mode: tab[member]
+	div    int64   // divide mode when > 0: member / div (1 = identity)
+	walk   bool    // fallback mode: per-leaf Ancestor walk
+}
+
+// runScratch is the reusable per-cuboid aggregation state of one MOCubing
+// call: allocated once, reused for every cuboid pass ("one local header
+// table at a time", without the churn).
+type runScratch struct {
+	entries []runEntry
+	spare   []runEntry // radix ping-pong buffer
+	plan    []dimResolver
+	cells   []Cell // aggregated cells of the current cuboid
+}
+
+// cuboidCoder computes the linear coding of a cuboid's cells: the
+// mixed-radix encoding of the member tuple by per-dimension cardinality,
+// most significant dimension first — an order-embedding of
+// cube.CompareKeys restricted to one cuboid. ok is false when the cuboid's
+// cell space exceeds the uint64 range (the caller falls back to key
+// sorting).
+func cuboidCoder(s *cube.Schema, c cube.Cuboid) (strides, cards [cube.MaxDims]uint64, total uint64, ok bool) {
+	const limit = uint64(1) << 62
+	total = 1
+	for d := len(s.Dims) - 1; d >= 0; d-- {
+		strides[d] = total
+		card := uint64(s.Dims[d].Hierarchy.Cardinality(c.Level(d)))
+		cards[d] = card
+		if card == 0 || total > limit/card {
+			return strides, cards, total, false
+		}
+		total *= card
+	}
+	return strides, cards, total, true
+}
+
+// radixSortByCode stable-sorts entries by code with an LSB radix pass per
+// used byte, ping-ponging between entries and spare (equal length). It
+// returns (sorted, other). Stability is what carries the leaf order into
+// each run. Passes whose byte is constant across all entries are skipped.
+func radixSortByCode(entries, spare []runEntry, maxCode uint64) (sorted, other []runEntry) {
+	if len(entries) < 2 {
+		return entries, spare
+	}
+	var counts [256]int
+	for shift := uint(0); maxCode>>shift != 0; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range entries {
+			counts[(entries[i].code>>shift)&0xff]++
+		}
+		if counts[(entries[0].code>>shift)&0xff] == len(entries) {
+			continue // constant byte: nothing to move
+		}
+		sum := 0
+		for i := range counts {
+			n := counts[i]
+			counts[i] = sum
+			sum += n
+		}
+		for i := range entries {
+			b := (entries[i].code >> shift) & 0xff
+			spare[counts[b]] = entries[i]
+			counts[b]++
+		}
+		entries, spare = spare, entries
+	}
+	return entries, spare
 }
 
 // MOCubing runs Algorithm 1 (m/o H-cubing). It aggregates every cuboid of
 // the lattice from the H-tree's m-layer cells, one cuboid at a time in a
-// reused scratch header table, and retains only exception cells in between
+// reused scratch aggregator, and retains only exception cells in between
 // the layers (all cells at the o-layer, which is also returned).
 func MOCubing(s *cube.Schema, inputs []Input, thr exception.Thresholder) (*Result, error) {
+	return MOCubingWith(s, inputs, thr, CubingOptions{})
+}
+
+// MOCubingWith is MOCubing with explicit optimization toggles — see
+// CubingOptions. Every combination produces bitwise-identical results; only
+// the cost differs (BenchmarkAblationAncestorIndex/ScratchReuse, and the
+// agreement property tests, are the referees).
+func MOCubingWith(s *cube.Schema, inputs []Input, thr exception.Thresholder, opts CubingOptions) (*Result, error) {
 	if err := validate(s, inputs); err != nil {
 		return nil, err
 	}
@@ -168,6 +275,7 @@ func MOCubing(s *cube.Schema, inputs []Input, thr exception.Thresholder) (*Resul
 	}
 	build := time.Since(start)
 
+	idx := tree.AncestorIndex() // built once with the tree
 	lattice := cube.NewLattice(s)
 	res := &Result{
 		Schema:     s,
@@ -190,6 +298,7 @@ func MOCubing(s *cube.Schema, inputs []Input, thr exception.Thresholder) (*Resul
 	for i, leaf := range leaves {
 		leafCells[i] = Cell{Key: tree.CellKeyOf(leaf), ISB: leaf.Measure}
 	}
+	var scratch runScratch
 
 	treeBytes := tree.BytesEstimate()
 	for _, c := range lattice.Cuboids() {
@@ -212,34 +321,63 @@ func MOCubing(s *cube.Schema, inputs []Input, thr exception.Thresholder) (*Resul
 			}
 			continue
 		}
-		// One local header table, reused per cuboid (space minimized as in
-		// the paper's H-cubing note).
-		scratch := make(map[cube.CellKey]regression.ISB)
-		for _, lc := range leafCells {
-			key, err := cube.RollUpKey(s, lc.Key, c)
-			if err != nil {
+		var distinct int64
+		var retain func(yield func(cube.CellKey, regression.ISB))
+		if opts.MapScratch {
+			table := make(map[cube.CellKey]regression.ISB)
+			for _, lc := range leafCells {
+				var key cube.CellKey
+				if opts.NoAncestorIndex {
+					key, err = cube.RollUpKey(s, lc.Key, c)
+					if err != nil {
+						return nil, err
+					}
+				} else {
+					key = idx.RollUp(lc.Key, c)
+				}
+				accumulate(table, key, lc.ISB)
+			}
+			distinct = int64(len(table))
+			retain = func(yield func(cube.CellKey, regression.ISB)) {
+				for key, isb := range table {
+					yield(key, isb)
+				}
+			}
+		} else {
+			if err := scratch.aggregate(s, idx, leafCells, c, opts.NoAncestorIndex); err != nil {
 				return nil, err
 			}
-			accumulate(scratch, key, lc.ISB)
+			distinct = int64(len(scratch.cells))
+			retain = func(yield func(cube.CellKey, regression.ISB)) {
+				for i := range scratch.cells {
+					yield(scratch.cells[i].Key, scratch.cells[i].ISB)
+				}
+			}
 		}
-		st.CellsComputed += int64(len(scratch))
-		if n := int64(len(scratch)); n > st.PeakScratchCells {
-			st.PeakScratchCells = n
+		st.CellsComputed += distinct
+		if distinct > st.PeakScratchCells {
+			st.PeakScratchCells = distinct
 		}
-		peak := treeBytes + (int64(len(scratch))+int64(len(res.Exceptions))+int64(len(res.OLayer)))*bytesPerCell
+		peak := treeBytes + (distinct+int64(len(res.Exceptions))+int64(len(res.OLayer)))*bytesPerCell
+		if !opts.MapScratch {
+			// The run aggregator's two leaf-proportional entry buffers are
+			// scratch too; keep the memory panels honest about them.
+			const runEntryBytes = 16
+			peak += int64(cap(scratch.entries)+cap(scratch.spare)) * runEntryBytes
+		}
 		if peak > st.PeakBytes {
 			st.PeakBytes = peak
 		}
 		threshold := thr.Threshold(c)
 		isO := c.Equal(oLayer)
-		for key, isb := range scratch {
+		retain(func(key cube.CellKey, isb regression.ISB) {
 			if isO {
 				res.OLayer[key] = isb
 			}
 			if exception.IsException(isb, threshold) {
 				res.Exceptions[key] = isb
 			}
-		}
+		})
 	}
 	st.CubeTime = time.Since(cubeStart)
 	st.CellsRetained = int64(len(res.OLayer) + len(res.Exceptions))
@@ -248,4 +386,119 @@ func MOCubing(s *cube.Schema, inputs []Input, thr exception.Thresholder) (*Resul
 		st.PeakBytes = st.BytesRetained
 	}
 	return res, nil
+}
+
+// aggregate rolls every leaf up to cuboid c and sums equal cells into
+// sc.cells, reusing sc's buffers. The accumulation order inside each cell
+// is leaf order — identical to the map path's operand order, so results
+// are bitwise equal; only the bookkeeping differs (append + stable radix
+// sort instead of map assignments).
+func (sc *runScratch) aggregate(s *cube.Schema, idx *cube.AncestorIndex, leafCells []Cell, c cube.Cuboid, noIndex bool) error {
+	strides, cards, total, coded := cuboidCoder(s, c)
+	sc.cells = sc.cells[:0]
+	if !coded {
+		return sc.aggregateByKey(s, leafCells, c)
+	}
+
+	nd := len(s.Dims)
+	sc.entries = sc.entries[:0]
+	if noIndex {
+		// Ablation path: the interface-walking roll-up feeds the same coded
+		// aggregation, isolating the AncestorIndex's contribution.
+		for i := range leafCells {
+			key, err := cube.RollUpKey(s, leafCells[i].Key, c)
+			if err != nil {
+				return err
+			}
+			code := uint64(0)
+			for d := 0; d < nd; d++ {
+				code += uint64(key.Members[d]) * strides[d]
+			}
+			sc.entries = append(sc.entries, runEntry{code: code, idx: int32(i)})
+		}
+	} else {
+		// Compile the per-dimension resolution once per cuboid, then code
+		// every leaf with plain arithmetic — no calls in the inner loop.
+		sc.plan = sc.plan[:0]
+		mLayer := s.MLayer()
+		for d := 0; d < nd; d++ {
+			from, to := mLayer.Level(d), c.Level(d)
+			r := dimResolver{stride: strides[d]}
+			if to > 0 {
+				if div, ok := idx.DivisorFor(d, from, to); ok {
+					r.div = div
+				} else if tab := idx.TableFor(d, from, to); tab != nil {
+					r.tab = tab
+				} else {
+					r.walk = true
+				}
+			}
+			sc.plan = append(sc.plan, r)
+		}
+		for i := range leafCells {
+			members := &leafCells[i].Key.Members
+			code := uint64(0)
+			for d := range sc.plan {
+				p := &sc.plan[d]
+				switch {
+				case p.tab != nil:
+					code += uint64(p.tab[members[d]]) * p.stride
+				case p.div > 0:
+					code += uint64(int64(members[d])/p.div) * p.stride
+				case p.walk:
+					code += uint64(idx.Ancestor(d, mLayer.Level(d), c.Level(d), members[d])) * p.stride
+				}
+			}
+			sc.entries = append(sc.entries, runEntry{code: code, idx: int32(i)})
+		}
+	}
+	if cap(sc.spare) < len(sc.entries) {
+		sc.spare = make([]runEntry, len(sc.entries))
+	}
+	sorted, other := radixSortByCode(sc.entries, sc.spare[:len(sc.entries)], total-1)
+	sc.entries, sc.spare = sorted, other
+
+	for r := 0; r < len(sorted); {
+		first := sorted[r]
+		key := cube.CellKey{Cuboid: c}
+		for d := 0; d < nd; d++ {
+			key.Members[d] = int32(first.code / strides[d] % cards[d])
+		}
+		cell := Cell{Key: key, ISB: leafCells[first.idx].ISB}
+		for r++; r < len(sorted) && sorted[r].code == first.code; r++ {
+			isb := &leafCells[sorted[r].idx].ISB
+			cell.ISB.Base += isb.Base
+			cell.ISB.Slope += isb.Slope
+		}
+		sc.cells = append(sc.cells, cell)
+	}
+	return nil
+}
+
+// aggregateByKey is the uncoded fallback: cuboids whose cell space
+// overflows a uint64 linear code sort rolled cells by key directly
+// (stable, preserving leaf order within equal keys).
+func (sc *runScratch) aggregateByKey(s *cube.Schema, leafCells []Cell, c cube.Cuboid) error {
+	for i := range leafCells {
+		key, err := cube.RollUpKey(s, leafCells[i].Key, c)
+		if err != nil {
+			return err
+		}
+		sc.cells = append(sc.cells, Cell{Key: key, ISB: leafCells[i].ISB})
+	}
+	slices.SortStableFunc(sc.cells, func(a, b Cell) int { return cube.CompareKeys(a.Key, b.Key) })
+	w := 0
+	for r := 1; r < len(sc.cells); r++ {
+		if cube.CompareKeys(sc.cells[r].Key, sc.cells[w].Key) == 0 {
+			sc.cells[w].ISB.Base += sc.cells[r].ISB.Base
+			sc.cells[w].ISB.Slope += sc.cells[r].ISB.Slope
+		} else {
+			w++
+			sc.cells[w] = sc.cells[r]
+		}
+	}
+	if len(sc.cells) > 0 {
+		sc.cells = sc.cells[:w+1]
+	}
+	return nil
 }

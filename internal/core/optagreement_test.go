@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/regression"
+)
+
+// bitwiseEqualResults demands exact float equality — the optimized paths
+// must replay the unoptimized paths' operand order, not approximate it.
+func bitwiseEqualResults(a, b *Result) error {
+	if len(a.OLayer) != len(b.OLayer) {
+		return fmt.Errorf("o-layer size %d vs %d", len(a.OLayer), len(b.OLayer))
+	}
+	for key, want := range a.OLayer {
+		if got, ok := b.OLayer[key]; !ok || got != want {
+			return fmt.Errorf("o-layer cell %v: %v vs %v", key, want, got)
+		}
+	}
+	if len(a.Exceptions) != len(b.Exceptions) {
+		return fmt.Errorf("exceptions size %d vs %d", len(a.Exceptions), len(b.Exceptions))
+	}
+	for key, want := range a.Exceptions {
+		if got, ok := b.Exceptions[key]; !ok || got != want {
+			return fmt.Errorf("exception cell %v: %v vs %v", key, want, got)
+		}
+	}
+	if a.Stats.CellsComputed != b.Stats.CellsComputed ||
+		a.Stats.CellsRetained != b.Stats.CellsRetained ||
+		a.Stats.PeakScratchCells != b.Stats.PeakScratchCells ||
+		a.Stats.CuboidsComputed != b.Stats.CuboidsComputed ||
+		a.Stats.TreeNodes != b.Stats.TreeNodes ||
+		a.Stats.TreeLeaves != b.Stats.TreeLeaves {
+		return fmt.Errorf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+	return nil
+}
+
+// randomAgreementSchema mixes fanout and explicitly-enumerated hierarchies
+// so both AncestorIndex strategies are exercised.
+func randomAgreementSchema(r *rand.Rand) (*cube.Schema, error) {
+	nDims := 1 + r.Intn(3)
+	dims := make([]cube.Dimension, nDims)
+	for d := 0; d < nDims; d++ {
+		levels := 1 + r.Intn(3)
+		var h cube.Hierarchy
+		if r.Intn(2) == 0 {
+			fh, err := cube.NewFanoutHierarchy(string(rune('A'+d)), 2+r.Intn(3), levels)
+			if err != nil {
+				return nil, err
+			}
+			h = fh
+		} else {
+			nh := cube.NewNamedHierarchy(string(rune('A' + d)))
+			card := 2 + r.Intn(3)
+			names := make([]string, card)
+			for i := range names {
+				names[i] = fmt.Sprintf("d%d.1.%d", d, i)
+			}
+			if err := nh.AddLevel(names, nil); err != nil {
+				return nil, err
+			}
+			for l := 2; l <= levels; l++ {
+				next := card + r.Intn(2*card+1)
+				names = make([]string, next)
+				parents := make([]int32, next)
+				for i := range names {
+					names[i] = fmt.Sprintf("d%d.%d.%d", d, l, i)
+					parents[i] = int32(r.Intn(card))
+				}
+				if err := nh.AddLevel(names, parents); err != nil {
+					return nil, err
+				}
+				card = next
+			}
+			h = nh
+		}
+		dims[d] = cube.Dimension{Name: string(rune('A' + d)), Hierarchy: h, MLevel: levels, OLevel: r.Intn(levels + 1)}
+	}
+	return cube.NewSchema(dims...)
+}
+
+// Property: every CubingOptions combination — map scratch vs sorted-run
+// aggregator, interface roll-up vs ancestor index — produces bitwise
+// identical results on random schemas and datasets. This is the referee for
+// the PR-2 hot-path rewrite: the optimizations must change cost only.
+func TestMOCubingOptionsBitwiseAgreement(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(202))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, err := randomAgreementSchema(r)
+		if err != nil {
+			t.Logf("schema: %v", err)
+			return false
+		}
+		// Duplicate m-cells on purpose: multi-leaf runs are where operand
+		// order can diverge.
+		nTuples := 20 + r.Intn(200)
+		inputs := make([]Input, nTuples)
+		for i := range inputs {
+			members := make([]int32, s.NumDims())
+			for d := range members {
+				card := s.Dims[d].Hierarchy.Cardinality(s.Dims[d].MLevel)
+				if card > 4 && r.Intn(2) == 0 {
+					card = 4
+				}
+				members[d] = int32(r.Intn(card))
+			}
+			inputs[i] = Input{
+				Members: members,
+				Measure: regression.ISB{Tb: 0, Te: 9, Base: r.NormFloat64(), Slope: r.NormFloat64() * 2},
+			}
+		}
+		thr := exception.Global(r.Float64() * 2)
+
+		baseline, err := MOCubingWith(s, inputs, thr, CubingOptions{MapScratch: true, NoAncestorIndex: true})
+		if err != nil {
+			t.Logf("baseline: %v", err)
+			return false
+		}
+		for _, opts := range []CubingOptions{
+			{},
+			{MapScratch: true},
+			{NoAncestorIndex: true},
+		} {
+			got, err := MOCubingWith(s, inputs, thr, opts)
+			if err != nil {
+				t.Logf("%+v: %v", opts, err)
+				return false
+			}
+			if err := bitwiseEqualResults(baseline, got); err != nil {
+				t.Logf("%+v: %v", opts, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flatHierarchy is a single-level hierarchy with a huge member count, used
+// to overflow the sorted-run aggregator's linear cell coding.
+type flatHierarchy struct {
+	name string
+	card int
+}
+
+func (f *flatHierarchy) Levels() int { return 1 }
+func (f *flatHierarchy) Cardinality(level int) int {
+	if level <= 0 {
+		return 1
+	}
+	return f.card
+}
+func (f *flatHierarchy) Parent(level int, member int32) int32 { return 0 }
+func (f *flatHierarchy) MemberName(level int, member int32) string {
+	return fmt.Sprintf("%s.%d", f.name, member)
+}
+
+// The coded sort only covers cuboids whose cell space fits in a uint64;
+// larger spaces take the key-sorting fallback, which must agree bitwise
+// with the map path too.
+func TestMOCubingSortFallbackBitwiseAgreement(t *testing.T) {
+	// Three 2^21-member flat dimensions and one 2-level fanout dimension:
+	// cuboid (1,1,1,1) spans 2^63·2 cells, overflowing the coder, while the
+	// m-layer (1,1,1,2) is served by the leaf pass.
+	const bigCard = 1 << 21
+	fh, err := cube.NewFanoutHierarchy("D", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cube.NewSchema(
+		cube.Dimension{Name: "A", Hierarchy: &flatHierarchy{name: "A", card: bigCard}, MLevel: 1, OLevel: 0},
+		cube.Dimension{Name: "B", Hierarchy: &flatHierarchy{name: "B", card: bigCard}, MLevel: 1, OLevel: 0},
+		cube.Dimension{Name: "C", Hierarchy: &flatHierarchy{name: "C", card: bigCard}, MLevel: 1, OLevel: 0},
+		cube.Dimension{Name: "D", Hierarchy: fh, MLevel: 2, OLevel: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := cuboidCoder(s, cube.MustCuboid(1, 1, 1, 1)); ok {
+		t.Fatal("expected the 2^64-cell cuboid to overflow the coder")
+	}
+	r := rand.New(rand.NewSource(71))
+	// Few distinct members per dimension → plenty of duplicate cells, while
+	// the member values span the huge domain.
+	pick := func() int32 { return int32(r.Intn(8)) * (bigCard / 8) }
+	inputs := make([]Input, 300)
+	for i := range inputs {
+		inputs[i] = Input{
+			Members: []int32{pick(), pick(), pick(), int32(r.Intn(4))},
+			Measure: regression.ISB{Tb: 0, Te: 9, Base: r.NormFloat64(), Slope: r.NormFloat64() * 2},
+		}
+	}
+	thr := exception.Global(0.5)
+	baseline, err := MOCubingWith(s, inputs, thr, CubingOptions{MapScratch: true, NoAncestorIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MOCubing(s, inputs, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bitwiseEqualResults(baseline, got); err != nil {
+		t.Fatal(err)
+	}
+}

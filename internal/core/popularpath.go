@@ -43,6 +43,7 @@ func PopularPath(s *cube.Schema, inputs []Input, thr exception.Thresholder, path
 	}
 	build := time.Since(start)
 
+	idx := tree.AncestorIndex() // built once with the tree
 	lattice := cube.NewLattice(s)
 	res := &Result{
 		Schema:     s,
@@ -71,19 +72,17 @@ func PopularPath(s *cube.Schema, inputs []Input, thr exception.Thresholder, path
 		depth := oAttrs + i
 		depthOf[pc] = depth
 		var cells map[cube.CellKey]regression.ISB
-		if depth > 0 {
-			cells = make(map[cube.CellKey]regression.ISB, len(tree.NodesAtDepth(depth)))
-		} else {
-			cells = make(map[cube.CellKey]regression.ISB, 1)
-		}
 		if depth == 0 {
 			// o-layer at the apex (every dimension at ALL): one root cell.
+			cells = make(map[cube.CellKey]regression.ISB, 1)
 			root := tree.Root()
 			if root.HasMeasure {
 				cells[cube.CellKey{Cuboid: pc}] = root.Measure
 			}
 		} else {
-			for _, n := range tree.NodesAtDepth(depth) {
+			nodes := tree.NodesAtDepth(depth)
+			cells = make(map[cube.CellKey]regression.ISB, len(nodes))
+			for _, n := range nodes {
 				cells[tree.CellKeyOf(n)] = n.Measure
 			}
 		}
@@ -162,10 +161,9 @@ func PopularPath(s *cube.Schema, inputs []Input, thr exception.Thresholder, path
 						return
 					}
 					visited[n] = true
-					key, err2 := cube.RollUpKey(s, tree.CellKeyOf(n), c)
-					if err2 != nil {
-						return // covering cuboid always dominates c; unreachable
-					}
+					// The covering path cuboid always dominates c, so the
+					// unchecked indexed roll-up is safe.
+					key := idx.RollUp(tree.CellKeyOf(n), c)
 					cell := scratch[key]
 					if cell == nil {
 						cell = &aggCell{isb: n.Measure}

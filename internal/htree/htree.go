@@ -11,11 +11,20 @@
 //   - popular-path order (⟨(A1,C1)→B1→B2→A2→C2⟩) for popular-path cubing,
 //     making every tree depth a cuboid of the path so roll-ups along the
 //     path materialize for free in the non-leaf nodes.
+//
+// The layout is built for the per-unit hot path: nodes come from slab
+// arenas (one allocation per thousands of nodes), children live in
+// member-sorted slices carved from a shared pointer arena (binary-search
+// lookup, order-preserving traversal with no per-visit sort), header tables
+// side-link nodes through an intrusive chain (O(1) zero-allocation append),
+// and per-attribute member resolution goes through a cube.AncestorIndex
+// instead of walking the Hierarchy interface level by level.
 package htree
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/cube"
@@ -94,21 +103,55 @@ type Node struct {
 	Member     int32
 	Depth      int
 	Parent     *Node
-	Children   map[int32]*Node
+	Children   []*Node // member-ascending; shared storage, do not modify
 	Measure    regression.ISB
 	HasMeasure bool
 	Tuples     int64 // number of m-layer tuples under this node
+	// hlink chains nodes of one (attribute, member) header slot in
+	// creation order — the paper's side-links, without a slice per slot.
+	hlink *Node
+}
+
+// headerTable is one attribute's header: the distinct members present
+// (sorted) with each member's side-linked node chain.
+type headerTable struct {
+	members []int32 // sorted ascending
+	heads   []*Node // first chain node per member, parallel to members
+	tails   []*Node // last chain node per member (O(1) append)
+	nodes   int     // total nodes at this attribute's depth
 }
 
 // HTree is the hyper-linked tree plus its per-attribute header tables.
 type HTree struct {
 	schema  *cube.Schema
 	attrs   []Attribute
+	idx     *cube.AncestorIndex
+	mLevels []int // per dimension: the m-level (ancestor resolution source)
+	cards   []int // per dimension: cardinality at the m-level
 	root    *Node
-	headers []map[int32][]*Node // headers[k]: member → side-linked nodes at depth k+1
+	headers []headerTable
 	nodes   int
 	leaves  []*Node
+	// nodeArena slab-allocates nodes: one allocation per chunk instead of
+	// one per node. Retired chunks stay reachable through the tree itself.
+	// Chunks start small and double so the many-small-trees workload (one
+	// tree per shard per unit) doesn't turn every build into fixed-size
+	// slab garbage.
+	nodeArena     []Node
+	nodeChunkSize int
+	// ptrArena carves children slices: child-slice growth allocates from
+	// here instead of the heap, so a build does a handful of chunk
+	// allocations rather than one per growing node.
+	ptrArena     []*Node
+	ptrChunkSize int
 }
+
+const (
+	minNodeChunk = 64
+	maxNodeChunk = 1024
+	minPtrChunk  = 256
+	maxPtrChunk  = 4096
+)
 
 // New builds an empty H-tree over the given attribute order. Every
 // dimension's m-level attribute must appear so that leaves identify
@@ -142,18 +185,83 @@ func New(s *cube.Schema, attrs []Attribute) (*HTree, error) {
 	t := &HTree{
 		schema:  s,
 		attrs:   attrs,
-		root:    &Node{Depth: 0, Children: make(map[int32]*Node)},
-		headers: make([]map[int32][]*Node, len(attrs)),
+		idx:     cube.NewAncestorIndex(s),
+		mLevels: make([]int, len(s.Dims)),
+		cards:   make([]int, len(s.Dims)),
+		headers: make([]headerTable, len(attrs)),
 		nodes:   1,
 	}
-	for i := range t.headers {
-		t.headers[i] = make(map[int32][]*Node)
+	for d, dim := range s.Dims {
+		t.mLevels[d] = dim.MLevel
+		t.cards[d] = dim.Hierarchy.Cardinality(dim.MLevel)
 	}
+	// Pre-size header tables to the attribute's cardinality (capped: sparse
+	// data never fills huge levels).
+	for k, a := range attrs {
+		card := s.Dims[a.Dim].Hierarchy.Cardinality(a.Level)
+		if card > 1024 {
+			card = 1024
+		}
+		t.headers[k].members = make([]int32, 0, card)
+		t.headers[k].heads = make([]*Node, 0, card)
+		t.headers[k].tails = make([]*Node, 0, card)
+	}
+	t.root = t.newNode()
+	t.root.Depth = 0
 	return t, nil
+}
+
+// newNode slab-allocates one node.
+func (t *HTree) newNode() *Node {
+	if len(t.nodeArena) == cap(t.nodeArena) {
+		if t.nodeChunkSize < maxNodeChunk {
+			if t.nodeChunkSize == 0 {
+				t.nodeChunkSize = minNodeChunk
+			} else {
+				t.nodeChunkSize *= 2
+			}
+		}
+		t.nodeArena = make([]Node, 0, t.nodeChunkSize)
+	}
+	t.nodeArena = t.nodeArena[:len(t.nodeArena)+1]
+	return &t.nodeArena[len(t.nodeArena)-1]
+}
+
+// growChildren returns a copy of old with room for at least one more child,
+// carved from the pointer arena.
+func (t *HTree) growChildren(old []*Node) []*Node {
+	newCap := 4
+	if cap(old) > 0 {
+		newCap = cap(old) * 2
+	}
+	if len(t.ptrArena)+newCap > cap(t.ptrArena) {
+		if t.ptrChunkSize < maxPtrChunk {
+			if t.ptrChunkSize == 0 {
+				t.ptrChunkSize = minPtrChunk
+			} else {
+				t.ptrChunkSize *= 2
+			}
+		}
+		size := t.ptrChunkSize
+		if newCap > size {
+			size = newCap
+		}
+		t.ptrArena = make([]*Node, 0, size)
+	}
+	base := len(t.ptrArena)
+	t.ptrArena = t.ptrArena[:base+newCap]
+	s := t.ptrArena[base : base+len(old) : base+newCap]
+	copy(s, old)
+	return s
 }
 
 // Schema returns the schema the tree was built against.
 func (t *HTree) Schema() *cube.Schema { return t.schema }
+
+// AncestorIndex returns the precomputed ancestor tables the tree resolves
+// attributes with, so callers cubing over the tree reuse them instead of
+// rebuilding the index per pass.
+func (t *HTree) AncestorIndex() *cube.AncestorIndex { return t.idx }
 
 // Attrs returns the attribute order. The slice is shared; do not modify.
 func (t *HTree) Attrs() []Attribute { return t.attrs }
@@ -171,6 +279,20 @@ func (t *HTree) LeafCount() int { return len(t.leaves) }
 // shared; do not modify.
 func (t *HTree) Leaves() []*Node { return t.leaves }
 
+// findChild binary-searches a node's member-sorted children.
+func findChild(kids []*Node, val int32) (int, bool) {
+	lo, hi := 0, len(kids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if kids[mid].Member < val {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(kids) && kids[lo].Member == val
+}
+
 // Insert adds one m-layer tuple: members[d] is the member of dimension d
 // at its m-level, and isb the tuple's regression measure. Tuples mapping
 // to the same m-layer cell are merged with standard-dimension aggregation
@@ -180,26 +302,30 @@ func (t *HTree) Insert(members []int32, isb regression.ISB) error {
 		return fmt.Errorf("%w: %d members for %d dimensions", ErrInput, len(members), len(t.schema.Dims))
 	}
 	for d, m := range members {
-		card := t.schema.Dims[d].Hierarchy.Cardinality(t.schema.Dims[d].MLevel)
-		if m < 0 || int(m) >= card {
-			return fmt.Errorf("%w: member %d of dimension %s outside [0,%d)", ErrInput, m, t.schema.Dims[d].Name, card)
+		if m < 0 || int(m) >= t.cards[d] {
+			return fmt.Errorf("%w: member %d of dimension %s outside [0,%d)", ErrInput, m, t.schema.Dims[d].Name, t.cards[d])
 		}
 	}
 	cur := t.root
-	for k, a := range t.attrs {
-		dim := t.schema.Dims[a.Dim]
-		val := cube.Ancestor(dim.Hierarchy, dim.MLevel, a.Level, members[a.Dim])
-		child, ok := cur.Children[val]
-		if !ok {
-			// Children maps are allocated lazily: leaves never need one,
-			// which matters when the tree has hundreds of thousands of
-			// them.
-			child = &Node{Member: val, Depth: k + 1, Parent: cur}
-			if cur.Children == nil {
-				cur.Children = make(map[int32]*Node)
+	for k := range t.attrs {
+		a := &t.attrs[k]
+		val := t.idx.Ancestor(a.Dim, t.mLevels[a.Dim], a.Level, members[a.Dim])
+		pos, found := findChild(cur.Children, val)
+		var child *Node
+		if found {
+			child = cur.Children[pos]
+		} else {
+			child = t.newNode()
+			child.Member = val
+			child.Depth = k + 1
+			child.Parent = cur
+			if len(cur.Children) == cap(cur.Children) {
+				cur.Children = t.growChildren(cur.Children)
 			}
-			cur.Children[val] = child
-			t.headers[k][val] = append(t.headers[k][val], child)
+			cur.Children = cur.Children[:len(cur.Children)+1]
+			copy(cur.Children[pos+1:], cur.Children[pos:])
+			cur.Children[pos] = child
+			t.headers[k].add(val, child)
 			t.nodes++
 			if k == len(t.attrs)-1 {
 				t.leaves = append(t.leaves, child)
@@ -221,25 +347,33 @@ func (t *HTree) Insert(members []int32, isb regression.ISB) error {
 	return nil
 }
 
-// PropagateUp computes the measure of every interior node as the
-// standard-dimension aggregation of its children (post-order), giving the
-// roll-ups along the tree's prefix cuboids — Algorithm 2 Step 2.
-func (t *HTree) PropagateUp() error {
-	return t.propagate(t.root)
+// add links a freshly created node into the header's chain for val.
+func (h *headerTable) add(val int32, n *Node) {
+	h.nodes++
+	lo, found := findMember(h.members, val)
+	if found {
+		h.tails[lo].hlink = n
+		h.tails[lo] = n
+		return
+	}
+	h.members = append(h.members, 0)
+	copy(h.members[lo+1:], h.members[lo:])
+	h.members[lo] = val
+	h.heads = append(h.heads, nil)
+	copy(h.heads[lo+1:], h.heads[lo:])
+	h.heads[lo] = n
+	h.tails = append(h.tails, nil)
+	copy(h.tails[lo+1:], h.tails[lo:])
+	h.tails[lo] = n
 }
 
-// sortedChildren returns a node's children ordered by member. Float
-// aggregation is order-sensitive in the last ulp, so every traversal that
-// sums measures walks children in this canonical order — results are then
-// bitwise reproducible across runs and identical between sharded and
-// single-engine computation.
-func sortedChildren(n *Node) []*Node {
-	out := make([]*Node, 0, len(n.Children))
-	for _, c := range n.Children {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Member < out[j].Member })
-	return out
+// PropagateUp computes the measure of every interior node as the
+// standard-dimension aggregation of its children (post-order), giving the
+// roll-ups along the tree's prefix cuboids — Algorithm 2 Step 2. Children
+// are stored member-sorted, so the float accumulation order is canonical
+// and results are bitwise reproducible (see DESIGN.md §6.3).
+func (t *HTree) PropagateUp() error {
+	return t.propagate(t.root)
 }
 
 func (t *HTree) propagate(n *Node) error {
@@ -253,7 +387,7 @@ func (t *HTree) propagate(n *Node) error {
 	// sharing one interval (this runs once per node).
 	var agg regression.ISB
 	first := true
-	for _, c := range sortedChildren(n) {
+	for _, c := range n.Children {
 		if err := t.propagate(c); err != nil {
 			return err
 		}
@@ -287,43 +421,66 @@ func (n *Node) WalkAtDepth(depth int, fn func(*Node)) {
 	if n.Depth > depth {
 		return
 	}
-	for _, c := range sortedChildren(n) {
+	for _, c := range n.Children {
 		c.WalkAtDepth(depth, fn)
 	}
 }
 
 // HeaderNodes returns the side-linked nodes at the given attribute index
-// carrying the given member — a header-table traversal (Figure 7).
+// carrying the given member — a header-table traversal (Figure 7). The
+// slice is materialized from the chain; nil when the slot is absent.
 func (t *HTree) HeaderNodes(attr int, member int32) []*Node {
 	if attr < 0 || attr >= len(t.headers) {
 		return nil
 	}
-	return t.headers[attr][member]
+	h := &t.headers[attr]
+	lo, found := findMember(h.members, member)
+	if !found {
+		return nil
+	}
+	var out []*Node
+	for n := h.heads[lo]; n != nil; n = n.hlink {
+		out = append(out, n)
+	}
+	return out
 }
 
-// HeaderMembers returns the distinct members present at the attribute.
+// findMember binary-searches a sorted member slice.
+func findMember(members []int32, val int32) (int, bool) {
+	return slices.BinarySearch(members, val)
+}
+
+// HeaderMembers returns the distinct members present at the attribute,
+// ascending.
 func (t *HTree) HeaderMembers(attr int) []int32 {
 	if attr < 0 || attr >= len(t.headers) {
 		return nil
 	}
-	out := make([]int32, 0, len(t.headers[attr]))
-	for m := range t.headers[attr] {
-		out = append(out, m)
+	if len(t.headers[attr].members) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]int32, len(t.headers[attr].members))
+	copy(out, t.headers[attr].members)
 	return out
 }
 
 // NodesAtDepth returns every node at depth k (1-based; k ≤ len(attrs)),
 // ordered by member and, within a member, by creation order — a canonical
-// order so downstream aggregation is reproducible.
+// order so downstream aggregation is reproducible. The header tables keep
+// members sorted, so this is a single pre-sized chain walk.
 func (t *HTree) NodesAtDepth(k int) []*Node {
 	if k < 1 || k > len(t.attrs) {
 		return nil
 	}
-	var out []*Node
-	for _, m := range t.HeaderMembers(k - 1) {
-		out = append(out, t.headers[k-1][m]...)
+	h := &t.headers[k-1]
+	if h.nodes == 0 {
+		return nil
+	}
+	out := make([]*Node, 0, h.nodes)
+	for _, head := range h.heads {
+		for n := head; n != nil; n = n.hlink {
+			out = append(out, n)
+		}
 	}
 	return out
 }
@@ -333,14 +490,14 @@ func (t *HTree) NodesAtDepth(k int) []*Node {
 // attributes (0/ALL when none appeared yet). For a path-ordered tree,
 // depth oAttrs+i yields exactly path cuboid i.
 func (t *HTree) CuboidAtDepth(k int) cube.Cuboid {
-	levels := make([]int, len(t.schema.Dims))
+	var levels [cube.MaxDims]int
 	for i := 0; i < k && i < len(t.attrs); i++ {
 		a := t.attrs[i]
 		if a.Level > levels[a.Dim] {
 			levels[a.Dim] = a.Level
 		}
 	}
-	c, err := cube.NewCuboid(levels...)
+	c, err := cube.NewCuboid(levels[:len(t.schema.Dims)]...)
 	if err != nil {
 		panic(fmt.Sprintf("htree: CuboidAtDepth: %v", err)) // schema bounds validated in New
 	}
@@ -353,7 +510,7 @@ func (t *HTree) CuboidAtDepth(k int) cube.Cuboid {
 func (t *HTree) CellKeyOf(n *Node) cube.CellKey {
 	c := t.CuboidAtDepth(n.Depth)
 	var members [cube.MaxDims]int32
-	levels := make([]int, len(t.schema.Dims))
+	var levels [cube.MaxDims]int
 	for cur := n; cur != nil && cur.Depth > 0; cur = cur.Parent {
 		a := t.attrs[cur.Depth-1]
 		if a.Level > levels[a.Dim] {
@@ -367,9 +524,14 @@ func (t *HTree) CellKeyOf(n *Node) cube.CellKey {
 }
 
 // BytesEstimate returns a size estimate of the tree for the paper's
-// memory-usage panels: nodes dominate, with map overhead amortized in the
-// per-node constant.
+// memory-usage panels.
 func (t *HTree) BytesEstimate() int64 {
-	const bytesPerNode = 96 // struct + child-map entry + header slot
+	// Per node: the Node struct itself (member+padding 8, depth 8, parent 8,
+	// children slice header 24, ISB 32, hasMeasure+padding 8, tuples 8,
+	// hlink 8 ≈ 104 bytes), one *Node child slot in the parent's slice (8),
+	// and the arena's power-of-two growth slack on child slices (amortized
+	// ≤ 1 extra slot). Header chains ride inside the nodes; the per-member
+	// header slots (member + head + tail) are amortized into the constant.
+	const bytesPerNode = 120
 	return int64(t.nodes) * bytesPerNode
 }

@@ -45,6 +45,21 @@ func (a *Accumulator) Add(t int64, z float64) error {
 	return nil
 }
 
+// AdvanceTo registers absent readings as zeros for every tick from
+// NextTick up to (excluding) t, in O(1): a zero observation contributes
+// +0.0 to both running sums, which leaves them bitwise unchanged (they
+// start at +0.0 and can never become −0.0, since IEEE-754 addition only
+// yields −0.0 from two negative-zero operands), so only the count moves.
+// Equivalent to, and bit-for-bit interchangeable with, calling
+// Add(NextTick(), 0) in a loop — the stream engine's gap fill without the
+// O(gap) cost. A t at or before NextTick is a no-op.
+func (a *Accumulator) AdvanceTo(t int64) {
+	if n := t - a.tb; n > a.n {
+		a.n = n
+		a.begun = true
+	}
+}
+
 // N returns the number of points accumulated so far.
 func (a *Accumulator) N() int64 { return a.n }
 

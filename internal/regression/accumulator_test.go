@@ -96,6 +96,74 @@ func TestAccumulatorReset(t *testing.T) {
 	}
 }
 
+// Property: AdvanceTo must be bit-for-bit interchangeable with the
+// one-Add-per-tick zero fill it replaces, from any state (empty, mid-run,
+// after negative and negative-zero observations) and for any gap length.
+func TestAccumulatorAdvanceToMatchesZeroAdds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(57))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tb := int64(r.Intn(200) - 100)
+		bulk := NewAccumulator(tb)
+		loop := NewAccumulator(tb)
+		for step := 0; step < 20; step++ {
+			if r.Intn(2) == 0 {
+				z := r.NormFloat64() * 8
+				switch r.Intn(4) {
+				case 0:
+					z = 0
+				case 1:
+					z = math.Copysign(0, -1) // negative zero input
+				}
+				if err := bulk.Add(bulk.NextTick(), z); err != nil {
+					return false
+				}
+				if err := loop.Add(loop.NextTick(), z); err != nil {
+					return false
+				}
+			} else {
+				gap := int64(r.Intn(50))
+				bulk.AdvanceTo(bulk.NextTick() + gap)
+				for i := int64(0); i < gap; i++ {
+					if err := loop.Add(loop.NextTick(), 0); err != nil {
+						return false
+					}
+				}
+			}
+			if *bulk != *loop {
+				return false
+			}
+			if bulk.N() > 0 {
+				sb, err1 := bulk.Snapshot()
+				sl, err2 := loop.Snapshot()
+				if err1 != nil || err2 != nil || sb != sl {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// AdvanceTo to the current or an earlier tick must be a no-op.
+func TestAccumulatorAdvanceToNoOp(t *testing.T) {
+	acc := NewAccumulator(10)
+	_ = acc.Add(10, 3)
+	before := *acc
+	acc.AdvanceTo(11) // == NextTick
+	acc.AdvanceTo(5)  // before tb
+	if *acc != before {
+		t.Fatalf("AdvanceTo changed state: %+v vs %+v", *acc, before)
+	}
+	acc.AdvanceTo(14)
+	if acc.N() != 4 || acc.NextTick() != 14 {
+		t.Fatalf("after AdvanceTo(14): N=%d next=%d", acc.N(), acc.NextTick())
+	}
+}
+
 // Property: incremental snapshots at every prefix equal batch fits of the
 // prefix series.
 func TestAccumulatorPrefixProperty(t *testing.T) {

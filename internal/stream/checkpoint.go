@@ -68,10 +68,11 @@ func (e *Engine) Checkpoint() *Checkpoint {
 		UnitsDone: e.unitsDone,
 		Schema:    shapeOf(e.cfg.Schema),
 	}
-	for _, cs := range e.cells {
+	nd := len(e.cfg.Schema.Dims)
+	for key, acc := range e.cells {
 		cp.Cells = append(cp.Cells, CellState{
-			Members: append([]int32(nil), cs.members...),
-			Acc:     cs.acc.State(),
+			Members: append([]int32(nil), key[:nd]...),
+			Acc:     acc.State(),
 		})
 	}
 	for key, entries := range e.history {
@@ -105,11 +106,13 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 		}
 	}
 	e.unit = cp.Unit
+	e.openStart = e.unitStart(cp.Unit)
+	e.openEnd = e.unitStart(cp.Unit + 1)
 	e.unitsDone = cp.UnitsDone
 	// The delta base is not checkpointed; restoring always starts a fresh
 	// base (the first restored unit carries no delta cube).
 	e.prevInputs = nil
-	e.cells = make(map[[cube.MaxDims]int32]*cellState, len(cp.Cells))
+	e.cells = make(map[[cube.MaxDims]int32]*regression.Accumulator, len(cp.Cells))
 	for _, cs := range cp.Cells {
 		if len(cs.Members) != len(e.cfg.Schema.Dims) {
 			return fmt.Errorf("%w: checkpoint cell has %d members", ErrConfig, len(cs.Members))
@@ -120,10 +123,7 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 		}
 		var key [cube.MaxDims]int32
 		copy(key[:], cs.Members)
-		e.cells[key] = &cellState{
-			members: append([]int32(nil), cs.Members...),
-			acc:     acc,
-		}
+		e.cells[key] = acc
 	}
 	e.history = make(map[cube.CellKey][]historyEntry, len(cp.History))
 	for _, ch := range cp.History {

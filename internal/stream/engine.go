@@ -11,7 +11,7 @@ package stream
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -126,11 +126,6 @@ type UnitResult struct {
 	Delta *core.DeltaResult
 }
 
-type cellState struct {
-	members []int32
-	acc     *regression.Accumulator
-}
-
 type historyEntry struct {
 	unit int64
 	isb  regression.ISB
@@ -140,11 +135,27 @@ type historyEntry struct {
 // SafeEngine or confine it to one goroutine (share memory by
 // communicating).
 type Engine struct {
-	cfg       Config
-	unit      int64 // index of the current (open) unit
-	cells     map[[cube.MaxDims]int32]*cellState
+	cfg  Config
+	nd   int   // cached len(cfg.Schema.Dims), for the per-record path
+	unit int64 // index of the current (open) unit
+	// openStart/openEnd cache the open unit's tick bounds
+	// [openStart, openEnd), so the per-record boundary tests are single
+	// comparisons.
+	openStart int64
+	openEnd   int64
+	cells     map[[cube.MaxDims]int32]*regression.Accumulator
 	history   map[cube.CellKey][]historyEntry
 	unitsDone int64
+	// accPool recycles the per-cell accumulators of closed units, so a
+	// steady-state unit allocates nothing per cell.
+	accPool []*regression.Accumulator
+	// inputBufs/memberBufs double-buffer each closed unit's m-layer batch:
+	// the previous unit's buffer may still be aliased by prevInputs
+	// (DeltaDrill compares adjacent units), so closes alternate between two
+	// reusable buffers instead of reallocating every unit.
+	inputBufs  [2][]core.Input
+	memberBufs [2][]int32
+	bufSel     int
 	// prevInputs is the previous unit's m-layer (DeltaDrill only).
 	prevInputs []core.Input
 	prevUnit   int64
@@ -178,9 +189,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.Path = cube.NewLattice(cfg.Schema).DefaultPath()
 	}
 	return &Engine{
-		cfg:     cfg,
-		cells:   make(map[[cube.MaxDims]int32]*cellState),
-		history: make(map[cube.CellKey][]historyEntry),
+		cfg:       cfg,
+		nd:        len(cfg.Schema.Dims),
+		openStart: cfg.StartTick,
+		openEnd:   cfg.StartTick + int64(cfg.TicksPerUnit),
+		cells:     make(map[[cube.MaxDims]int32]*regression.Accumulator),
+		history:   make(map[cube.CellKey][]historyEntry),
 	}, nil
 }
 
@@ -205,14 +219,14 @@ func (e *Engine) unitStart(u int64) int64 {
 // order (units that received no data yield a UnitResult with a nil
 // Result).
 func (e *Engine) Ingest(members []int32, tick int64, value float64) ([]*UnitResult, error) {
-	if len(members) != len(e.cfg.Schema.Dims) {
-		return nil, fmt.Errorf("%w: %d members for %d dimensions", ErrRecord, len(members), len(e.cfg.Schema.Dims))
+	if len(members) != e.nd {
+		return nil, fmt.Errorf("%w: %d members for %d dimensions", ErrRecord, len(members), e.nd)
 	}
-	if tick < e.unitStart(e.unit) {
-		return nil, fmt.Errorf("%w: tick %d before open unit start %d", ErrRecord, tick, e.unitStart(e.unit))
+	if tick < e.openStart {
+		return nil, fmt.Errorf("%w: tick %d before open unit start %d", ErrRecord, tick, e.openStart)
 	}
 	var closed []*UnitResult
-	for tick >= e.unitStart(e.unit+1) {
+	for tick >= e.openEnd {
 		ur, err := e.closeUnit()
 		if err != nil {
 			return closed, err
@@ -222,26 +236,33 @@ func (e *Engine) Ingest(members []int32, tick int64, value float64) ([]*UnitResu
 
 	var key [cube.MaxDims]int32
 	copy(key[:], members)
-	cs, ok := e.cells[key]
+	acc, ok := e.cells[key]
 	if !ok {
-		cs = &cellState{
-			members: append([]int32(nil), members...),
-			acc:     regression.NewAccumulator(e.unitStart(e.unit)),
-		}
-		e.cells[key] = cs
+		acc = e.newAccumulator()
+		e.cells[key] = acc
 	}
-	if tick < cs.acc.NextTick() {
-		return closed, fmt.Errorf("%w: tick %d already consumed for cell (next %d)", ErrRecord, tick, cs.acc.NextTick())
+	if tick < acc.NextTick() {
+		return closed, fmt.Errorf("%w: tick %d already consumed for cell (next %d)", ErrRecord, tick, acc.NextTick())
 	}
-	for cs.acc.NextTick() < tick {
-		if err := cs.acc.Add(cs.acc.NextTick(), 0); err != nil {
-			return closed, err
-		}
-	}
-	if err := cs.acc.Add(tick, value); err != nil {
+	// Absent ticks count as zero usage; the bulk advance replaces the old
+	// one-Add-per-gap-tick loop bit-for-bit.
+	acc.AdvanceTo(tick)
+	if err := acc.Add(tick, value); err != nil {
 		return closed, err
 	}
 	return closed, nil
+}
+
+// newAccumulator draws a recycled per-cell accumulator for the open unit,
+// falling back to allocation while the pool warms up.
+func (e *Engine) newAccumulator() *regression.Accumulator {
+	if n := len(e.accPool); n > 0 {
+		acc := e.accPool[n-1]
+		e.accPool = e.accPool[:n-1]
+		acc.Reset(e.openStart)
+		return acc
+	}
+	return regression.NewAccumulator(e.openStart)
 }
 
 // Flush closes the currently open unit even if it is mid-way: every active
@@ -273,34 +294,56 @@ func (e *Engine) closeUnit() (*UnitResult, error) {
 	hi := e.unitStart(e.unit+1) - 1
 	ur := &UnitResult{Unit: e.unit, Interval: timeseries.Interval{Tb: lo, Te: hi}}
 
-	inputs := make([]core.Input, 0, len(e.cells))
-	for _, cs := range e.cells {
-		for cs.acc.NextTick() <= hi {
-			if err := cs.acc.Add(cs.acc.NextTick(), 0); err != nil {
-				return nil, err
-			}
-		}
-		isb, err := cs.acc.Snapshot()
+	// Reuse this close's buffers from two units ago (prevInputs may still
+	// alias last unit's); member tuples are copied into the arena so the
+	// accumulator map entries can be recycled immediately.
+	nd := len(e.cfg.Schema.Dims)
+	inputs := e.inputBufs[e.bufSel][:0]
+	if inputs == nil {
+		inputs = make([]core.Input, 0, len(e.cells))
+	}
+	arena := e.memberBufs[e.bufSel][:0]
+	for key, acc := range e.cells {
+		acc.AdvanceTo(hi + 1) // zero-pad to the unit boundary, in O(1)
+		isb, err := acc.Snapshot()
 		if err != nil {
 			return nil, err
 		}
-		inputs = append(inputs, core.Input{Members: cs.members, Measure: isb})
+		start := len(arena)
+		arena = append(arena, key[:nd]...)
+		inputs = append(inputs, core.Input{Members: arena[start:len(arena):len(arena)], Measure: isb})
+		e.accPool = append(e.accPool, acc)
 	}
+	// Bound recycled state to a small multiple of this unit's size, so one
+	// bursty unit cannot pin its peak footprint forever.
+	if bound := 2*len(inputs) + 1024; len(e.accPool) > bound {
+		for i := bound; i < len(e.accPool); i++ {
+			e.accPool[i] = nil // release for GC; keep the slot array
+		}
+		e.accPool = e.accPool[:bound]
+	}
+	if bound := 4*len(inputs) + 1024; cap(inputs) > bound {
+		inputs = append(make([]core.Input, 0, bound), inputs...)
+		// The arena's contents are reached only through inputs' Members
+		// (which keep the old backing alive for this unit); only the
+		// stored capacity matters for the next reuse.
+		arena = make([]int32, 0, bound*nd)
+	}
+	e.inputBufs[e.bufSel] = inputs
+	e.memberBufs[e.bufSel] = arena
+	e.bufSel ^= 1
 	// Canonical member order: cubing accumulates floats in input order, so
 	// sorting here makes every unit result bitwise reproducible across runs
 	// and identical between sharded and single-engine computation.
-	sort.Slice(inputs, func(i, j int) bool {
-		a, b := inputs[i].Members, inputs[j].Members
-		for d := range a {
-			if a[d] != b[d] {
-				return a[d] < b[d]
-			}
-		}
-		return false
+	slices.SortFunc(inputs, func(a, b core.Input) int {
+		return slices.Compare(a.Members, b.Members)
 	})
-	// Stream data flows in-and-out: per-unit accumulators are dropped.
-	e.cells = make(map[[cube.MaxDims]int32]*cellState)
+	// Stream data flows in-and-out: the unit's accumulators return to the
+	// pool and the map empties in place.
+	clear(e.cells)
 	e.unit++
+	e.openStart = e.openEnd
+	e.openEnd += int64(e.cfg.TicksPerUnit)
 
 	if len(inputs) == 0 {
 		if e.shardDelta && e.cfg.DeltaDrill && e.cfg.Delta != nil {

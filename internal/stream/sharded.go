@@ -11,10 +11,13 @@ import (
 
 // ingestBatchSize is how many records the coordinator buffers per shard
 // before handing them to the shard goroutine in one channel send. Batching
-// amortizes channel synchronization over the per-record accumulator work;
-// correctness never depends on it because every unit boundary, query, and
-// checkpoint drains the buffers first.
-const ingestBatchSize = 256
+// amortizes channel synchronization (and, on loaded machines, goroutine
+// switches) over the per-record accumulator work; correctness never
+// depends on it because every unit boundary, query, and checkpoint drains
+// the buffers first. 512 records is 24 KiB per batch — big enough to
+// amortize the handoff, small enough that a full shard fan-out's pending
+// buffers stay cache-resident.
+const ingestBatchSize = 512
 
 // record is one buffered stream record. Members are stored inline so a
 // batch is a single allocation.
@@ -77,13 +80,28 @@ type shard struct {
 // Ingest call that enqueued the bad record; the first error sticks and
 // fails all subsequent calls.
 type ShardedEngine struct {
-	cfg     Config
-	nDims   int
-	shards  []*shard
-	anc     [][]int32 // per dimension: m-level member → o-level ancestor
+	cfg    Config
+	nDims  int
+	shards []*shard
+	// idx resolves each record's o-layer ancestor (the partition function)
+	// with precomputed tables; mLevels/oLevels/cards cache the per-dimension
+	// bounds so routing does no interface calls, and anc[d] flattens the
+	// m→o mapping into one dense slice per dimension (nil for oversized
+	// hierarchies, which route through idx instead).
+	idx     *cube.AncestorIndex
+	mLevels [cube.MaxDims]int
+	oLevels [cube.MaxDims]int
+	cards   [cube.MaxDims]int
+	anc     [cube.MaxDims][]int32
+	// openEnd caches unitStart(unit+1) so the per-record boundary test is
+	// one comparison.
+	openEnd int64
 	pending [][]record
-	unit    int64
-	done    int64
+	// free recycles drained record batches back from the shard goroutines,
+	// so steady-state ingest stops allocating batch slices.
+	free chan []record
+	unit int64
+	done int64
 	// prevNonEmpty tracks whether the last closed unit had data in any
 	// shard — the delta-base adjacency rule at global scope.
 	prevNonEmpty bool
@@ -119,47 +137,64 @@ func NewShardedEngine(cfg Config, shards int) (*ShardedEngine, error) {
 	}
 	s.cfg = engines[0].cfg // normalized (history bound, default path)
 	s.nDims = len(cfg.Schema.Dims)
-	s.anc = make([][]int32, s.nDims)
+	s.idx = cube.NewAncestorIndex(cfg.Schema)
 	for d, dim := range cfg.Schema.Dims {
-		card := dim.Hierarchy.Cardinality(dim.MLevel)
-		tab := make([]int32, card)
-		for m := range tab {
-			tab[m] = cube.Ancestor(dim.Hierarchy, dim.MLevel, dim.OLevel, int32(m))
+		s.mLevels[d] = dim.MLevel
+		s.oLevels[d] = dim.OLevel
+		s.cards[d] = dim.Hierarchy.Cardinality(dim.MLevel)
+		// Flatten routing to one table lookup per dimension: reuse the
+		// index's own dense table when it has one, otherwise build one
+		// (fanout/identity dimensions); skip it (and fall back to the
+		// index per record) past 4M members.
+		if tab := s.idx.TableFor(d, dim.MLevel, dim.OLevel); tab != nil {
+			s.anc[d] = tab
+		} else if s.cards[d] <= 1<<22 {
+			tab := make([]int32, s.cards[d])
+			for m := range tab {
+				tab[m] = s.idx.Ancestor(d, dim.MLevel, dim.OLevel, int32(m))
+			}
+			s.anc[d] = tab
 		}
-		s.anc[d] = tab
 	}
+	s.openEnd = s.unitStart(1)
+	s.free = make(chan []record, 4*shards)
 	for i := range s.shards {
 		sh := &shard{in: make(chan shardMsg, 4), done: make(chan struct{})}
 		s.shards[i] = sh
-		go sh.run(engines[i], s.nDims)
+		go sh.run(engines[i], s.nDims, s.free)
 	}
 	return s, nil
 }
 
 // run is the shard goroutine: drain record batches into the engine,
-// answer control operations, keep the first ingest error sticky.
-func (sh *shard) run(eng *Engine, nDims int) {
+// answer control operations, keep the first ingest error sticky. Drained
+// batches go back to the coordinator through the free list (dropped when
+// it is full), closing the zero-allocation ingest loop.
+func (sh *shard) run(eng *Engine, nDims int, free chan []record) {
 	defer close(sh.done)
 	var sticky error
 	for msg := range sh.in {
 		if msg.fn == nil {
-			if sticky != nil {
-				continue
+			if sticky == nil {
+				for i := range msg.recs {
+					r := &msg.recs[i]
+					closed, err := eng.Ingest(r.members[:nDims], r.tick, r.value)
+					if err != nil {
+						sticky = err
+						break
+					}
+					if len(closed) > 0 {
+						// The coordinator barriers every boundary before
+						// dispatching the crossing record, so a shard never
+						// closes units on its own.
+						sticky = fmt.Errorf("%w: shard closed unit outside a barrier", ErrConfig)
+						break
+					}
+				}
 			}
-			for i := range msg.recs {
-				r := &msg.recs[i]
-				closed, err := eng.Ingest(r.members[:nDims], r.tick, r.value)
-				if err != nil {
-					sticky = err
-					break
-				}
-				if len(closed) > 0 {
-					// The coordinator barriers every boundary before
-					// dispatching the crossing record, so a shard never
-					// closes units on its own.
-					sticky = fmt.Errorf("%w: shard closed unit outside a barrier", ErrConfig)
-					break
-				}
+			select {
+			case free <- msg.recs[:0]:
+			default:
 			}
 			continue
 		}
@@ -188,32 +223,49 @@ func (s *ShardedEngine) unitStart(u int64) int64 {
 	return s.cfg.StartTick + u*int64(s.cfg.TicksPerUnit)
 }
 
-// hashMembers is FNV-1a over the o-level member tuple — a stable partition
-// function, so checkpoints repartition identically on every run.
+// hashMembers mixes the o-level member tuple with one 64-bit FNV-style
+// fold per dimension plus a splitmix64 avalanche — a fixed, stable
+// partition function (checkpoints repartition identically on every run),
+// far cheaper than byte-wise hashing on the per-record path.
 func (s *ShardedEngine) hashMembers(members *[cube.MaxDims]int32) int {
-	h := uint32(2166136261)
+	h := uint64(1469598103934665603)
 	for d := 0; d < s.nDims; d++ {
-		m := uint32(members[d])
-		for i := 0; i < 4; i++ {
-			h ^= m & 0xff
-			h *= 16777619
-			m >>= 8
-		}
+		h = (h ^ uint64(uint32(members[d]))) * 1099511628211
 	}
-	return int(h % uint32(len(s.shards)))
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(len(s.shards)))
 }
 
 // shardOf routes an m-layer member tuple by its o-layer ancestor.
 func (s *ShardedEngine) shardOf(members []int32) (int, error) {
 	var o [cube.MaxDims]int32
 	for d := 0; d < s.nDims; d++ {
-		if members[d] < 0 || int(members[d]) >= len(s.anc[d]) {
+		if members[d] < 0 || int(members[d]) >= s.cards[d] {
 			return 0, fmt.Errorf("%w: member %d of dimension %s outside [0,%d)",
-				ErrRecord, members[d], s.cfg.Schema.Dims[d].Name, len(s.anc[d]))
+				ErrRecord, members[d], s.cfg.Schema.Dims[d].Name, s.cards[d])
 		}
-		o[d] = s.anc[d][members[d]]
+		if tab := s.anc[d]; tab != nil {
+			o[d] = tab[members[d]]
+		} else {
+			o[d] = s.idx.Ancestor(d, s.mLevels[d], s.oLevels[d], members[d])
+		}
 	}
 	return s.hashMembers(&o), nil
+}
+
+// getBatch draws a recycled batch slice, or allocates while the free list
+// warms up.
+func (s *ShardedEngine) getBatch() []record {
+	select {
+	case b := <-s.free:
+		return b
+	default:
+		return make([]record, 0, ingestBatchSize)
+	}
 }
 
 // ready guards every public operation behind the closed/sticky-error state.
@@ -271,11 +323,11 @@ func (s *ShardedEngine) Ingest(members []int32, tick int64, value float64) ([]*U
 	if len(members) != s.nDims {
 		return nil, fmt.Errorf("%w: %d members for %d dimensions", ErrRecord, len(members), s.nDims)
 	}
-	if tick < s.unitStart(s.unit) {
+	if tick < s.openEnd-int64(s.cfg.TicksPerUnit) {
 		return nil, fmt.Errorf("%w: tick %d before open unit start %d", ErrRecord, tick, s.unitStart(s.unit))
 	}
 	var closed []*UnitResult
-	if tick >= s.unitStart(s.unit+1) {
+	if tick >= s.openEnd {
 		target := (tick - s.cfg.StartTick) / int64(s.cfg.TicksPerUnit)
 		var err error
 		closed, err = s.advanceTo(target)
@@ -293,6 +345,9 @@ func (s *ShardedEngine) Ingest(members []int32, tick int64, value float64) ([]*U
 	var r record
 	copy(r.members[:], members)
 	r.tick, r.value = tick, value
+	if s.pending[sid] == nil {
+		s.pending[sid] = s.getBatch()
+	}
 	s.pending[sid] = append(s.pending[sid], r)
 	if len(s.pending[sid]) >= ingestBatchSize {
 		s.shards[sid].in <- shardMsg{recs: s.pending[sid]}
@@ -327,6 +382,7 @@ func (s *ShardedEngine) advanceTo(target int64) ([]*UnitResult, error) {
 		out[u] = s.mergeUnit(shardURs)
 	}
 	s.unit = target
+	s.openEnd = s.unitStart(target + 1)
 	s.done += int64(n)
 	return out, nil
 }
@@ -648,6 +704,7 @@ func (s *ShardedEngine) Restore(scp *ShardedCheckpoint) error {
 		return firstErr
 	}
 	s.unit = unit
+	s.openEnd = s.unitStart(unit + 1)
 	s.done = done
 	s.prevNonEmpty = false
 	s.err = nil
