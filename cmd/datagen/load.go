@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// loadPaths is the query mix the load generator cycles through — the
+// endpoints an analyst dashboard would poll.
+var loadPaths = []string{
+	"/healthz",
+	"/v1/exceptions?k=8",
+	"/v1/summary",
+	"/v1/alerts",
+}
+
+// startLoad spawns `workers` goroutines issuing GET requests against the
+// target base URL, one every `interval` per worker, cycling through
+// loadPaths. The returned stop function tears the workers down and prints
+// a latency report to stderr. Errors (including 503s while the server has
+// no snapshot yet) are counted, not fatal: the load generator runs
+// concurrently with the pipeline warming up.
+func startLoad(baseURL string, interval time.Duration, workers int) func() {
+	if workers < 1 {
+		workers = 1
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([][]time.Duration, workers)
+	errs := make([]int64, workers)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := loadPaths[(wid+i)%len(loadPaths)]
+				t0 := time.Now()
+				resp, err := client.Get(baseURL + path)
+				if err != nil {
+					errs[wid]++
+				} else {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs[wid]++
+					} else {
+						results[wid] = append(results[wid], time.Since(t0))
+					}
+				}
+				if interval > 0 {
+					select {
+					case <-stop:
+						return
+					case <-time.After(interval):
+					}
+				}
+			}
+		}(wid)
+	}
+	return func() {
+		close(stop)
+		wg.Wait()
+		var all []time.Duration
+		var errors int64
+		for wid := range results {
+			all = append(all, results[wid]...)
+			errors += errs[wid]
+		}
+		if len(all) == 0 {
+			fmt.Fprintf(os.Stderr, "datagen: load: no successful queries (%d errors)\n", errors)
+			return
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+		fmt.Fprintf(os.Stderr,
+			"datagen: load: %d queries, %d errors, latency p50=%s p95=%s p99=%s max=%s\n",
+			len(all), errors, pct(0.50), pct(0.95), pct(0.99), all[len(all)-1])
+	}
+}

@@ -6,7 +6,17 @@
 // format — tick,dim0,...,dimN,value — one reading per distinct m-cell per
 // tick in global tick order, synthesized from each cell's regression line
 // plus noise. `datagen -stream | streamd` is then a complete online
-// pipeline.
+// pipeline. -pace slows emission to one tick per interval, turning the
+// batch generator into a live stream source.
+//
+// With -query URL (alongside -stream) datagen doubles as a load
+// generator: while records stream to stdout, worker goroutines hammer the
+// target streamd's HTTP query API and report latency percentiles on
+// stderr when the stream ends — mixed ingest+query traffic from one
+// process:
+//
+//	datagen -spec D2L2C4T2K -stream -ticks 600 -pace 10ms \
+//	        -query http://127.0.0.1:8080 | streamd -spec D2L2C4 -listen :8080
 //
 // Usage:
 //
@@ -24,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/regression"
@@ -36,7 +47,16 @@ func main() {
 	raw := flag.Bool("raw", false, "fit measures from synthetic raw series (slower)")
 	stream := flag.Bool("stream", false, "emit raw stream records (tick,dims...,value) for streamd")
 	ticks := flag.Int("ticks", 10, "regression interval length per tuple")
+	pace := flag.Duration("pace", 0, "with -stream: delay between ticks (0 = as fast as possible)")
+	queryURL := flag.String("query", "", "with -stream: also load-generate GET queries against this streamd base URL")
+	qinterval := flag.Duration("qinterval", 20*time.Millisecond, "with -query: delay between queries per worker")
+	qworkers := flag.Int("qworkers", 2, "with -query: concurrent query workers")
 	flag.Parse()
+
+	if !*stream && (*queryURL != "" || *pace != 0) {
+		fmt.Fprintln(os.Stderr, "datagen: -query and -pace only apply with -stream")
+		os.Exit(2)
+	}
 
 	spec, err := gen.ParseSpec(*specStr)
 	if err != nil {
@@ -58,7 +78,16 @@ func main() {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	if *stream {
-		if err := writeStream(w, ds, *ticks, *seed); err != nil {
+		var stopLoad func()
+		if *queryURL != "" {
+			stopLoad = startLoad(*queryURL, *qinterval, *qworkers)
+		}
+		err := writeStream(w, ds, *ticks, *seed, *pace)
+		if stopLoad != nil {
+			w.Flush() // deliver the tail before tearing the load down
+			stopLoad()
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 			os.Exit(1)
 		}
@@ -82,8 +111,10 @@ func main() {
 // writeStream renders the dataset as raw records for the online engine:
 // tuples sharing an m-cell merge (the engine allows one reading per cell
 // per tick), each cell synthesizes a noisy series around its regression
-// line, and rows stream out in global tick order.
-func writeStream(w *bufio.Writer, ds *gen.Dataset, ticks int, seed int64) error {
+// line, and rows stream out in global tick order. With pace > 0 each
+// tick's rows are flushed and emission sleeps between ticks, simulating a
+// live source.
+func writeStream(w *bufio.Writer, ds *gen.Dataset, ticks int, seed int64, pace time.Duration) error {
 	type cell struct {
 		members []int32
 		isb     regression.ISB
@@ -117,6 +148,12 @@ func writeStream(w *bufio.Writer, ds *gen.Dataset, ticks int, seed int64) error 
 	}
 	var rows int64
 	for t := 0; t < ticks; t++ {
+		if pace > 0 && t > 0 {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			time.Sleep(pace)
+		}
 		for i, c := range cells {
 			w.WriteString(strconv.FormatInt(int64(t), 10))
 			for _, m := range c.members {

@@ -9,6 +9,16 @@
 // a single engine's, with alerts deterministically sorted. The default is
 // GOMAXPROCS; -shards 1 runs the plain single-threaded engine.
 //
+// With -listen ADDR streamd also serves the HTTP/JSON query API
+// (internal/serve) from per-unit engine snapshots, so analysts can hit
+// /v1/exceptions, /v1/trend, etc. while ingestion continues at full rate.
+//
+// On SIGINT/SIGTERM streamd stops reading, ingests every record it has
+// already parsed, flushes the final partial unit, saves the checkpoint,
+// and shuts the HTTP listener down gracefully before exiting 0. (Bytes
+// the CSV reader buffered but had not yet parsed are abandoned, as with
+// any streaming shutdown.)
+//
 // Checkpoint files are versioned: a single engine writes version 1 (one
 // checkpoint), a sharded engine writes version 2 (one checkpoint per
 // shard). Either version loads regardless of the current -shards value —
@@ -21,38 +31,62 @@
 //
 //	datagen-style producer | streamd -spec D2L2C4 -unit 15 -threshold 2
 //	streamd -spec D2L2C4 -unit 15 -threshold 2 -checkpoint state.json < records.csv
-//	streamd -spec D2L2C4 -shards 8 -checkpoint state.json < records.csv
+//	streamd -spec D2L2C4 -shards 8 -listen :8080 -checkpoint state.json < records.csv
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"syscall"
+	"time"
 
 	"repro/internal/cube"
 	"repro/internal/exception"
 	"repro/internal/gen"
 	"repro/internal/persist"
+	"repro/internal/serve"
 	"repro/internal/stream"
 )
 
+// options collects the flag values so tests drive run directly.
+type options struct {
+	spec       string
+	unit       int
+	threshold  float64
+	alg        string
+	checkpoint string
+	shards     int
+	listen     string
+}
+
 func main() {
-	specStr := flag.String("spec", "D2L2C4", "schema spec D<dims>L<levels>C<fanout> (no T component); "+
+	var opt options
+	flag.StringVar(&opt.spec, "spec", "D2L2C4", "schema spec D<dims>L<levels>C<fanout> (no T component); "+
 		"the o-layer sits at level 1 per dimension, bounding -shards parallelism by fanout^dims o-cells")
-	unit := flag.Int("unit", 15, "ticks per finest tilt-frame unit")
-	threshold := flag.Float64("threshold", 1, "slope exception threshold")
-	algName := flag.String("alg", "mo", "cubing algorithm: mo | popular-path")
-	checkpoint := flag.String("checkpoint", "", "checkpoint file (loaded if present, saved after every unit; "+
+	flag.IntVar(&opt.unit, "unit", 15, "ticks per finest tilt-frame unit")
+	flag.Float64Var(&opt.threshold, "threshold", 1, "slope exception threshold")
+	flag.StringVar(&opt.alg, "alg", "mo", "cubing algorithm: mo | popular-path")
+	flag.StringVar(&opt.checkpoint, "checkpoint", "", "checkpoint file (loaded if present, saved after every unit; "+
 		"v1 single-engine and v2 per-shard formats both load at any -shards value)")
-	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "engine shards ingesting and cubing in parallel; 1 = single-threaded engine")
+	flag.IntVar(&opt.shards, "shards", runtime.GOMAXPROCS(0), "engine shards ingesting and cubing in parallel; 1 = single-threaded engine")
+	flag.StringVar(&opt.listen, "listen", "", "serve the HTTP/JSON query API on this address (e.g. :8080); empty disables")
 	flag.Parse()
 
-	if err := run(*specStr, *unit, *threshold, *algName, *checkpoint, *shards, os.Stdin, os.Stdout); err != nil {
+	// A signal stops the record loop; the final flush, checkpoint, and
+	// HTTP shutdown then run on the ordinary exit path.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opt, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "streamd: %v\n", err)
 		os.Exit(1)
 	}
@@ -64,10 +98,18 @@ type engine interface {
 	Flush() (*stream.UnitResult, error)
 	Unit() int64
 	UnitsDone() int64
+	Snapshot() *stream.Snapshot
 }
 
-func run(specStr string, unit int, threshold float64, algName, checkpointPath string, shards int, in io.Reader, out io.Writer) error {
-	spec, err := gen.ParseSpec(specStr + "T1") // reuse the D/L/C parser
+// row is one parsed input record.
+type row struct {
+	members []int32
+	tick    int64
+	value   float64
+}
+
+func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
+	spec, err := gen.ParseSpec(opt.spec + "T1") // reuse the D/L/C parser
 	if err != nil {
 		return fmt.Errorf("bad -spec: %w", err)
 	}
@@ -85,19 +127,21 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 		return err
 	}
 	alg := stream.MOCubing
-	if algName == "popular-path" {
+	if opt.alg == "popular-path" {
 		alg = stream.PopularPath
-	} else if algName != "mo" {
-		return fmt.Errorf("unknown -alg %q", algName)
+	} else if opt.alg != "mo" {
+		return fmt.Errorf("unknown -alg %q", opt.alg)
 	}
-	if shards < 1 {
-		return fmt.Errorf("-shards %d: need at least 1", shards)
+	if opt.shards < 1 {
+		return fmt.Errorf("-shards %d: need at least 1", opt.shards)
 	}
 	cfg := stream.Config{
 		Schema:       schema,
-		TicksPerUnit: unit,
-		Threshold:    exception.Global(threshold),
+		TicksPerUnit: opt.unit,
+		Threshold:    exception.Global(opt.threshold),
 		Algorithm:    alg,
+		// The serving layer reads immutable per-unit snapshots.
+		PublishSnapshots: opt.listen != "",
 	}
 
 	// The two engine flavors differ only in construction and checkpoint
@@ -105,8 +149,8 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 	var eng engine
 	var loadCheckpoint func(io.Reader) error
 	var writeCheckpoint func(io.Writer) error
-	if shards > 1 {
-		seng, err := stream.NewShardedEngine(cfg, shards)
+	if opt.shards > 1 {
+		seng, err := stream.NewShardedEngine(cfg, opt.shards)
 		if err != nil {
 			return err
 		}
@@ -144,8 +188,8 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 		}
 	}
 
-	if checkpointPath != "" {
-		if f, err := os.Open(checkpointPath); err == nil {
+	if opt.checkpoint != "" {
+		if f, err := os.Open(opt.checkpoint); err == nil {
 			err := loadCheckpoint(f)
 			f.Close()
 			if err != nil {
@@ -155,11 +199,37 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 		}
 	}
 
+	// The query API serves concurrently with the ingest loop below; its
+	// only contact with the engine is the atomic snapshot load.
+	var srv *http.Server
+	if opt.listen != "" {
+		ln, err := net.Listen("tcp", opt.listen)
+		if err != nil {
+			return fmt.Errorf("-listen: %w", err)
+		}
+		// ReadHeaderTimeout keeps slow or stuck clients from pinning
+		// connections (and Shutdown) on a daemon that runs for days.
+		srv = &http.Server{Handler: serve.New(eng, schema), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "streamd: http: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(out, "# serving http on %s\n", ln.Addr())
+		defer func() {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shutdownCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "streamd: http shutdown: %v\n", err)
+			}
+		}()
+	}
+
 	saveCheckpoint := func() error {
-		if checkpointPath == "" {
+		if opt.checkpoint == "" {
 			return nil
 		}
-		tmp := checkpointPath + ".tmp"
+		tmp := opt.checkpoint + ".tmp"
 		f, err := os.Create(tmp)
 		if err != nil {
 			return err
@@ -171,7 +241,7 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 		if err := f.Close(); err != nil {
 			return err
 		}
-		return os.Rename(tmp, checkpointPath)
+		return os.Rename(tmp, opt.checkpoint)
 	}
 
 	report := func(urs []*stream.UnitResult) {
@@ -193,34 +263,51 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 		}
 	}
 
-	cr := csv.NewReader(bufio.NewReader(in))
-	cr.FieldsPerRecord = spec.Dims + 2
-	var records int64
-	for {
-		row, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return fmt.Errorf("record %d: %w", records+1, err)
-		}
-		tick, err := strconv.ParseInt(row[0], 10, 64)
-		if err != nil {
-			return fmt.Errorf("record %d tick: %w", records+1, err)
-		}
-		members := make([]int32, spec.Dims)
-		for d := 0; d < spec.Dims; d++ {
-			v, err := strconv.ParseInt(row[1+d], 10, 32)
-			if err != nil {
-				return fmt.Errorf("record %d dim %d: %w", records+1, d, err)
+	// Records are parsed in their own goroutine so a signal interrupts the
+	// loop even while a read from stdin is blocked; the reader goroutine
+	// itself dies with the process.
+	rows := make(chan row, 256)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(rows)
+		cr := csv.NewReader(bufio.NewReader(in))
+		cr.FieldsPerRecord = spec.Dims + 2
+		var n int64
+		for {
+			// Stop parsing once the signal fires — the prefer-send below
+			// still delivers the row in flight, so shutdown drains a
+			// bounded backlog instead of racing a fast producer.
+			select {
+			case <-ctx.Done():
+				return
+			default:
 			}
-			members[d] = int32(v)
+			rec, err := cr.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				readErr <- fmt.Errorf("record %d: %w", n+1, err)
+				return
+			}
+			r, err := parseRow(rec, spec.Dims)
+			if err != nil {
+				readErr <- fmt.Errorf("record %d: %w", n+1, err)
+				return
+			}
+			n++
+			// Unconditional hand-off: a parsed row is never abandoned. If
+			// the channel is full during shutdown, the main loop's drain
+			// frees a slot; if the main loop exited on an ingest error the
+			// blocked send leaks this goroutine, which only lasts until the
+			// process exits anyway.
+			rows <- r
 		}
-		value, err := strconv.ParseFloat(row[spec.Dims+1], 64)
-		if err != nil {
-			return fmt.Errorf("record %d value: %w", records+1, err)
-		}
-		closed, ingestErr := eng.Ingest(members, tick, value)
+	}()
+
+	var records int64
+	ingestRow := func(r row) error {
+		closed, ingestErr := eng.Ingest(r.members, r.tick, r.value)
 		// Units can close even when the record itself is rejected (the
 		// boundary crossing happens first); report and checkpoint them
 		// before surfacing the error, or their state would be lost.
@@ -234,6 +321,50 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 			return fmt.Errorf("record %d: %w", records+1, ingestErr)
 		}
 		records++
+		return nil
+	}
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(out, "# signal: flushing final unit")
+			// Ingest every row the reader already parsed before flushing.
+			// The timed case (instead of a non-blocking default) gives the
+			// reader a grace window to deliver a row it parsed just before
+			// the signal; it fires only once, when the reader has stopped
+			// or is still blocked reading stdin.
+		drain:
+			for {
+				select {
+				case r, ok := <-rows:
+					if !ok {
+						break drain
+					}
+					if err := ingestRow(r); err != nil {
+						return err
+					}
+				case <-time.After(100 * time.Millisecond):
+					break drain
+				}
+			}
+			break loop
+		case r, ok := <-rows:
+			if !ok {
+				break loop
+			}
+			if err := ingestRow(r); err != nil {
+				return err
+			}
+		}
+	}
+	// Whichever way the loop ended, a parse error the reader hit must
+	// still fail the run — corrupt input never exits 0. readErr is
+	// buffered, so the reader's send completes the instant it hits the
+	// error; the drain's grace window above has already let it land.
+	select {
+	case err := <-readErr:
+		return err
+	default:
 	}
 	// Final partial unit.
 	ur, err := eng.Flush()
@@ -246,4 +377,25 @@ func run(specStr string, unit int, threshold float64, algName, checkpointPath st
 	}
 	fmt.Fprintf(out, "# %d records, %d units\n", records, eng.UnitsDone())
 	return nil
+}
+
+// parseRow decodes one CSV record: tick,dim0,...,dimN,value.
+func parseRow(rec []string, dims int) (row, error) {
+	tick, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return row{}, fmt.Errorf("tick: %w", err)
+	}
+	members := make([]int32, dims)
+	for d := 0; d < dims; d++ {
+		v, err := strconv.ParseInt(rec[1+d], 10, 32)
+		if err != nil {
+			return row{}, fmt.Errorf("dim %d: %w", d, err)
+		}
+		members[d] = int32(v)
+	}
+	value, err := strconv.ParseFloat(rec[dims+1], 64)
+	if err != nil {
+		return row{}, fmt.Errorf("value: %w", err)
+	}
+	return row{members: members, tick: tick, value: value}, nil
 }

@@ -2,15 +2,31 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func records(lines ...string) *strings.Reader {
 	return strings.NewReader(strings.Join(lines, "\n") + "\n")
+}
+
+// runOpts drives run with defaults matching the old positional signature.
+func runOpts(spec string, unit int, threshold float64, alg, checkpoint string, shards int, in io.Reader, out io.Writer) error {
+	return run(context.Background(), options{
+		spec: spec, unit: unit, threshold: threshold, alg: alg,
+		checkpoint: checkpoint, shards: shards,
+	}, in, out)
 }
 
 func TestRunEndToEnd(t *testing.T) {
@@ -22,7 +38,7 @@ func TestRunEndToEnd(t *testing.T) {
 		"4,0,5.0",
 	)
 	var out bytes.Buffer
-	if err := run("D1L2C2", 4, 0.5, "mo", "", 1, in, &out); err != nil {
+	if err := runOpts("D1L2C2", 4, 0.5, "mo", "", 1, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -40,7 +56,7 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunPopularPath(t *testing.T) {
 	in := records("0,0,1.0", "1,0,2.0")
 	var out bytes.Buffer
-	if err := run("D1L2C2", 2, 99, "popular-path", "", 1, in, &out); err != nil {
+	if err := runOpts("D1L2C2", 2, 99, "popular-path", "", 1, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "popular-path") {
@@ -57,10 +73,10 @@ func TestRunShardedMatchesSingle(t *testing.T) {
 		"4,0,0,5.0", "4,2,3,1.0", "5,1,2,6.0",
 	}
 	var single, sharded bytes.Buffer
-	if err := run("D2L2C2", 4, 0.5, "mo", "", 1, records(lines...), &single); err != nil {
+	if err := runOpts("D2L2C2", 4, 0.5, "mo", "", 1, records(lines...), &single); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("D2L2C2", 4, 0.5, "mo", "", 4, records(lines...), &sharded); err != nil {
+	if err := runOpts("D2L2C2", 4, 0.5, "mo", "", 4, records(lines...), &sharded); err != nil {
 		t.Fatal(err)
 	}
 	// Alerts print sorted only in sharded mode, so compare line sets.
@@ -76,25 +92,25 @@ func TestRunShardedMatchesSingle(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("garbage", 4, 1, "mo", "", 1, records("0,0,1"), &out); err == nil {
+	if err := runOpts("garbage", 4, 1, "mo", "", 1, records("0,0,1"), &out); err == nil {
 		t.Fatal("expected spec error")
 	}
-	if err := run("D1L2C2", 4, 1, "nope", "", 1, records("0,0,1"), &out); err == nil {
+	if err := runOpts("D1L2C2", 4, 1, "nope", "", 1, records("0,0,1"), &out); err == nil {
 		t.Fatal("expected algorithm error")
 	}
-	if err := run("D1L2C2", 4, 1, "mo", "", 0, records("0,0,1"), &out); err == nil {
+	if err := runOpts("D1L2C2", 4, 1, "mo", "", 0, records("0,0,1"), &out); err == nil {
 		t.Fatal("expected shard-count error")
 	}
-	if err := run("D1L2C2", 4, 1, "mo", "", 1, records("x,0,1"), &out); err == nil {
+	if err := runOpts("D1L2C2", 4, 1, "mo", "", 1, records("x,0,1"), &out); err == nil {
 		t.Fatal("expected tick parse error")
 	}
-	if err := run("D1L2C2", 4, 1, "mo", "", 1, records("0,x,1"), &out); err == nil {
+	if err := runOpts("D1L2C2", 4, 1, "mo", "", 1, records("0,x,1"), &out); err == nil {
 		t.Fatal("expected member parse error")
 	}
-	if err := run("D1L2C2", 4, 1, "mo", "", 1, records("0,0,x"), &out); err == nil {
+	if err := runOpts("D1L2C2", 4, 1, "mo", "", 1, records("0,0,x"), &out); err == nil {
 		t.Fatal("expected value parse error")
 	}
-	if err := run("D1L2C2", 4, 1, "mo", "", 1, records("0,0"), &out); err == nil {
+	if err := runOpts("D1L2C2", 4, 1, "mo", "", 1, records("0,0"), &out); err == nil {
 		t.Fatal("expected column count error")
 	}
 }
@@ -106,7 +122,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// First run: 6 ticks of unit size 4 → one closed unit + checkpoint.
 	var out1 bytes.Buffer
 	in1 := records("0,0,1", "1,0,2", "2,0,3", "3,0,4", "4,0,5", "5,0,6")
-	if err := run("D1L2C2", 4, 99, "mo", cpPath, 1, in1, &out1); err != nil {
+	if err := runOpts("D1L2C2", 4, 99, "mo", cpPath, 1, in1, &out1); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(cpPath); err != nil {
@@ -116,7 +132,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// Second run resumes from the checkpoint (unit 2 open after flush).
 	var out2 bytes.Buffer
 	in2 := records("8,0,1", "9,0,2")
-	if err := run("D1L2C2", 4, 99, "mo", cpPath, 1, in2, &out2); err != nil {
+	if err := runOpts("D1L2C2", 4, 99, "mo", cpPath, 1, in2, &out2); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out2.String(), "# resumed at unit") {
@@ -132,12 +148,12 @@ func TestRunCheckpointAcrossShardCounts(t *testing.T) {
 	// v1 (single) → sharded resume.
 	cpPath := filepath.Join(dir, "v1.json")
 	var out bytes.Buffer
-	if err := run("D1L2C2", 4, 99, "mo", cpPath, 1,
+	if err := runOpts("D1L2C2", 4, 99, "mo", cpPath, 1,
 		records("0,0,1", "1,0,2", "2,0,3", "3,0,4", "4,0,5", "5,0,6"), &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run("D1L2C2", 4, 99, "mo", cpPath, 4, records("8,0,1", "9,0,2"), &out); err != nil {
+	if err := runOpts("D1L2C2", 4, 99, "mo", cpPath, 4, records("8,0,1", "9,0,2"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "# resumed at unit 2") {
@@ -147,15 +163,160 @@ func TestRunCheckpointAcrossShardCounts(t *testing.T) {
 	// v2 (sharded) → single resume.
 	cpPath = filepath.Join(dir, "v2.json")
 	out.Reset()
-	if err := run("D1L2C2", 4, 99, "mo", cpPath, 4,
+	if err := runOpts("D1L2C2", 4, 99, "mo", cpPath, 4,
 		records("0,0,1", "1,0,2", "2,0,3", "3,0,4", "4,0,5", "5,0,6"), &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run("D1L2C2", 4, 99, "mo", cpPath, 1, records("8,0,1", "9,0,2"), &out); err != nil {
+	if err := runOpts("D1L2C2", 4, 99, "mo", cpPath, 1, records("8,0,1", "9,0,2"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "# resumed at unit 2") {
 		t.Fatalf("v2→single resume failed: %q", out.String())
+	}
+}
+
+// syncBuffer lets the test read run's output while run keeps writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`# serving http on (\S+)`)
+
+// startServing launches run with -listen on an ephemeral port and
+// returns the base URL, the stdin pipe to feed records through, and the
+// channel run's error arrives on when it exits.
+func startServing(t *testing.T, ctx context.Context, shards int, out *syncBuffer) (string, *io.PipeWriter, chan error) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, options{
+			spec: "D1L2C2", unit: 4, threshold: 0.5, alg: "mo",
+			shards: shards, listen: "127.0.0.1:0",
+		}, pr, out)
+	}()
+	var addr string
+	for i := 0; i < 200; i++ {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server address never printed: %q", out.String())
+	}
+	return "http://" + addr, pw, done
+}
+
+// With -listen, completed units are queryable over HTTP while the stream
+// is still open, and EOF shuts the listener down.
+func TestRunServeEndpoints(t *testing.T) {
+	var out syncBuffer
+	url, pw, done := startServing(t, context.Background(), 2, &out)
+
+	for tick := 0; tick < 9; tick++ { // closes units 0 and 1
+		for m := 0; m < 4; m++ {
+			fmt.Fprintf(pw, "%d,%d,%g\n", tick, m, float64(tick*(m+1)))
+		}
+	}
+	get := func(path string) map[string]any {
+		t.Helper()
+		var resp *http.Response
+		var err error
+		for i := 0; i < 100; i++ { // the pipe delivers asynchronously
+			resp, err = http.Get(url + path)
+			if err == nil && resp.StatusCode == http.StatusOK {
+				break
+			}
+			if resp != nil {
+				resp.Body.Close()
+				resp = nil
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if resp == nil {
+			t.Fatalf("GET %s never succeeded: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	health := get("/healthz")
+	if health["serving"] != true {
+		t.Fatalf("healthz = %v", health)
+	}
+	ex := get("/v1/exceptions?k=5")
+	if ex["cells"] == nil {
+		t.Fatalf("exceptions = %v", ex)
+	}
+	al := get("/v1/alerts")
+	if al["alerts"] == nil {
+		t.Fatalf("alerts = %v", al)
+	}
+
+	pw.Close() // EOF: run flushes and exits, shutting down the server
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "records,") {
+		t.Fatalf("missing final summary: %q", out.String())
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("listener still up after shutdown")
+	}
+}
+
+// A signal mid-stream flushes the final partial unit, checkpoints, and
+// exits cleanly — the stdin pipe is still open.
+func TestRunSignalGracefulFlush(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	_, pw, done := startServing(t, ctx, 1, &out)
+	defer pw.Close()
+
+	for tick := 0; tick < 3; tick++ { // partial unit 0 only
+		fmt.Fprintf(pw, "%d,0,%g\n", tick, float64(tick+1))
+	}
+	// Wait until the records are through the pipe and ingested, then
+	// deliver the "signal".
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not exit after signal")
+	}
+	got := out.String()
+	if !strings.Contains(got, "# signal: flushing final unit") {
+		t.Fatalf("missing signal banner: %q", got)
+	}
+	if !strings.Contains(got, "[unit 0]") {
+		t.Fatalf("final partial unit not flushed: %q", got)
+	}
+	if !strings.Contains(got, "# 3 records, 1 units") {
+		t.Fatalf("missing summary: %q", got)
 	}
 }

@@ -1,0 +1,138 @@
+// Serving: run the sharded online analyzer and the HTTP query API in one
+// process, then play analyst against it.
+//
+//	go run ./examples/serving
+//
+// A 4-shard engine ingests a synthetic power-grid-style stream while the
+// query server answers from per-unit snapshots — the same lock-free path
+// `streamd -listen` uses. The example queries its own server over
+// loopback mid-ingest and prints what an analyst dashboard would show.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	regcube "repro"
+)
+
+func main() {
+	// Two dimensions (region, appliance-class), fanout 3, two levels:
+	// 9×9 m-cells rolling up to a 3×3 o-layer — 9 shard partitions.
+	hr, err := regcube.NewFanoutHierarchy("region", 3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ha, err := regcube.NewFanoutHierarchy("appliance", 3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := regcube.NewSchema(
+		regcube.Dimension{Name: "region", Hierarchy: hr, MLevel: 2, OLevel: 1},
+		regcube.Dimension{Name: "appliance", Hierarchy: ha, MLevel: 2, OLevel: 1},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := regcube.NewShardedStreamEngine(regcube.StreamConfig{
+		Schema:       schema,
+		TicksPerUnit: 15, // a quarter of an hour of minute readings
+		Threshold:    regcube.GlobalThreshold(0.4),
+		// The serving layer reads immutable per-unit snapshots.
+		PublishSnapshots: true,
+	}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// The query API over the engine, on a loopback listener.
+	ts := httptest.NewServer(regcube.NewQueryServer(eng, schema))
+	defer ts.Close()
+	fmt.Printf("query API listening on %s\n", ts.URL)
+
+	// Stream four units of readings: usage in region 2 trends up steeply,
+	// everything else stays flat.
+	for tick := int64(0); tick < 61; tick++ {
+		for r := int32(0); r < 9; r++ {
+			for a := int32(0); a < 9; a++ {
+				usage := 5.0
+				if r >= 6 { // children of o-level region 2
+					usage += float64(tick) * float64(a+1) * 0.1
+				}
+				if _, err := eng.Ingest([]int32{r, a}, tick, usage); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// The dashboard's poll loop, condensed.
+	var health struct {
+		Unit      int64 `json:"unit"`
+		UnitsDone int64 `json:"unitsDone"`
+	}
+	if err := json.Unmarshal([]byte(get("/healthz")), &health); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving unit %d (%d units done)\n", health.Unit, health.UnitsDone)
+
+	var ex struct {
+		Count int `json:"count"`
+		Cells []struct {
+			Name string `json:"name"`
+			ISB  struct {
+				Slope float64 `json:"slope"`
+			} `json:"isb"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(get("/v1/exceptions?k=3")), &ex); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d exception cells; steepest 3:\n", ex.Count)
+	for _, c := range ex.Cells {
+		fmt.Printf("  %-34s slope %+0.2f\n", c.Name, c.ISB.Slope)
+	}
+
+	// Drill into the hot o-cell's supporters and pull its 4-unit trend.
+	var sup struct {
+		Supporters []struct {
+			Name string `json:"name"`
+		} `json:"supporters"`
+	}
+	if err := json.Unmarshal([]byte(get("/v1/supporters?members=2,0")), &sup); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("o-cell (region 2, appliance 0) has %d exception supporters\n", len(sup.Supporters))
+
+	var trend struct {
+		Cell struct {
+			ISB struct {
+				Tb, Te int64
+				Slope  float64 `json:"slope"`
+			} `json:"isb"`
+		} `json:"cell"`
+	}
+	if err := json.Unmarshal([]byte(get("/v1/trend?members=2,0&k=4")), &trend); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4-unit trend of (region 2, appliance 0): slope %+0.3f per tick\n", trend.Cell.ISB.Slope)
+}

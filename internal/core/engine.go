@@ -93,6 +93,25 @@ func (r *Result) ExceptionsAt(c cube.Cuboid) []Cell {
 	return out
 }
 
+// sortedCells flattens a retained-cell map into canonical key order
+// (cube.CompareKeys) — the stable iteration surface snapshot readers and
+// serializers need, since map order changes run to run.
+func sortedCells(m map[cube.CellKey]regression.ISB) []Cell {
+	out := make([]Cell, 0, len(m))
+	for k, isb := range m {
+		out = append(out, Cell{Key: k, ISB: isb})
+	}
+	slices.SortFunc(out, func(a, b Cell) int { return cube.CompareKeys(a.Key, b.Key) })
+	return out
+}
+
+// OCells returns every o-layer cell in canonical key order.
+func (r *Result) OCells() []Cell { return sortedCells(r.OLayer) }
+
+// ExceptionCells returns every retained exception cell in canonical key
+// order.
+func (r *Result) ExceptionCells() []Cell { return sortedCells(r.Exceptions) }
+
 // validate checks batch shape and interval uniformity.
 func validate(s *cube.Schema, inputs []Input) error {
 	if len(inputs) == 0 {

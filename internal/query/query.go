@@ -6,12 +6,45 @@
 package query
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/cube"
 )
+
+// ErrCell is returned for cell coordinates that do not name a valid cell
+// between the schema's critical layers.
+var ErrCell = errors.New("query: invalid cell")
+
+// MakeCellKey validates externally supplied cell coordinates — one level
+// and one member per dimension, as a serving layer receives them — against
+// the schema and assembles the CellKey. Levels must lie between the
+// dimension's o- and m-levels (the retained band) and members must be
+// within the level's cardinality.
+func MakeCellKey(s *cube.Schema, levels []int, members []int32) (cube.CellKey, error) {
+	if len(levels) != len(s.Dims) || len(members) != len(s.Dims) {
+		return cube.CellKey{}, fmt.Errorf("%w: got %d levels and %d members for %d dimensions",
+			ErrCell, len(levels), len(members), len(s.Dims))
+	}
+	for d, dim := range s.Dims {
+		if levels[d] < dim.OLevel || levels[d] > dim.MLevel {
+			return cube.CellKey{}, fmt.Errorf("%w: dimension %s level %d outside retained band [%d,%d]",
+				ErrCell, dim.Name, levels[d], dim.OLevel, dim.MLevel)
+		}
+		if card := dim.Hierarchy.Cardinality(levels[d]); members[d] < 0 || int(members[d]) >= card {
+			return cube.CellKey{}, fmt.Errorf("%w: dimension %s member %d outside [0,%d) at level %d",
+				ErrCell, dim.Name, members[d], card, levels[d])
+		}
+	}
+	cb, err := cube.NewCuboid(levels...)
+	if err != nil {
+		return cube.CellKey{}, fmt.Errorf("%w: %v", ErrCell, err)
+	}
+	return cube.NewCellKey(cb, members...), nil
+}
 
 // View wraps a cubing result for navigation. Results from any engine
 // (m/o-cubing, popular-path, BUC, array) work identically.

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/stream"
+)
+
+// benchSchema matches the root ShardedIngest benchmark shape: 8×8 o-layer
+// (64 partitions), 64×64 m-layer.
+func benchSchema(b *testing.B) *cube.Schema {
+	b.Helper()
+	ha, err := cube.NewFanoutHierarchy("A", 8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hb, err := cube.NewFanoutHierarchy("B", 8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema, err := cube.NewSchema(
+		cube.Dimension{Name: "A", Hierarchy: ha, MLevel: 2, OLevel: 1},
+		cube.Dimension{Name: "B", Hierarchy: hb, MLevel: 2, OLevel: 1},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return schema
+}
+
+func benchCells() [][]int32 {
+	cells := make([][]int32, 256)
+	for i := range cells {
+		cells[i] = []int32{int32(i % 64), int32((i*7 + i/64) % 64)}
+	}
+	return cells
+}
+
+func benchEngine(b *testing.B, shards, ticksPerUnit int) *stream.ShardedEngine {
+	b.Helper()
+	eng, err := stream.NewShardedEngine(stream.Config{
+		Schema:           benchSchema(b),
+		TicksPerUnit:     ticksPerUnit,
+		Threshold:        exception.Global(0.05),
+		PublishSnapshots: true,
+	}, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	return eng
+}
+
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// BenchmarkServeQuery measures pure query cost per endpoint against a
+// quiescent engine holding one published unit.
+func BenchmarkServeQuery(b *testing.B) {
+	eng := benchEngine(b, 4, 64)
+	cells := benchCells()
+	for tick := int64(0); tick <= 64; tick++ {
+		for i, m := range cells {
+			if _, err := eng.Ingest(m, tick, float64(tick)*float64(i%7+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	srv := New(eng, eng.Snapshot().Result.Schema)
+	for _, path := range []string{
+		"/v1/exceptions?k=16",
+		"/v1/alerts",
+		"/v1/summary",
+		"/v1/trend?members=0,0&k=1",
+	} {
+		b.Run(path, func(b *testing.B) {
+			b.ReportAllocs()
+			req := httptest.NewRequest("GET", path, nil)
+			for n := 0; n < b.N; n++ {
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeQueryUnderIngest is the acceptance benchmark: 4 shards
+// ingest at full rate (units closing continuously) while the timed loop
+// serves /v1/exceptions from snapshots. It reports p50/p99 query latency
+// alongside the concurrent ingest rate.
+func BenchmarkServeQueryUnderIngest(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			eng := benchEngine(b, shards, 64)
+			cells := benchCells()
+			srv := New(eng, benchSchema(b))
+
+			stop := make(chan struct{})
+			ingested := new(atomic.Int64)
+			ingestDone := make(chan struct{})
+			go func() {
+				defer close(ingestDone)
+				n := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					tick := int64(n / len(cells))
+					if _, err := eng.Ingest(cells[n%len(cells)], tick, float64(n%13)); err != nil {
+						b.Error(err)
+						return
+					}
+					n++
+					ingested.Add(1)
+				}
+			}()
+			// Wait for the first published unit (64 ticks × 256 cells).
+			for eng.Snapshot() == nil {
+				time.Sleep(time.Millisecond)
+			}
+
+			req := httptest.NewRequest("GET", "/v1/exceptions?k=16", nil)
+			lat := make([]time.Duration, 0, b.N)
+			start := time.Now()
+			startRecords := ingested.Load()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				t0 := time.Now()
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				lat = append(lat, time.Since(t0))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			b.StopTimer()
+			elapsed := time.Since(start)
+			records := ingested.Load() - startRecords
+			close(stop)
+			<-ingestDone
+
+			b.ReportMetric(float64(percentile(lat, 0.50).Nanoseconds()), "p50-ns/query")
+			b.ReportMetric(float64(percentile(lat, 0.99).Nanoseconds()), "p99-ns/query")
+			if records > 0 {
+				b.ReportMetric(float64(elapsed.Nanoseconds())/float64(records), "concurrent-ingest-ns/record")
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotPublish isolates the cost snapshot publication adds to
+// a unit boundary (history copy + alert sort), the price of the lock-free
+// read path.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	cells := benchCells()
+	for _, publish := range []bool{false, true} {
+		b.Run(fmt.Sprintf("publish=%v", publish), func(b *testing.B) {
+			b.ReportAllocs()
+			eng, err := stream.NewEngine(stream.Config{
+				Schema:           benchSchema(b),
+				TicksPerUnit:     8,
+				Threshold:        exception.Global(0.05),
+				PublishSnapshots: publish,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				tick := int64(n / len(cells))
+				if _, err := eng.Ingest(cells[n%len(cells)], tick, float64(n%13)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,560 @@
+// Package serve exposes the online analyzer (§4.5) as a concurrent
+// HTTP/JSON query API, so analysts can navigate regression cubes — ranked
+// exceptions, drill-down supporters, slices, multi-unit trends — while the
+// engine keeps ingesting at full rate.
+//
+// The server never touches engine internals: every request is answered
+// from the immutable stream.Snapshot the engine publishes at each unit
+// boundary (see DESIGN.md §7). Reading a snapshot is one atomic load, so
+// query traffic adds zero contention to the ingest hot path, and every
+// response is unit-consistent — all fields of one reply describe the same
+// closed unit, even while newer units are being merged concurrently.
+//
+// Endpoints (all GET):
+//
+//	/healthz               liveness + serving state
+//	/metrics               Prometheus-style counters
+//	/v1/summary            unit header, cube stats, per-cuboid exception counts
+//	/v1/exceptions         ranked exception cells (?k=, ?order=slope|key)
+//	/v1/alerts             the unit's o-layer alerts with drill-down
+//	/v1/supporters         exception descendants of one cell (?levels=&members=)
+//	/v1/slice              exceptions under one member (?dim=&level=&member=)
+//	/v1/trend              k-unit trend regression of an o-cell (?members=&k=)
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Source supplies published engine snapshots. *stream.Engine and
+// *stream.ShardedEngine (with Config.PublishSnapshots set) both implement
+// it; Snapshot must be safe for concurrent use.
+type Source interface {
+	Snapshot() *stream.Snapshot
+}
+
+// endpoint indexes the per-endpoint request counters.
+type endpoint int
+
+const (
+	epHealthz endpoint = iota
+	epMetrics
+	epSummary
+	epExceptions
+	epAlerts
+	epSupporters
+	epSlice
+	epTrend
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{
+	"healthz", "metrics", "summary", "exceptions", "alerts", "supporters", "slice", "trend",
+}
+
+// endpointStats are lock-free per-endpoint counters.
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	nanos    atomic.Int64
+}
+
+// viewCache pairs a snapshot with the query.View built over its result
+// and the two exception orderings /v1/exceptions serves, so repeated
+// requests against one unit reuse the lattice and the sorts instead of
+// re-ranking the full exception set per request. Publication of a new
+// snapshot simply misses the cache; rebuilding is idempotent, so two
+// racing requests at a boundary at worst both build it. The cached
+// slices are immutable — handlers only slice prefixes off them.
+type viewCache struct {
+	snap    *stream.Snapshot
+	view    *query.View
+	bySlope []core.Cell         // every exception, steepest first
+	byKey   []core.Cell         // every exception, canonical key order
+	cuboids []cuboidSummaryJSON // /v1/summary's per-cuboid rollup
+}
+
+// Server answers analyst queries from published engine snapshots. It is an
+// http.Handler; all state it keeps (view cache, metrics) is lock-free, so
+// any number of requests proceed concurrently with each other and with
+// ingestion.
+type Server struct {
+	src    Source
+	schema *cube.Schema
+	mux    *http.ServeMux
+	start  time.Time
+	view   atomic.Pointer[viewCache]
+	stats  [numEndpoints]endpointStats
+}
+
+// New builds a query server over a snapshot source.
+func New(src Source, schema *cube.Schema) *Server {
+	s := &Server{src: src, schema: schema, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/summary", s.instrument(epSummary, s.handleSummary))
+	s.mux.HandleFunc("GET /v1/exceptions", s.instrument(epExceptions, s.handleExceptions))
+	s.mux.HandleFunc("GET /v1/alerts", s.instrument(epAlerts, s.handleAlerts))
+	s.mux.HandleFunc("GET /v1/supporters", s.instrument(epSupporters, s.handleSupporters))
+	s.mux.HandleFunc("GET /v1/slice", s.instrument(epSlice, s.handleSlice))
+	s.mux.HandleFunc("GET /v1/trend", s.instrument(epTrend, s.handleTrend))
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError carries an HTTP status with a handler error.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &apiError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// errNoSnapshot is returned until the first unit boundary publishes.
+var errNoSnapshot = &apiError{status: http.StatusServiceUnavailable, msg: "no completed unit yet"}
+
+// instrument wraps a handler with per-endpoint counters and JSON error
+// rendering.
+func (s *Server) instrument(ep endpoint, fn func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		err := fn(w, r)
+		st := &s.stats[ep]
+		st.requests.Add(1)
+		st.nanos.Add(time.Since(t0).Nanoseconds())
+		if err != nil {
+			st.errors.Add(1)
+			status := http.StatusInternalServerError
+			if ae, ok := err.(*apiError); ok {
+				status = ae.status
+			}
+			writeJSON(w, status, map[string]string{"error": err.Error()})
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// current returns the latest snapshot and its cached navigation state.
+// The cache entry is nil when the unit closed empty.
+func (s *Server) current() (*stream.Snapshot, *viewCache, error) {
+	snap := s.src.Snapshot()
+	if snap == nil {
+		return nil, nil, errNoSnapshot
+	}
+	if snap.Result == nil {
+		return snap, nil, nil
+	}
+	old := s.view.Load()
+	if old != nil && old.snap == snap {
+		return snap, old, nil
+	}
+	v := query.NewView(snap.Result)
+	c := &viewCache{
+		snap:    snap,
+		view:    v,
+		bySlope: v.TopExceptions(-1),
+		byKey:   snap.Result.ExceptionCells(),
+	}
+	for _, cs := range v.Summary() {
+		levels := make([]int, cs.Cuboid.NumDims())
+		for d := range levels {
+			levels[d] = cs.Cuboid.Level(d)
+		}
+		c.cuboids = append(c.cuboids, cuboidSummaryJSON{
+			Levels:      levels,
+			Name:        cs.Cuboid.Describe(s.schema),
+			Exceptions:  cs.Exceptions,
+			MaxAbsSlope: cs.MaxAbsSlope,
+		})
+	}
+	// CompareAndSwap instead of Store: a laggard request that built a
+	// cache for an older snapshot must not evict a newer entry another
+	// request installed meanwhile. On failure this request just serves
+	// from its locally built state.
+	s.view.CompareAndSwap(old, c)
+	return snap, c, nil
+}
+
+// intParam parses an integer query parameter with a default.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("parameter %s: %v", name, err)
+	}
+	return v, nil
+}
+
+// cellParam decodes ?levels=&members= into a validated cell key. Levels
+// default to the o-layer, so plain o-cell queries only pass members.
+func (s *Server) cellParam(r *http.Request) (cube.CellKey, error) {
+	q := r.URL.Query()
+	var levels []int
+	if raw := q.Get("levels"); raw != "" {
+		var err error
+		if levels, err = parseIntList(raw); err != nil {
+			return cube.CellKey{}, badRequest("parameter levels: %v", err)
+		}
+	} else {
+		levels = make([]int, len(s.schema.Dims))
+		for d, dim := range s.schema.Dims {
+			levels[d] = dim.OLevel
+		}
+	}
+	members, err := parseInt32List(q.Get("members"))
+	if err != nil {
+		return cube.CellKey{}, badRequest("parameter members: %v", err)
+	}
+	key, err := query.MakeCellKey(s.schema, levels, members)
+	if err != nil {
+		return cube.CellKey{}, badRequest("%v", err)
+	}
+	return key, nil
+}
+
+// --- /healthz -------------------------------------------------------------
+
+type healthResponse struct {
+	Status        string  `json:"status"`
+	Serving       bool    `json:"serving"`
+	Unit          int64   `json:"unit"`
+	UnitsDone     int64   `json:"unitsDone"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// handleHealthz always answers 200: the process is alive even before the
+// first unit closes; Serving reports whether queries would succeed.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	resp := healthResponse{Status: "ok", Unit: -1, UptimeSeconds: time.Since(s.start).Seconds()}
+	if snap := s.src.Snapshot(); snap != nil {
+		resp.Serving = true
+		resp.Unit = snap.Unit
+		resp.UnitsDone = snap.UnitsDone
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// --- /metrics -------------------------------------------------------------
+
+// handleMetrics renders Prometheus-style text so standard scrapers can
+// watch the serving layer without a client library dependency.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "regcube_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	snap := s.src.Snapshot()
+	serving := 0
+	if snap != nil {
+		serving = 1
+	}
+	fmt.Fprintf(w, "regcube_serving %d\n", serving)
+	if snap != nil {
+		fmt.Fprintf(w, "regcube_snapshot_unit %d\n", snap.Unit)
+		fmt.Fprintf(w, "regcube_snapshot_units_done %d\n", snap.UnitsDone)
+		fmt.Fprintf(w, "regcube_snapshot_alerts %d\n", len(snap.Alerts))
+		if snap.Result != nil {
+			fmt.Fprintf(w, "regcube_snapshot_ocells %d\n", len(snap.Result.OLayer))
+			fmt.Fprintf(w, "regcube_snapshot_exceptions %d\n", len(snap.Result.Exceptions))
+		}
+	}
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		st := &s.stats[ep]
+		name := endpointNames[ep]
+		fmt.Fprintf(w, "regcube_http_requests_total{endpoint=%q} %d\n", name, st.requests.Load())
+		fmt.Fprintf(w, "regcube_http_errors_total{endpoint=%q} %d\n", name, st.errors.Load())
+		fmt.Fprintf(w, "regcube_http_request_nanos_total{endpoint=%q} %d\n", name, st.nanos.Load())
+	}
+	return nil
+}
+
+// --- /v1/summary ----------------------------------------------------------
+
+type statsJSON struct {
+	Algorithm       string `json:"algorithm"`
+	Tuples          int    `json:"tuples"`
+	TreeNodes       int    `json:"treeNodes"`
+	CuboidsComputed int    `json:"cuboidsComputed"`
+	CellsComputed   int64  `json:"cellsComputed"`
+	CellsRetained   int64  `json:"cellsRetained"`
+	BytesRetained   int64  `json:"bytesRetained"`
+	BuildNanos      int64  `json:"buildNanos"`
+	CubeNanos       int64  `json:"cubeNanos"`
+}
+
+type cuboidSummaryJSON struct {
+	Levels      []int   `json:"levels"`
+	Name        string  `json:"name"`
+	Exceptions  int     `json:"exceptions"`
+	MaxAbsSlope float64 `json:"maxAbsSlope"`
+}
+
+type summaryResponse struct {
+	Unit       int64               `json:"unit"`
+	UnitsDone  int64               `json:"unitsDone"`
+	Interval   IntervalJSON        `json:"interval"`
+	Empty      bool                `json:"empty"`
+	OCells     int                 `json:"oCells"`
+	Exceptions int                 `json:"exceptions"`
+	Alerts     int                 `json:"alerts"`
+	Stats      *statsJSON          `json:"stats,omitempty"`
+	Cuboids    []cuboidSummaryJSON `json:"cuboids"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) error {
+	snap, c, err := s.current()
+	if err != nil {
+		return err
+	}
+	resp := summaryResponse{
+		Unit:      snap.Unit,
+		UnitsDone: snap.UnitsDone,
+		Interval:  encodeInterval(snap.Interval),
+		Empty:     snap.Result == nil,
+		Alerts:    len(snap.Alerts),
+		Cuboids:   []cuboidSummaryJSON{},
+	}
+	if c != nil {
+		res := snap.Result
+		resp.OCells = len(res.OLayer)
+		resp.Exceptions = len(res.Exceptions)
+		resp.Stats = &statsJSON{
+			Algorithm:       res.Stats.Algorithm,
+			Tuples:          res.Stats.Tuples,
+			TreeNodes:       res.Stats.TreeNodes,
+			CuboidsComputed: res.Stats.CuboidsComputed,
+			CellsComputed:   res.Stats.CellsComputed,
+			CellsRetained:   res.Stats.CellsRetained,
+			BytesRetained:   res.Stats.BytesRetained,
+			BuildNanos:      res.Stats.BuildTime.Nanoseconds(),
+			CubeNanos:       res.Stats.CubeTime.Nanoseconds(),
+		}
+		resp.Cuboids = c.cuboids
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// --- /v1/exceptions -------------------------------------------------------
+
+type cellsResponse struct {
+	Unit     int64        `json:"unit"`
+	Interval IntervalJSON `json:"interval"`
+	// Count is the total number of matching cells before ?k= truncation.
+	Count int        `json:"count"`
+	Cells []CellJSON `json:"cells"`
+}
+
+func (s *Server) handleExceptions(w http.ResponseWriter, r *http.Request) error {
+	k, err := intParam(r, "k", 20)
+	if err != nil {
+		return err
+	}
+	order := r.URL.Query().Get("order")
+	if order == "" {
+		order = "slope"
+	}
+	if order != "slope" && order != "key" {
+		// Validated before the snapshot is consulted so a bad request is
+		// 400 regardless of whether the current unit is empty.
+		return badRequest("parameter order: %q is not slope or key", order)
+	}
+	snap, c, err := s.current()
+	if err != nil {
+		return err
+	}
+	resp := cellsResponse{Unit: snap.Unit, Interval: encodeInterval(snap.Interval), Cells: []CellJSON{}}
+	if c != nil {
+		resp.Count = len(snap.Result.Exceptions)
+		cells := c.bySlope
+		if order == "key" {
+			cells = c.byKey
+		}
+		if k >= 0 && k < len(cells) {
+			cells = cells[:k]
+		}
+		resp.Cells = encodeCells(s.schema, cells)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// --- /v1/alerts -----------------------------------------------------------
+
+type alertsResponse struct {
+	Unit     int64        `json:"unit"`
+	Interval IntervalJSON `json:"interval"`
+	Alerts   []AlertJSON  `json:"alerts"`
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) error {
+	snap, _, err := s.current()
+	if err != nil {
+		return err
+	}
+	resp := alertsResponse{Unit: snap.Unit, Interval: encodeInterval(snap.Interval), Alerts: []AlertJSON{}}
+	for _, a := range snap.Alerts {
+		resp.Alerts = append(resp.Alerts, encodeAlert(s.schema, a))
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// --- /v1/supporters -------------------------------------------------------
+
+type supportersResponse struct {
+	Unit int64 `json:"unit"`
+	Cell struct {
+		Levels  []int    `json:"levels"`
+		Members []int32  `json:"members"`
+		Name    string   `json:"name"`
+		ISB     *ISBJSON `json:"isb,omitempty"`
+	} `json:"cell"`
+	Retained   bool       `json:"retained"`
+	Supporters []CellJSON `json:"supporters"`
+}
+
+func (s *Server) handleSupporters(w http.ResponseWriter, r *http.Request) error {
+	key, err := s.cellParam(r)
+	if err != nil {
+		return err
+	}
+	snap, c, err := s.current()
+	if err != nil {
+		return err
+	}
+	resp := supportersResponse{Unit: snap.Unit, Supporters: []CellJSON{}}
+	resp.Cell.Levels, resp.Cell.Members = encodeKey(key)
+	resp.Cell.Name = key.Describe(s.schema)
+	if c != nil {
+		if isb, ok := snap.Result.OLayer[key]; ok {
+			resp.Retained = true
+			j := encodeISB(isb)
+			resp.Cell.ISB = &j
+		} else if isb, ok := snap.Result.Exceptions[key]; ok {
+			resp.Retained = true
+			j := encodeISB(isb)
+			resp.Cell.ISB = &j
+		}
+		resp.Supporters = encodeCells(s.schema, c.view.Supporters(key))
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// --- /v1/slice ------------------------------------------------------------
+
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) error {
+	dim, err := intParam(r, "dim", -1)
+	if err != nil {
+		return err
+	}
+	if dim < 0 || dim >= len(s.schema.Dims) {
+		return badRequest("parameter dim: %d outside [0,%d)", dim, len(s.schema.Dims))
+	}
+	d := s.schema.Dims[dim]
+	level, err := intParam(r, "level", d.OLevel)
+	if err != nil {
+		return err
+	}
+	if level < 0 || level > d.MLevel {
+		return badRequest("parameter level: %d outside [0,%d]", level, d.MLevel)
+	}
+	member, err := intParam(r, "member", -1)
+	if err != nil {
+		return err
+	}
+	if card := d.Hierarchy.Cardinality(level); member < 0 || member >= card {
+		return badRequest("parameter member: %d outside [0,%d) at level %d", member, card, level)
+	}
+	snap, c, err := s.current()
+	if err != nil {
+		return err
+	}
+	resp := cellsResponse{Unit: snap.Unit, Interval: encodeInterval(snap.Interval), Cells: []CellJSON{}}
+	if c != nil {
+		cells := c.view.Slice(dim, level, int32(member))
+		resp.Count = len(cells)
+		resp.Cells = encodeCells(s.schema, cells)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// --- /v1/trend ------------------------------------------------------------
+
+type trendResponse struct {
+	Unit    int64              `json:"unit"`
+	Cell    CellJSON           `json:"cell"`
+	K       int                `json:"k"`
+	History int                `json:"history"`
+	Points  []HistoryPointJSON `json:"points"`
+}
+
+func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) error {
+	key, err := s.cellParam(r)
+	if err != nil {
+		return err
+	}
+	k, err := intParam(r, "k", 1)
+	if err != nil {
+		return err
+	}
+	if k < 1 {
+		return badRequest("parameter k: %d, need at least 1 unit", k)
+	}
+	snap, _, err := s.current()
+	if err != nil {
+		return err
+	}
+	have := snap.HistoryLen(key)
+	if k > have {
+		return notFound("trend for %s: %d units requested, %d recorded", key.Describe(s.schema), k, have)
+	}
+	isb, terr := snap.TrendQuery(key, k)
+	if terr != nil {
+		// The remaining failure is a history gap; surface the real cause.
+		return notFound("trend for %s: %v", key.Describe(s.schema), terr)
+	}
+	resp := trendResponse{
+		Unit:    snap.Unit,
+		Cell:    encodeCell(s.schema, core.Cell{Key: key, ISB: isb}),
+		K:       k,
+		History: have,
+		Points:  []HistoryPointJSON{},
+	}
+	tail := snap.HistoryOf(key)
+	tail = tail[len(tail)-k:]
+	for _, pt := range tail {
+		resp.Points = append(resp.Points, HistoryPointJSON{Unit: pt.Unit, ISB: encodeISB(pt.ISB)})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}

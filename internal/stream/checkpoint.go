@@ -141,5 +141,8 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 		}
 		e.history[key] = entries
 	}
+	// Published snapshots describe units of the replaced state; readers
+	// must wait for the first post-restore boundary.
+	e.snap.Store(nil)
 	return nil
 }

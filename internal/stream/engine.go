@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -72,6 +73,12 @@ type Config struct {
 	// attaches it to each UnitResult. Costs one extra cube pass plus
 	// retention of the previous unit's m-layer.
 	DeltaDrill bool
+	// PublishSnapshots makes the engine publish an immutable Snapshot at
+	// every unit boundary for lock-free concurrent readers (the serving
+	// layer). Costs one history copy per closed unit — nothing on the
+	// per-record path — and is off by default so pure-ingest pipelines pay
+	// zero.
+	PublishSnapshots bool
 }
 
 // AlertKind distinguishes alert causes.
@@ -165,6 +172,10 @@ type Engine struct {
 	// to the single-engine result. The coordinator suppresses the merged
 	// delta when the previous unit was globally empty.
 	shardDelta bool
+	// snap is the published per-unit snapshot (PublishSnapshots); readers
+	// load it without locks, so it must only ever hold fully built,
+	// never-again-mutated values.
+	snap atomic.Pointer[Snapshot]
 }
 
 // NewEngine validates the config and returns an engine expecting its first
@@ -351,6 +362,9 @@ func (e *Engine) closeUnit() (*UnitResult, error) {
 			e.prevUnit = ur.Unit
 		}
 		e.unitsDone++
+		if e.cfg.PublishSnapshots {
+			e.publishSnapshot(ur)
+		}
 		return ur, nil
 	}
 
@@ -381,6 +395,9 @@ func (e *Engine) closeUnit() (*UnitResult, error) {
 	}
 	e.recordHistory(ur, res)
 	e.unitsDone++
+	if e.cfg.PublishSnapshots {
+		e.publishSnapshot(ur)
+	}
 	return ur, nil
 }
 
@@ -443,19 +460,7 @@ func (e *Engine) recordHistory(ur *UnitResult, res *core.Result) {
 // cell lacks k consecutive trailing units.
 func (e *Engine) TrendQuery(cell cube.CellKey, k int) (regression.ISB, error) {
 	h := e.history[cell]
-	if k < 1 || k > len(h) {
-		return regression.ISB{}, fmt.Errorf("%w: %d units requested, %d recorded", ErrRecord, k, len(h))
-	}
-	tail := h[len(h)-k:]
-	isbs := make([]regression.ISB, k)
-	for i, entry := range tail {
-		if i > 0 && entry.unit != tail[i-1].unit+1 {
-			return regression.ISB{}, fmt.Errorf("%w: history gap between units %d and %d",
-				ErrRecord, tail[i-1].unit, entry.unit)
-		}
-		isbs[i] = entry.isb
-	}
-	return regression.AggregateTime(isbs...)
+	return aggregateTrend(len(h), k, func(i int) (int64, regression.ISB) { return h[i].unit, h[i].isb })
 }
 
 // HistoryLen returns how many units of history an o-cell currently has.

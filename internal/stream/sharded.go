@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -107,6 +108,11 @@ type ShardedEngine struct {
 	prevNonEmpty bool
 	err          error
 	closed       bool
+	// snap is the coordinator's published merged snapshot
+	// (cfg.PublishSnapshots). The per-shard engines run with publication
+	// off; the coordinator collects their history copies at each barrier
+	// and publishes one merged snapshot instead.
+	snap atomic.Pointer[Snapshot]
 }
 
 // NewShardedEngine builds a sharded analyzer with `shards` partitions. Each
@@ -126,9 +132,14 @@ func NewShardedEngine(cfg Config, shards int) (*ShardedEngine, error) {
 		shards:  make([]*shard, shards),
 		pending: make([][]record, shards),
 	}
+	// Shard engines never publish their own snapshots: a per-shard view
+	// would expose partial units, and the coordinator merges histories at
+	// each barrier anyway.
+	shardCfg := cfg
+	shardCfg.PublishSnapshots = false
 	engines := make([]*Engine, shards)
 	for i := range engines {
-		eng, err := NewEngine(cfg)
+		eng, err := NewEngine(shardCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -136,6 +147,7 @@ func NewShardedEngine(cfg Config, shards int) (*ShardedEngine, error) {
 		engines[i] = eng
 	}
 	s.cfg = engines[0].cfg // normalized (history bound, default path)
+	s.cfg.PublishSnapshots = cfg.PublishSnapshots
 	s.nDims = len(cfg.Schema.Dims)
 	s.idx = cube.NewAncestorIndex(cfg.Schema)
 	for d, dim := range cfg.Schema.Dims {
@@ -356,22 +368,44 @@ func (s *ShardedEngine) Ingest(members []int32, tick int64, value float64) ([]*U
 	return closed, nil
 }
 
+// shardAdvance is one shard's reply to an advanceTo broadcast: its closed
+// units plus, when snapshots are on, a copy of its post-close history.
+type shardAdvance struct {
+	urs  []*UnitResult
+	hist map[cube.CellKey][]HistoryPoint
+}
+
 // advanceTo closes units up to (excluding) target on every shard in
-// parallel and merges the per-unit results.
+// parallel and merges the per-unit results. With snapshots on, the barrier
+// also collects each shard's history copy and publishes one merged
+// Snapshot for the newest closed unit.
 func (s *ShardedEngine) advanceTo(target int64) ([]*UnitResult, error) {
 	n := int(target - s.unit)
-	vals, err := s.broadcast(func(e *Engine) (any, error) { return e.AdvanceTo(target) })
+	publish := s.cfg.PublishSnapshots
+	vals, err := s.broadcast(func(e *Engine) (any, error) {
+		urs, err := e.AdvanceTo(target)
+		if err != nil {
+			return nil, err
+		}
+		adv := shardAdvance{urs: urs}
+		if publish {
+			// Copied inside the shard goroutine, so it never races with the
+			// shard's own later units.
+			adv.hist = e.snapshotHistory()
+		}
+		return adv, nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	perShard := make([][]*UnitResult, len(vals))
 	for i, v := range vals {
-		urs, _ := v.([]*UnitResult)
-		if len(urs) != n {
-			s.err = fmt.Errorf("%w: shard %d closed %d units, want %d", ErrConfig, i, len(urs), n)
+		adv, _ := v.(shardAdvance)
+		if len(adv.urs) != n {
+			s.err = fmt.Errorf("%w: shard %d closed %d units, want %d", ErrConfig, i, len(adv.urs), n)
 			return nil, s.err
 		}
-		perShard[i] = urs
+		perShard[i] = adv.urs
 	}
 	out := make([]*UnitResult, n)
 	for u := 0; u < n; u++ {
@@ -384,6 +418,27 @@ func (s *ShardedEngine) advanceTo(target int64) ([]*UnitResult, error) {
 	s.unit = target
 	s.openEnd = s.unitStart(target + 1)
 	s.done += int64(n)
+	if publish {
+		// Shards own disjoint o-cells, so the merged history is a union.
+		hist := make(map[cube.CellKey][]HistoryPoint)
+		for _, v := range vals {
+			for k, pts := range v.(shardAdvance).hist {
+				hist[k] = pts
+			}
+		}
+		last := out[n-1]
+		s.snap.Store(&Snapshot{
+			Unit:      last.Unit,
+			Interval:  last.Interval,
+			UnitsDone: s.done,
+			// mergeUnit already sorted the alerts canonically; the clone
+			// keeps readers isolated from whatever the Ingest caller does
+			// with the returned UnitResult's slices.
+			Alerts:  cloneAlerts(last.Alerts),
+			Result:  last.Result,
+			History: hist,
+		})
+	}
 	return out, nil
 }
 
@@ -708,6 +763,9 @@ func (s *ShardedEngine) Restore(scp *ShardedCheckpoint) error {
 	s.done = done
 	s.prevNonEmpty = false
 	s.err = nil
+	// Published snapshots describe units of the replaced state; readers
+	// must wait for the first post-restore boundary.
+	s.snap.Store(nil)
 	return nil
 }
 

@@ -1,0 +1,357 @@
+package stream
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/exception"
+)
+
+func snapshotTestSchema(t testing.TB) *cube.Schema {
+	t.Helper()
+	ha, err := cube.NewFanoutHierarchy("A", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := cube.NewFanoutHierarchy("B", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := cube.NewSchema(
+		cube.Dimension{Name: "A", Hierarchy: ha, MLevel: 2, OLevel: 1},
+		cube.Dimension{Name: "B", Hierarchy: hb, MLevel: 2, OLevel: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+func snapshotTestConfig(t testing.TB) Config {
+	return Config{
+		Schema:           snapshotTestSchema(t),
+		TicksPerUnit:     4,
+		Threshold:        exception.Global(0.5),
+		PublishSnapshots: true,
+	}
+}
+
+// verifySnapshot asserts the internal consistency every served snapshot
+// must have: all parts describe the same closed unit.
+func verifySnapshot(t testing.TB, cfg *Config, s *Snapshot) {
+	t.Helper()
+	wantLo := cfg.StartTick + s.Unit*int64(cfg.TicksPerUnit)
+	if s.Interval.Tb != wantLo || s.Interval.Te != wantLo+int64(cfg.TicksPerUnit)-1 {
+		t.Fatalf("snapshot unit %d has interval [%d,%d]", s.Unit, s.Interval.Tb, s.Interval.Te)
+	}
+	if s.UnitsDone != s.Unit+1 {
+		t.Fatalf("snapshot unit %d with %d units done", s.Unit, s.UnitsDone)
+	}
+	for i, a := range s.Alerts {
+		if a.Unit != s.Unit {
+			t.Fatalf("alert %d is for unit %d inside snapshot of unit %d", i, a.Unit, s.Unit)
+		}
+		if s.Result == nil {
+			t.Fatalf("alert %d inside empty-unit snapshot", i)
+		}
+		isb, ok := s.Result.OLayer[a.Cell]
+		if !ok {
+			t.Fatalf("alert %d cell %v missing from the snapshot's o-layer", i, a.Cell)
+		}
+		if a.Kind == SlopeException && isb != a.ISB {
+			t.Fatalf("alert %d ISB %+v differs from o-layer %+v", i, a.ISB, isb)
+		}
+		if i > 0 {
+			prev, cur := s.Alerts[i-1], a
+			if prev.Unit > cur.Unit ||
+				(prev.Unit == cur.Unit && cube.CompareKeys(prev.Cell, cur.Cell) > 0) {
+				t.Fatalf("alerts not in canonical order at %d", i)
+			}
+		}
+	}
+	if s.Result != nil {
+		for key, isb := range s.Result.OLayer {
+			h := s.History[key]
+			if len(h) == 0 {
+				t.Fatalf("o-cell %v has no history in its own unit's snapshot", key)
+			}
+			tip := h[len(h)-1]
+			if tip.Unit != s.Unit || tip.ISB != isb {
+				t.Fatalf("o-cell %v history tip (%d, %+v) disagrees with unit %d o-layer %+v",
+					key, tip.Unit, tip.ISB, s.Unit, isb)
+			}
+		}
+	}
+	for key, h := range s.History {
+		for i := 1; i < len(h); i++ {
+			if h[i].Unit <= h[i-1].Unit {
+				t.Fatalf("history of %v not strictly increasing at %d", key, i)
+			}
+		}
+		if len(h) > 0 && h[len(h)-1].Unit > s.Unit {
+			t.Fatalf("history of %v reaches unit %d beyond snapshot unit %d", key, h[len(h)-1].Unit, s.Unit)
+		}
+	}
+}
+
+// ingestGrid feeds every m-cell one reading per tick over [from, to),
+// slopes varying per cell so alerts fire.
+func ingestGrid(t testing.TB, ing func([]int32, int64, float64) ([]*UnitResult, error), from, to int64) {
+	t.Helper()
+	for tick := from; tick < to; tick++ {
+		for a := int32(0); a < 4; a++ {
+			for b := int32(0); b < 4; b++ {
+				if _, err := ing([]int32{a, b}, tick, float64(tick)*float64(a+2*b+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineSnapshotPublishedPerUnit(t *testing.T) {
+	cfg := snapshotTestConfig(t)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Snapshot() != nil {
+		t.Fatal("snapshot before any unit closed")
+	}
+	ingestGrid(t, eng.Ingest, 0, 9) // crosses units 0 and 1
+	snap := eng.Snapshot()
+	if snap == nil || snap.Unit != 1 {
+		t.Fatalf("snapshot = %+v, want unit 1", snap)
+	}
+	verifySnapshot(t, &cfg, snap)
+	if len(snap.Result.OLayer) != 4 || len(snap.Alerts) == 0 {
+		t.Fatalf("snapshot result has %d o-cells, %d alerts", len(snap.Result.OLayer), len(snap.Alerts))
+	}
+	// History is a deep copy: later units must not mutate a held snapshot.
+	before := len(snap.History[snap.Alerts[0].Cell])
+	ingestGrid(t, eng.Ingest, 9, 13)
+	if got := len(snap.History[snap.Alerts[0].Cell]); got != before {
+		t.Fatalf("held snapshot's history grew from %d to %d", before, got)
+	}
+	// Flush publishes the final partial unit.
+	if _, err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Snapshot().Unit; got != 3 {
+		t.Fatalf("post-flush snapshot unit = %d, want 3", got)
+	}
+}
+
+func TestSnapshotDisabledByDefault(t *testing.T) {
+	cfg := snapshotTestConfig(t)
+	cfg.PublishSnapshots = false
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestGrid(t, eng.Ingest, 0, 9)
+	if eng.Snapshot() != nil {
+		t.Fatal("snapshot published with PublishSnapshots off")
+	}
+	seng, err := NewShardedEngine(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seng.Close()
+	ingestGrid(t, seng.Ingest, 0, 9)
+	if seng.Snapshot() != nil {
+		t.Fatal("sharded snapshot published with PublishSnapshots off")
+	}
+}
+
+// The merged sharded snapshot is identical to the single engine's at every
+// shard count: same result maps, same canonical alerts, same history.
+func TestShardedSnapshotMatchesSingle(t *testing.T) {
+	cfg := snapshotTestConfig(t)
+	single, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestGrid(t, single.Ingest, 0, 17)
+	want := single.Snapshot()
+	verifySnapshot(t, &cfg, want)
+
+	for _, shards := range []int{1, 3, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			seng, err := NewShardedEngine(cfg, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer seng.Close()
+			ingestGrid(t, seng.Ingest, 0, 17)
+			got := seng.Snapshot()
+			verifySnapshot(t, &cfg, got)
+			if got.Unit != want.Unit || got.UnitsDone != want.UnitsDone || got.Interval != want.Interval {
+				t.Fatalf("header %d/%d/%v, want %d/%d/%v",
+					got.Unit, got.UnitsDone, got.Interval, want.Unit, want.UnitsDone, want.Interval)
+			}
+			if !reflect.DeepEqual(got.Result.OLayer, want.Result.OLayer) {
+				t.Fatal("merged o-layer differs from single engine")
+			}
+			if !reflect.DeepEqual(got.Result.Exceptions, want.Result.Exceptions) {
+				t.Fatal("merged exceptions differ from single engine")
+			}
+			if !reflect.DeepEqual(got.History, want.History) {
+				t.Fatal("merged history differs from single engine")
+			}
+			if len(got.Alerts) != len(want.Alerts) {
+				t.Fatalf("%d alerts, want %d", len(got.Alerts), len(want.Alerts))
+			}
+			for i := range got.Alerts {
+				if got.Alerts[i].Unit != want.Alerts[i].Unit ||
+					got.Alerts[i].Kind != want.Alerts[i].Kind ||
+					got.Alerts[i].Cell != want.Alerts[i].Cell ||
+					got.Alerts[i].ISB != want.Alerts[i].ISB {
+					t.Fatalf("alert %d differs: %+v vs %+v", i, got.Alerts[i], want.Alerts[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotEmptyUnit(t *testing.T) {
+	cfg := snapshotTestConfig(t)
+	seng, err := NewShardedEngine(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seng.Close()
+	ingestGrid(t, seng.Ingest, 0, 4) // unit 0 complete, still open
+	if _, err := seng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := seng.Snapshot()
+	if full == nil || full.Result == nil || full.Unit != 0 {
+		t.Fatalf("unit 0 snapshot = %+v", full)
+	}
+	// Unit 1 closes with no data at all.
+	if _, err := seng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	empty := seng.Snapshot()
+	if empty.Unit != 1 || empty.Result != nil || len(empty.Alerts) != 0 {
+		t.Fatalf("empty-unit snapshot = unit %d result %v", empty.Unit, empty.Result)
+	}
+	// History still carries unit 0's cells.
+	if !reflect.DeepEqual(empty.History, full.History) {
+		t.Fatal("empty unit must preserve history")
+	}
+	if empty.UnitsDone != 2 {
+		t.Fatalf("units done = %d, want 2", empty.UnitsDone)
+	}
+}
+
+func TestSnapshotClearedOnRestore(t *testing.T) {
+	cfg := snapshotTestConfig(t)
+	seng, err := NewShardedEngine(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seng.Close()
+	ingestGrid(t, seng.Ingest, 0, 5)
+	cp, err := seng.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seng.Snapshot() == nil {
+		t.Fatal("no snapshot before restore")
+	}
+	if err := seng.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if seng.Snapshot() != nil {
+		t.Fatal("stale snapshot survived Restore")
+	}
+
+	single, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestGrid(t, single.Ingest, 0, 5)
+	if err := single.Restore(single.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if single.Snapshot() != nil {
+		t.Fatal("stale snapshot survived single-engine Restore")
+	}
+}
+
+// TestSnapshotConcurrentReaders is the -race acceptance stress test: N
+// goroutines hammer the snapshot read path while the 4-shard coordinator
+// ingests at full rate, and every observed snapshot must be internally
+// consistent — alerts, result, and history all of one unit.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	cfg := snapshotTestConfig(t)
+	seng, err := NewShardedEngine(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seng.Close()
+
+	const readers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last *Snapshot
+			seen := 0
+			var prevUnit int64 = -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := seng.Snapshot()
+				if s == nil {
+					continue
+				}
+				if s != last {
+					last = s
+					seen++
+					// Units move forward only.
+					if s.Unit <= prevUnit {
+						t.Errorf("snapshot went backwards: %d after %d", s.Unit, prevUnit)
+						return
+					}
+					prevUnit = s.Unit
+					verifySnapshot(t, &cfg, s)
+					// Exercise the trend path against the frozen history.
+					for key := range s.Result.OLayer {
+						if _, err := s.TrendQuery(key, 1); err != nil {
+							t.Errorf("trend on snapshot unit %d: %v", s.Unit, err)
+							return
+						}
+						break
+					}
+				}
+			}
+		}()
+	}
+
+	ticks := int64(400)
+	if testing.Short() {
+		ticks = 60
+	}
+	ingestGrid(t, seng.Ingest, 0, ticks)
+	close(stop)
+	wg.Wait()
+
+	// The last tick leaves the final unit open; the newest closed unit is
+	// the one before it.
+	wantUnit := (ticks-1)/4 - 1
+	final := seng.Snapshot()
+	if final == nil || final.Unit != wantUnit {
+		t.Fatalf("final snapshot unit = %d, want %d", final.Unit, wantUnit)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/query"
 	"repro/internal/regression"
+	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/tilt"
 	"repro/internal/timeseries"
@@ -284,6 +285,32 @@ func NewShardedStreamEngine(cfg StreamConfig, shards int) (*ShardedStreamEngine,
 // sharded engines already return this order; apply it to a single engine's
 // alerts before comparing the two.
 func SortStreamAlerts(alerts []Alert) { stream.SortAlerts(alerts) }
+
+// StreamSnapshot is the immutable per-unit view an engine publishes when
+// StreamConfig.PublishSnapshots is set: the unit's cube result, alerts in
+// canonical order, and every o-cell's trailing history. Reading one (via
+// the engine's Snapshot method) is a single atomic load, safe from any
+// goroutine concurrently with ingestion.
+type StreamSnapshot = stream.Snapshot
+
+// StreamHistoryPoint is one completed unit of an o-cell's history inside a
+// snapshot.
+type StreamHistoryPoint = stream.HistoryPoint
+
+// SnapshotSource supplies published snapshots to the query server; both
+// stream engine flavors implement it.
+type SnapshotSource = serve.Source
+
+// QueryServer is the HTTP/JSON analyst query API over published engine
+// snapshots: /v1/exceptions, /v1/supporters, /v1/slice, /v1/trend,
+// /v1/alerts, /v1/summary, /healthz, /metrics. It is an http.Handler; see
+// DESIGN.md §7 for the snapshot-publication protocol behind it.
+type QueryServer = serve.Server
+
+// NewQueryServer builds the analyst query API over a snapshot source.
+func NewQueryServer(src SnapshotSource, schema *Schema) *QueryServer {
+	return serve.New(src, schema)
+}
 
 // FitMLRRaw fits a multiple regression by Householder QR on the raw
 // design matrix — the robust path for ill-conditioned bases.

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving pipeline: pipe `datagen -stream`
+# into `streamd -listen`, query every HTTP endpoint mid-stream, then send
+# SIGINT and assert the graceful flush — the full binary path the unit
+# tests skip. Run from anywhere; needs go and curl.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:18080
+workdir=$(mktemp -d)
+spid=""
+dpid=""
+cleanup() {
+  [ -n "$spid" ] && kill "$spid" 2>/dev/null || true
+  [ -n "$dpid" ] && kill "$dpid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir" ./cmd/datagen ./cmd/streamd
+
+fifo="$workdir/stream.fifo"
+mkfifo "$fifo"
+
+echo "== start streamd -listen $ADDR (4 shards)"
+"$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 4 \
+  -listen "$ADDR" -checkpoint "$workdir/state.json" \
+  < "$fifo" > "$workdir/out.log" 2>&1 &
+spid=$!
+
+echo "== start datagen -stream (paced, with query load)"
+"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 3000 -pace 5ms \
+  -query "http://$ADDR" -qinterval 20ms \
+  > "$fifo" 2> "$workdir/datagen.log" &
+dpid=$!
+
+fetch() { curl -fsS --max-time 5 "http://$ADDR$1"; }
+
+echo "== wait for the first completed unit"
+ready=""
+for _ in $(seq 1 150); do
+  if h=$(fetch /healthz 2>/dev/null) && grep -q '"unitsDone":[1-9]' <<<"$h"; then
+    ready=yes
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$ready" ]; then
+  echo "FAIL: server never served a completed unit" >&2
+  cat "$workdir/out.log" >&2
+  exit 1
+fi
+echo "   healthz: $h"
+
+assert_json() { # path, required substring
+  local body
+  body=$(fetch "$1")
+  if [ -z "$body" ] || ! grep -q "$2" <<<"$body"; then
+    echo "FAIL: GET $1 returned unexpected body: $body" >&2
+    exit 1
+  fi
+  echo "   OK GET $1 (${#body} bytes)"
+}
+
+echo "== query every endpoint mid-stream"
+assert_json '/v1/exceptions?k=5'              '"cells":\['
+assert_json '/v1/exceptions?k=3&order=key'    '"cells":\['
+assert_json '/v1/summary'                     '"cuboids":\['
+assert_json '/v1/alerts'                      '"alerts":\['
+assert_json '/v1/supporters?members=0,0'      '"supporters":'
+assert_json '/v1/slice?dim=0&level=1&member=0' '"cells":'
+assert_json '/v1/trend?members=0,0&k=1'       '"points":\['
+# Errors are JSON too.
+body=$(curl -sS --max-time 5 "http://$ADDR/v1/slice?dim=99&member=0")
+grep -q '"error"' <<<"$body" || { echo "FAIL: bad request not JSON: $body" >&2; exit 1; }
+echo "   OK GET /v1/slice (bad dim rejected as JSON error)"
+fetch /metrics | grep -q 'regcube_http_requests_total' \
+  || { echo "FAIL: /metrics missing counters" >&2; exit 1; }
+echo "   OK GET /metrics"
+
+echo "== SIGINT mid-stream: graceful flush + checkpoint + shutdown"
+kill -INT "$spid"
+rc=0
+wait "$spid" || rc=$?
+spid=""
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: streamd exited $rc after SIGINT" >&2
+  cat "$workdir/out.log" >&2
+  exit 1
+fi
+grep -q '# signal: flushing final unit' "$workdir/out.log" \
+  || { echo "FAIL: no signal banner in output" >&2; tail "$workdir/out.log" >&2; exit 1; }
+grep -qE '^# [0-9]+ records, [0-9]+ units$' "$workdir/out.log" \
+  || { echo "FAIL: no final summary in output" >&2; tail "$workdir/out.log" >&2; exit 1; }
+[ -s "$workdir/state.json" ] || { echo "FAIL: checkpoint not written" >&2; exit 1; }
+kill "$dpid" 2>/dev/null || true
+dpid=""
+
+echo "== resume from the checkpoint"
+"$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 2 \
+  -checkpoint "$workdir/state.json" < /dev/null > "$workdir/resume.log" 2>&1
+grep -q '# resumed at unit' "$workdir/resume.log" \
+  || { echo "FAIL: no resume banner" >&2; cat "$workdir/resume.log" >&2; exit 1; }
+
+echo "e2e smoke OK"
