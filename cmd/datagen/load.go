@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -11,12 +12,14 @@ import (
 )
 
 // loadPaths is the query mix the load generator cycles through — the
-// endpoints an analyst dashboard would poll.
+// endpoints an analyst dashboard would poll. /v1/frame answers on flat
+// and tilted engines alike, so the mix works against any streamd.
 var loadPaths = []string{
 	"/healthz",
 	"/v1/exceptions?k=8",
 	"/v1/summary",
 	"/v1/alerts",
+	"/v1/frame?members=0,0",
 }
 
 // startLoad spawns `workers` goroutines issuing GET requests against the
@@ -82,9 +85,29 @@ func startLoad(baseURL string, interval time.Duration, workers int) func() {
 			return
 		}
 		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		pct := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
 		fmt.Fprintf(os.Stderr,
 			"datagen: load: %d queries, %d errors, latency p50=%s p95=%s p99=%s max=%s\n",
-			len(all), errors, pct(0.50), pct(0.95), pct(0.99), all[len(all)-1])
+			len(all), errors,
+			percentile(all, 0.50), percentile(all, 0.95), percentile(all, 0.99), all[len(all)-1])
 	}
+}
+
+// percentile returns the nearest-rank percentile of a sorted sample: the
+// smallest element with at least ⌈p·n⌉ of the sample at or below it,
+// clamped to the sample bounds. The previous all[int(p·(n-1))] indexing
+// under-picked the tail at small n — p99 of 10 samples landed on the 9th
+// value instead of the maximum, collapsing p99 into p90.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
 }

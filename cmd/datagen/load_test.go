@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// ascending returns the sorted sample 1ms, 2ms, ..., n·ms, whose
+// nearest-rank percentile has the closed form ⌈p·n⌉ ms.
+func ascending(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return out
+}
+
+// TestPercentileNearestRank pins the clamped nearest-rank definition at
+// the small sample sizes where the old p·(n−1) indexing mis-picked:
+// p99 and max must coincide for every n < 100.
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want time.Duration
+	}{
+		{1, 0, 1 * time.Millisecond},
+		{1, 0.50, 1 * time.Millisecond},
+		{1, 0.99, 1 * time.Millisecond},
+		{1, 1, 1 * time.Millisecond},
+		{2, 0.50, 1 * time.Millisecond},
+		{2, 0.95, 2 * time.Millisecond},
+		{2, 0.99, 2 * time.Millisecond},
+		{10, 0.50, 5 * time.Millisecond},
+		{10, 0.95, 10 * time.Millisecond},
+		{10, 0.99, 10 * time.Millisecond}, // old indexing picked 9ms here
+		{10, 1, 10 * time.Millisecond},
+		{100, 0.50, 50 * time.Millisecond},
+		{100, 0.95, 95 * time.Millisecond},
+		{100, 0.99, 99 * time.Millisecond},
+		{100, 1, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := percentile(ascending(tc.n), tc.p); got != tc.want {
+			t.Errorf("percentile(n=%d, p=%g) = %s, want %s", tc.n, tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("percentile(empty) = %s, want 0", got)
+	}
+}
+
+// TestPercentileTailNeverBelowMax asserts the p99/max collapse is gone:
+// for every sample size the p100 equals the maximum and p99 is within one
+// rank of it.
+func TestPercentileTailNeverBelowMax(t *testing.T) {
+	for n := 1; n <= 128; n++ {
+		s := ascending(n)
+		max := s[n-1]
+		if got := percentile(s, 1); got != max {
+			t.Fatalf("n=%d: p100 = %s, want max %s", n, got, max)
+		}
+		p99 := percentile(s, 0.99)
+		if p99 > max || max-p99 > time.Millisecond {
+			t.Fatalf("n=%d: p99 = %s strays from max %s", n, p99, max)
+		}
+	}
+}

@@ -19,11 +19,20 @@
 // the CSV reader buffered but had not yet parsed are abandoned, as with
 // any streaming shutdown.)
 //
+// With -tilt the flat per-o-cell trend history is replaced by a tilt time
+// frame (§4.1): each closed unit promotes through a level chain (e.g.
+// quarter → hour → day → month), so /v1/trend?level= and /v1/frame reach
+// far into the past at coarser granularity while per-cell state stays
+// bounded by the chain's slot capacity.
+//
 // Checkpoint files are versioned: a single engine writes version 1 (one
 // checkpoint), a sharded engine writes version 2 (one checkpoint per
-// shard). Either version loads regardless of the current -shards value —
-// v1 files repartition across the shards, v2 files merge back into a
-// single engine — so the shard count can change freely between restarts.
+// shard), and -tilt engines write version 3 (either layout plus the
+// per-o-cell frames). Any version loads regardless of the current -shards
+// or -tilt value — v1 files repartition across the shards, v2 files merge
+// back into a single engine, pre-tilt files reseed frames from their flat
+// history, and v3 files load into flat engines through the derived
+// finest-level history — so both knobs can change freely between restarts.
 //
 // Record format (no header): tick,dim0,...,dimN,value
 //
@@ -47,6 +56,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +66,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/serve"
 	"repro/internal/stream"
+	"repro/internal/tilt"
 )
 
 // options collects the flag values so tests drive run directly.
@@ -67,6 +78,7 @@ type options struct {
 	checkpoint string
 	shards     int
 	listen     string
+	tilt       string
 }
 
 func main() {
@@ -80,6 +92,8 @@ func main() {
 		"v1 single-engine and v2 per-shard formats both load at any -shards value)")
 	flag.IntVar(&opt.shards, "shards", runtime.GOMAXPROCS(0), "engine shards ingesting and cubing in parallel; 1 = single-threaded engine")
 	flag.StringVar(&opt.listen, "listen", "", "serve the HTTP/JSON query API on this address (e.g. :8080); empty disables")
+	flag.StringVar(&opt.tilt, "tilt", "", "tilted multi-granularity trend history: 'calendar' (4 quarters/24 hours/31 days/12 months of units), "+
+		"'log<N>x<S>' (N doubling levels of S slots), or 'name:multiple:slots,...' finest first; empty keeps the flat per-o-cell history")
 	flag.Parse()
 
 	// A signal stops the record loop; the final flush, checkpoint, and
@@ -135,11 +149,16 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 	if opt.shards < 1 {
 		return fmt.Errorf("-shards %d: need at least 1", opt.shards)
 	}
+	tiltLevels, err := parseTiltLevels(opt.tilt)
+	if err != nil {
+		return fmt.Errorf("bad -tilt: %w", err)
+	}
 	cfg := stream.Config{
 		Schema:       schema,
 		TicksPerUnit: opt.unit,
 		Threshold:    exception.Global(opt.threshold),
 		Algorithm:    alg,
+		TiltLevels:   tiltLevels,
 		// The serving layer reads immutable per-unit snapshots.
 		PublishSnapshots: opt.listen != "",
 	}
@@ -377,6 +396,47 @@ loop:
 	}
 	fmt.Fprintf(out, "# %d records, %d units\n", records, eng.UnitsDone())
 	return nil
+}
+
+// parseTiltLevels decodes the -tilt flag. "" keeps the flat history;
+// "calendar" is the paper's quarter/hour/day/month chain (each engine unit
+// plays the quarter); "log<N>x<S>" is N doubling-coverage levels of S
+// slots each; anything else is an explicit "name:multiple:slots,..."
+// chain, finest level first (its multiple is implied 1 — one engine unit).
+func parseTiltLevels(s string) ([]tilt.Level, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "calendar" {
+		return tilt.CalendarLevels(), nil
+	}
+	var n, slots int
+	if c, err := fmt.Sscanf(s, "log%dx%d", &n, &slots); c == 2 && err == nil {
+		// Sscanf accepts signs and ignores trailing text; require an exact
+		// round trip so log0x4, log-1x4, and log3x4junk all fail loudly
+		// instead of panicking or silently disabling tilt.
+		if n < 1 || slots < 1 || fmt.Sprintf("log%dx%d", n, slots) != s {
+			return nil, fmt.Errorf("%q: want log<levels>x<slots> with both ≥ 1", s)
+		}
+		return tilt.LogarithmicLevels(n, 1, slots), nil
+	}
+	var levels []tilt.Level
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("level %q: want name:multiple:slots", part)
+		}
+		mult, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("level %q multiple: %w", part, err)
+		}
+		sl, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("level %q slots: %w", part, err)
+		}
+		levels = append(levels, tilt.Level{Name: fields[0], Multiple: mult, Slots: sl})
+	}
+	return levels, nil
 }
 
 // parseRow decodes one CSV record: tick,dim0,...,dimN,value.

@@ -43,6 +43,14 @@ func main() {
 		Schema:       schema,
 		TicksPerUnit: 15, // a quarter of an hour of minute readings
 		Threshold:    regcube.GlobalThreshold(0.4),
+		// Tilted history: each unit is a "quarter"; 2 quarters make a
+		// "half" and 2 halves an "hour", so trends reach back at three
+		// granularities while per-cell state stays at 10 slots.
+		TiltLevels: []regcube.FrameLevel{
+			{Name: "quarter", Multiple: 1, Slots: 4},
+			{Name: "half", Multiple: 2, Slots: 4},
+			{Name: "hour", Multiple: 2, Slots: 2},
+		},
 		// The serving layer reads immutable per-unit snapshots.
 		PublishSnapshots: true,
 	}, 4)
@@ -135,4 +143,39 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("4-unit trend of (region 2, appliance 0): slope %+0.3f per tick\n", trend.Cell.ISB.Slope)
+
+	// The same cell at a coarser tilt granularity: the last "hour" (4
+	// units) is answered from one promoted slot, not four.
+	var hour struct {
+		Level string `json:"level"`
+		Cell  struct {
+			ISB struct {
+				Slope float64 `json:"slope"`
+			} `json:"isb"`
+		} `json:"cell"`
+	}
+	if err := json.Unmarshal([]byte(get("/v1/trend?members=2,0&k=1&level=2")), &hour); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1-%s trend of (region 2, appliance 0): slope %+0.3f per tick\n", hour.Level, hour.Cell.ISB.Slope)
+
+	// And the frame itself: per-level slot occupancy of the tilted
+	// register (Figure 4's "now" edge on the right).
+	var frame struct {
+		SlotsInUse int `json:"slotsInUse"`
+		Levels     []struct {
+			Name      string `json:"name"`
+			UnitTicks int64  `json:"unitTicks"`
+			Slots     []struct {
+				Unit int64 `json:"unit"`
+			} `json:"slots"`
+		} `json:"levels"`
+	}
+	if err := json.Unmarshal([]byte(get("/v1/frame?members=2,0")), &frame); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tilted frame of (region 2, appliance 0): %d slots in use\n", frame.SlotsInUse)
+	for _, lv := range frame.Levels {
+		fmt.Printf("  %-8s %2d slots × %d ticks\n", lv.Name, len(lv.Slots), lv.UnitTicks)
+	}
 }

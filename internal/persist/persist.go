@@ -24,12 +24,17 @@ const formatVersion = 1
 
 // Checkpoint envelope versions. Version 1 wraps one single-engine
 // checkpoint; version 2 wraps one checkpoint per shard of a
-// stream.ShardedEngine. Readers accept both: a v1 file loads into a
-// sharded engine as a one-shard set (repartitioned on restore) and a v2
-// file loads into a single engine by merging its disjoint shards.
+// stream.ShardedEngine; version 3 is either layout carrying tilted
+// per-o-cell frames (stream.Checkpoint.Tilt) alongside the flat history.
+// Readers accept all three: a v1 file loads into a sharded engine as a
+// one-shard set (repartitioned on restore), a v2 file loads into a single
+// engine by merging its disjoint shards, and a v3 file loads into flat
+// engines through its derived history — stream.Engine.Restore reseeds
+// frames from pre-tilt files going the other way.
 const (
 	checkpointVersionSingle  = 1
 	checkpointVersionSharded = 2
+	checkpointVersionTilted  = 3
 )
 
 // cellRec flattens one (cell, measure) pair.
@@ -128,7 +133,7 @@ func ReadResult(r io.Reader, schema *cube.Schema) (*core.Result, error) {
 }
 
 // checkpointDoc wraps a stream checkpoint with versioning. Exactly one of
-// Checkpoint (v1) and Shards (v2) is set.
+// Checkpoint (single-engine layout) and Shards (per-shard layout) is set.
 type checkpointDoc struct {
 	Version    int                  `json:"version"`
 	Checkpoint *stream.Checkpoint   `json:"checkpoint,omitempty"`
@@ -140,45 +145,72 @@ func decodeCheckpointDoc(r io.Reader) (*checkpointDoc, error) {
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
+	// Every version carries exactly one layout; a file with both (or
+	// neither) is ambiguous, and readers must not silently pick one —
+	// choosing the stray single checkpoint over a shard set would drop
+	// state.
+	if (doc.Checkpoint == nil) == (len(doc.Shards) == 0) {
+		return nil, fmt.Errorf("%w: checkpoint needs exactly one of checkpoint/shards", ErrFormat)
+	}
 	switch doc.Version {
 	case checkpointVersionSingle:
 		if doc.Checkpoint == nil {
-			return nil, fmt.Errorf("%w: empty checkpoint", ErrFormat)
+			return nil, fmt.Errorf("%w: version 1 without a single checkpoint", ErrFormat)
 		}
 	case checkpointVersionSharded:
-		if len(doc.Shards) == 0 {
-			return nil, fmt.Errorf("%w: sharded checkpoint with no shards", ErrFormat)
+		if err := doc.validShards(); err != nil {
+			return nil, err
 		}
-		for i, cp := range doc.Shards {
-			if cp == nil {
-				return nil, fmt.Errorf("%w: nil shard checkpoint %d", ErrFormat, i)
+	case checkpointVersionTilted:
+		// v3 is v1- or v2-shaped with frames attached.
+		if doc.Checkpoint == nil {
+			if err := doc.validShards(); err != nil {
+				return nil, err
 			}
 		}
 	default:
-		return nil, fmt.Errorf("%w: version %d, want %d or %d", ErrFormat,
-			doc.Version, checkpointVersionSingle, checkpointVersionSharded)
+		return nil, fmt.Errorf("%w: version %d, want %d, %d or %d", ErrFormat,
+			doc.Version, checkpointVersionSingle, checkpointVersionSharded, checkpointVersionTilted)
 	}
 	return &doc, nil
 }
 
-// WriteCheckpoint serializes a single-engine checkpoint (version 1).
+func (doc *checkpointDoc) validShards() error {
+	if len(doc.Shards) == 0 {
+		return fmt.Errorf("%w: sharded checkpoint with no shards", ErrFormat)
+	}
+	for i, cp := range doc.Shards {
+		if cp == nil {
+			return fmt.Errorf("%w: nil shard checkpoint %d", ErrFormat, i)
+		}
+	}
+	return nil
+}
+
+// WriteCheckpoint serializes a single-engine checkpoint: version 1, or
+// version 3 when the engine carries tilted frames.
 func WriteCheckpoint(w io.Writer, cp *stream.Checkpoint) error {
 	if cp == nil {
 		return fmt.Errorf("%w: nil checkpoint", ErrFormat)
 	}
-	return json.NewEncoder(w).Encode(checkpointDoc{Version: checkpointVersionSingle, Checkpoint: cp})
+	version := checkpointVersionSingle
+	if len(cp.Tilt) > 0 {
+		version = checkpointVersionTilted
+	}
+	return json.NewEncoder(w).Encode(checkpointDoc{Version: version, Checkpoint: cp})
 }
 
-// ReadCheckpoint deserializes a checkpoint for a single engine. Version-2
-// (sharded) files are accepted too: their disjoint shards merge into one
-// equivalent single-engine checkpoint, so shard-count changes between runs
-// — including back to 1 — never strand a state file.
+// ReadCheckpoint deserializes a checkpoint for a single engine. Sharded
+// files (v2, or v3 in the sharded layout) are accepted too: their disjoint
+// shards merge into one equivalent single-engine checkpoint, so
+// shard-count changes between runs — including back to 1 — never strand a
+// state file.
 func ReadCheckpoint(r io.Reader) (*stream.Checkpoint, error) {
 	doc, err := decodeCheckpointDoc(r)
 	if err != nil {
 		return nil, err
 	}
-	if doc.Version == checkpointVersionSingle {
+	if doc.Checkpoint != nil {
 		return doc.Checkpoint, nil
 	}
 	cp, err := (&stream.ShardedCheckpoint{Shards: doc.Shards}).Merge()
@@ -188,29 +220,34 @@ func ReadCheckpoint(r io.Reader) (*stream.Checkpoint, error) {
 	return cp, nil
 }
 
-// WriteShardedCheckpoint serializes a sharded-engine checkpoint
-// (version 2).
+// WriteShardedCheckpoint serializes a sharded-engine checkpoint: version
+// 2, or version 3 when any shard carries tilted frames.
 func WriteShardedCheckpoint(w io.Writer, scp *stream.ShardedCheckpoint) error {
 	if scp == nil || len(scp.Shards) == 0 {
 		return fmt.Errorf("%w: empty sharded checkpoint", ErrFormat)
 	}
+	version := checkpointVersionSharded
 	for i, cp := range scp.Shards {
 		if cp == nil {
 			return fmt.Errorf("%w: nil shard checkpoint %d", ErrFormat, i)
 		}
+		if len(cp.Tilt) > 0 {
+			version = checkpointVersionTilted
+		}
 	}
-	return json.NewEncoder(w).Encode(checkpointDoc{Version: checkpointVersionSharded, Shards: scp.Shards})
+	return json.NewEncoder(w).Encode(checkpointDoc{Version: version, Shards: scp.Shards})
 }
 
 // ReadShardedCheckpoint deserializes a checkpoint for a sharded engine.
-// Version-1 (single-engine) files are accepted as a one-shard set;
-// ShardedEngine.Restore repartitions either form across its shards.
+// Single-engine files (v1, or v3 in the single layout) are accepted as a
+// one-shard set; ShardedEngine.Restore repartitions either form across
+// its shards.
 func ReadShardedCheckpoint(r io.Reader) (*stream.ShardedCheckpoint, error) {
 	doc, err := decodeCheckpointDoc(r)
 	if err != nil {
 		return nil, err
 	}
-	if doc.Version == checkpointVersionSingle {
+	if doc.Checkpoint != nil {
 		return &stream.ShardedCheckpoint{Shards: []*stream.Checkpoint{doc.Checkpoint}}, nil
 	}
 	return &stream.ShardedCheckpoint{Shards: doc.Shards}, nil

@@ -1,0 +1,231 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/stream"
+	"repro/internal/tilt"
+)
+
+func tiltedStreamConfig(t *testing.T) (stream.Config, *cube.Schema) {
+	t.Helper()
+	h, _ := cube.NewFanoutHierarchy("A", 2, 2)
+	schema, err := cube.NewSchema(cube.Dimension{Name: "A", Hierarchy: h, MLevel: 2, OLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream.Config{
+		Schema: schema, TicksPerUnit: 4, Threshold: exception.Global(0.5),
+		TiltLevels: []tilt.Level{
+			{Name: "q", Multiple: 1, Slots: 3},
+			{Name: "h", Multiple: 3, Slots: 2},
+		},
+	}, schema
+}
+
+func feedUnits(t *testing.T, ing func([]int32, int64, float64) ([]*stream.UnitResult, error), from, to int64) {
+	t.Helper()
+	for tk := from; tk < to; tk++ {
+		for m := int32(0); m < 4; m++ {
+			if _, err := ing([]int32{m}, tk, float64(tk)*float64(m+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestTiltedCheckpointWritesV3 asserts the envelope version switches to 3
+// exactly when frames are present, for both writer entry points.
+func TestTiltedCheckpointWritesV3(t *testing.T) {
+	cfg, _ := tiltedStreamConfig(t)
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedUnits(t, eng.Ingest, 0, 10)
+
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, eng.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 3 {
+		t.Fatalf("tilted single checkpoint version %d, want 3", doc.Version)
+	}
+
+	seng, err := stream.NewShardedEngine(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seng.Close()
+	feedUnits(t, seng.Ingest, 0, 10)
+	scp, err := seng.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteShardedCheckpoint(&buf, scp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 3 {
+		t.Fatalf("tilted sharded checkpoint version %d, want 3", doc.Version)
+	}
+}
+
+// TestV3CrossLoads loads a v3 single file into a sharded engine, a v3
+// sharded file into a single engine, and both into flat engines — the
+// full compatibility matrix row for version 3.
+func TestV3CrossLoads(t *testing.T) {
+	cfg, schema := tiltedStreamConfig(t)
+	single, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedUnits(t, single.Ingest, 0, 14)
+	var singleFile bytes.Buffer
+	if err := WriteCheckpoint(&singleFile, single.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+
+	sharded, err := stream.NewShardedEngine(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	feedUnits(t, sharded.Ingest, 0, 14)
+	scp, err := sharded.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shardedFile bytes.Buffer
+	if err := WriteShardedCheckpoint(&shardedFile, scp); err != nil {
+		t.Fatal(err)
+	}
+
+	// v3 single → sharded engine.
+	intoSharded, err := stream.NewShardedEngine(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer intoSharded.Close()
+	rescp, err := ReadShardedCheckpoint(bytes.NewReader(singleFile.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := intoSharded.Restore(rescp); err != nil {
+		t.Fatal(err)
+	}
+
+	// v3 sharded → single engine (shards merge, frames concatenate).
+	intoSingle, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(bytes.NewReader(shardedFile.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := intoSingle.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+
+	// v3 → flat engine: the derived history loads; frames are ignored.
+	flat, err := stream.NewEngine(stream.Config{
+		Schema: schema, TicksPerUnit: 4, Threshold: exception.Global(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := ReadCheckpoint(bytes.NewReader(singleFile.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.Restore(cp2); err != nil {
+		t.Fatal(err)
+	}
+	ocell := cube.NewCellKey(cube.MustCuboid(1), 0)
+	if flat.HistoryLen(ocell) == 0 {
+		t.Fatal("flat engine restored no history from the v3 file")
+	}
+}
+
+// TestV2LoadsIntoTiltedEngine is the forward-compat half of the
+// acceptance criterion: a checkpoint written before this PR (v1/v2, no
+// frames) restores into a v3-capable, tilt-configured engine.
+func TestV2LoadsIntoTiltedEngine(t *testing.T) {
+	cfg, schema := tiltedStreamConfig(t)
+	flatSharded, err := stream.NewShardedEngine(stream.Config{
+		Schema: schema, TicksPerUnit: 4, Threshold: exception.Global(0.5),
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flatSharded.Close()
+	feedUnits(t, flatSharded.Ingest, 0, 14)
+	scp, err := flatSharded.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2File bytes.Buffer
+	if err := WriteShardedCheckpoint(&v2File, scp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v2File.String(), `"version":2`) {
+		t.Fatalf("flat sharded file is not v2: %.80s", v2File.String())
+	}
+
+	tilted, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(bytes.NewReader(v2File.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tilted.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	// The seeded frames answer coarse trends right away (3 closed units
+	// per "hour"; 14 ticks close 3 units, so one hour exists).
+	ocell := cube.NewCellKey(cube.MustCuboid(1), 0)
+	if _, err := tilted.TrendQueryAt(ocell, 1, 1); err != nil {
+		t.Fatalf("seeded tilt engine has no hour trend: %v", err)
+	}
+}
+
+// TestV3EnvelopeValidation rejects malformed v3 documents.
+func TestV3EnvelopeValidation(t *testing.T) {
+	bad := []string{
+		`{"version":3}`,
+		`{"version":3,"checkpoint":{"unit":0},"shards":[{"unit":0}]}`,
+		`{"version":3,"shards":[]}`,
+		`{"version":3,"shards":[null]}`,
+		`{"version":4,"checkpoint":{"unit":0}}`,
+		// Mixed layouts are ambiguous at every version: silently preferring
+		// the stray single checkpoint would drop the shard data.
+		`{"version":1,"checkpoint":{"unit":0},"shards":[{"unit":0}]}`,
+		`{"version":2,"checkpoint":{"unit":0},"shards":[{"unit":0},{"unit":0}]}`,
+		`{"version":2,"checkpoint":{"unit":0}}`,
+	}
+	for i, doc := range bad {
+		if _, err := ReadCheckpoint(strings.NewReader(doc)); err == nil {
+			t.Fatalf("case %d restored silently: %s", i, doc)
+		}
+		if _, err := ReadShardedCheckpoint(strings.NewReader(doc)); err == nil {
+			t.Fatalf("case %d (sharded reader) restored silently: %s", i, doc)
+		}
+	}
+}

@@ -17,9 +17,14 @@
 //	/v1/summary            unit header, cube stats, per-cuboid exception counts
 //	/v1/exceptions         ranked exception cells (?k=, ?order=slope|key)
 //	/v1/alerts             the unit's o-layer alerts with drill-down
-//	/v1/supporters         exception descendants of one cell (?levels=&members=)
-//	/v1/slice              exceptions under one member (?dim=&level=&member=)
-//	/v1/trend              k-unit trend regression of an o-cell (?members=&k=)
+//	/v1/supporters         exception descendants of one cell (?levels=&members=&k=)
+//	/v1/slice              exceptions under one member (?dim=&level=&member=&k=)
+//	/v1/trend              k-unit trend regression of an o-cell (?members=&k=&level=)
+//	/v1/frame              per-level slot listing of an o-cell's tilted history (?members=)
+//
+// Integer parameters share one validation rule: explicit values below an
+// endpoint's minimum (1 for ?k= limits, 0 for coordinates) are rejected
+// with 400 before any snapshot is consulted.
 package serve
 
 import (
@@ -55,11 +60,12 @@ const (
 	epSupporters
 	epSlice
 	epTrend
+	epFrame
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
-	"healthz", "metrics", "summary", "exceptions", "alerts", "supporters", "slice", "trend",
+	"healthz", "metrics", "summary", "exceptions", "alerts", "supporters", "slice", "trend", "frame",
 }
 
 // endpointStats are lock-free per-endpoint counters.
@@ -108,6 +114,7 @@ func New(src Source, schema *cube.Schema) *Server {
 	s.mux.HandleFunc("GET /v1/supporters", s.instrument(epSupporters, s.handleSupporters))
 	s.mux.HandleFunc("GET /v1/slice", s.instrument(epSlice, s.handleSlice))
 	s.mux.HandleFunc("GET /v1/trend", s.instrument(epTrend, s.handleTrend))
+	s.mux.HandleFunc("GET /v1/frame", s.instrument(epFrame, s.handleFrame))
 	return s
 }
 
@@ -200,8 +207,12 @@ func (s *Server) current() (*stream.Snapshot, *viewCache, error) {
 	return snap, c, nil
 }
 
-// intParam parses an integer query parameter with a default.
-func intParam(r *http.Request, name string, def int) (int, error) {
+// intParam parses an integer query parameter with a default. Explicitly
+// supplied values below min are rejected with a uniform 400, so every
+// endpoint shares one lower-bound rule instead of ad-hoc per-handler
+// checks; the default is exempt (sentinels like -1 stay expressible) and
+// is range-checked by the handler where it matters.
+func intParam(r *http.Request, name string, def, min int) (int, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return def, nil
@@ -209,6 +220,9 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	v, err := strconv.Atoi(raw)
 	if err != nil {
 		return 0, badRequest("parameter %s: %v", name, err)
+	}
+	if v < min {
+		return 0, badRequest("parameter %s: %d below minimum %d", name, v, min)
 	}
 	return v, nil
 }
@@ -373,7 +387,7 @@ type cellsResponse struct {
 }
 
 func (s *Server) handleExceptions(w http.ResponseWriter, r *http.Request) error {
-	k, err := intParam(r, "k", 20)
+	k, err := intParam(r, "k", 20, 1)
 	if err != nil {
 		return err
 	}
@@ -397,7 +411,7 @@ func (s *Server) handleExceptions(w http.ResponseWriter, r *http.Request) error 
 		if order == "key" {
 			cells = c.byKey
 		}
-		if k >= 0 && k < len(cells) {
+		if k < len(cells) {
 			cells = cells[:k]
 		}
 		resp.Cells = encodeCells(s.schema, cells)
@@ -437,12 +451,19 @@ type supportersResponse struct {
 		Name    string   `json:"name"`
 		ISB     *ISBJSON `json:"isb,omitempty"`
 	} `json:"cell"`
-	Retained   bool       `json:"retained"`
+	Retained bool `json:"retained"`
+	// Count is the total number of supporters before ?k= truncation.
+	Count      int        `json:"count"`
 	Supporters []CellJSON `json:"supporters"`
 }
 
 func (s *Server) handleSupporters(w http.ResponseWriter, r *http.Request) error {
 	key, err := s.cellParam(r)
+	if err != nil {
+		return err
+	}
+	// -1 is the "no limit" default; explicit limits must be ≥ 1.
+	k, err := intParam(r, "k", -1, 1)
 	if err != nil {
 		return err
 	}
@@ -463,7 +484,12 @@ func (s *Server) handleSupporters(w http.ResponseWriter, r *http.Request) error 
 			j := encodeISB(isb)
 			resp.Cell.ISB = &j
 		}
-		resp.Supporters = encodeCells(s.schema, c.view.Supporters(key))
+		sup := c.view.Supporters(key)
+		resp.Count = len(sup)
+		if k >= 0 && k < len(sup) {
+			sup = sup[:k]
+		}
+		resp.Supporters = encodeCells(s.schema, sup)
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil
@@ -472,7 +498,7 @@ func (s *Server) handleSupporters(w http.ResponseWriter, r *http.Request) error 
 // --- /v1/slice ------------------------------------------------------------
 
 func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) error {
-	dim, err := intParam(r, "dim", -1)
+	dim, err := intParam(r, "dim", -1, 0)
 	if err != nil {
 		return err
 	}
@@ -480,19 +506,24 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) error {
 		return badRequest("parameter dim: %d outside [0,%d)", dim, len(s.schema.Dims))
 	}
 	d := s.schema.Dims[dim]
-	level, err := intParam(r, "level", d.OLevel)
+	level, err := intParam(r, "level", d.OLevel, 0)
 	if err != nil {
 		return err
 	}
 	if level < 0 || level > d.MLevel {
 		return badRequest("parameter level: %d outside [0,%d]", level, d.MLevel)
 	}
-	member, err := intParam(r, "member", -1)
+	member, err := intParam(r, "member", -1, 0)
 	if err != nil {
 		return err
 	}
 	if card := d.Hierarchy.Cardinality(level); member < 0 || member >= card {
 		return badRequest("parameter member: %d outside [0,%d) at level %d", member, card, level)
+	}
+	// -1 is the "no limit" default; explicit limits must be ≥ 1.
+	k, err := intParam(r, "k", -1, 1)
+	if err != nil {
+		return err
 	}
 	snap, c, err := s.current()
 	if err != nil {
@@ -502,6 +533,9 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) error {
 	if c != nil {
 		cells := c.view.Slice(dim, level, int32(member))
 		resp.Count = len(cells)
+		if k >= 0 && k < len(cells) {
+			cells = cells[:k]
+		}
 		resp.Cells = encodeCells(s.schema, cells)
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -511,9 +545,13 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) error {
 // --- /v1/trend ------------------------------------------------------------
 
 type trendResponse struct {
-	Unit    int64              `json:"unit"`
-	Cell    CellJSON           `json:"cell"`
-	K       int                `json:"k"`
+	Unit int64    `json:"unit"`
+	Cell CellJSON `json:"cell"`
+	K    int      `json:"k"`
+	// Level is the tilt granularity the trend was answered at (0 =
+	// finest; coarser levels need an engine with tilt levels configured).
+	Level string `json:"level,omitempty"`
+	// History counts the retained units at the queried level.
 	History int                `json:"history"`
 	Points  []HistoryPointJSON `json:"points"`
 }
@@ -523,37 +561,152 @@ func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	k, err := intParam(r, "k", 1)
+	k, err := intParam(r, "k", 1, 1)
 	if err != nil {
 		return err
 	}
-	if k < 1 {
-		return badRequest("parameter k: %d, need at least 1 unit", k)
+	level, err := intParam(r, "level", 0, 0)
+	if err != nil {
+		return err
 	}
 	snap, _, err := s.current()
 	if err != nil {
 		return err
 	}
-	have := snap.HistoryLen(key)
-	if k > have {
-		return notFound("trend for %s: %d units requested, %d recorded", key.Describe(s.schema), k, have)
+	resp := trendResponse{Unit: snap.Unit, K: k, Points: []HistoryPointJSON{}}
+	if level == 0 {
+		have := snap.HistoryLen(key)
+		if k > have {
+			return notFound("trend for %s: %d units requested, %d recorded", key.Describe(s.schema), k, have)
+		}
+		isb, terr := snap.TrendQuery(key, k)
+		if terr != nil {
+			// The remaining failure is a history gap; surface the real cause.
+			return notFound("trend for %s: %v", key.Describe(s.schema), terr)
+		}
+		resp.Cell = encodeCell(s.schema, core.Cell{Key: key, ISB: isb})
+		resp.History = have
+		tail := snap.HistoryOf(key)
+		tail = tail[len(tail)-k:]
+		for _, pt := range tail {
+			resp.Points = append(resp.Points, HistoryPointJSON{Unit: pt.Unit, ISB: encodeISB(pt.ISB)})
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return nil
 	}
-	isb, terr := snap.TrendQuery(key, k)
+	// Coarser levels are answered from the published tilt frames.
+	if snap.Frames == nil {
+		return badRequest("parameter level: %d, but the engine keeps flat history (no tilt levels)", level)
+	}
+	v := snap.FrameOf(key)
+	if v == nil {
+		return notFound("trend for %s: no history", key.Describe(s.schema))
+	}
+	if level >= len(v.Levels) {
+		return badRequest("parameter level: %d outside [0,%d)", level, len(v.Levels))
+	}
+	lv := v.Levels[level]
+	if k > len(lv.Slots) {
+		return notFound("trend for %s: %d %s units requested, %d retained",
+			key.Describe(s.schema), k, lv.Name, len(lv.Slots))
+	}
+	isb, terr := v.Query(level, k)
 	if terr != nil {
-		// The remaining failure is a history gap; surface the real cause.
 		return notFound("trend for %s: %v", key.Describe(s.schema), terr)
 	}
-	resp := trendResponse{
-		Unit:    snap.Unit,
-		Cell:    encodeCell(s.schema, core.Cell{Key: key, ISB: isb}),
-		K:       k,
-		History: have,
-		Points:  []HistoryPointJSON{},
+	resp.Cell = encodeCell(s.schema, core.Cell{Key: key, ISB: isb})
+	resp.Level = lv.Name
+	resp.History = len(lv.Slots)
+	for _, sl := range lv.Slots[len(lv.Slots)-k:] {
+		resp.Points = append(resp.Points, HistoryPointJSON{Unit: sl.Unit, ISB: encodeISB(sl.ISB)})
 	}
-	tail := snap.HistoryOf(key)
-	tail = tail[len(tail)-k:]
-	for _, pt := range tail {
-		resp.Points = append(resp.Points, HistoryPointJSON{Unit: pt.Unit, ISB: encodeISB(pt.ISB)})
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// --- /v1/frame ------------------------------------------------------------
+
+type frameLevelJSON struct {
+	Level int    `json:"level"`
+	Name  string `json:"name"`
+	// UnitTicks is the raw-tick span of one slot at this level.
+	UnitTicks int64 `json:"unitTicks"`
+	// Capacity is the retention bound; 0 on flat engines (unbounded by
+	// the frame — the engine's HistoryUnits applies instead).
+	Capacity  int   `json:"capacity"`
+	Completed int64 `json:"completed"`
+	// Slots list the retained units oldest first. On tilted engines Unit
+	// is the frame-local ordinal at this level (add base for engine units
+	// at the finest level); on flat engines it is the engine unit.
+	Slots []HistoryPointJSON `json:"slots"`
+}
+
+type frameResponse struct {
+	Unit int64 `json:"unit"`
+	Cell struct {
+		Levels  []int   `json:"levels"`
+		Members []int32 `json:"members"`
+		Name    string  `json:"name"`
+	} `json:"cell"`
+	// Tilted reports whether the engine promotes history through a tilt
+	// level chain; flat engines render their history as one pseudo-level.
+	Tilted bool `json:"tilted"`
+	// Base is the engine unit the frame started at (tilted only).
+	Base       int64            `json:"base"`
+	SlotsInUse int              `json:"slotsInUse"`
+	Levels     []frameLevelJSON `json:"levels"`
+}
+
+// handleFrame lists an o-cell's per-level retained slots — the analyst's
+// view of the tilt time frame of §4.1 (Figure 4). It answers on flat
+// engines too, presenting the flat history as a single finest level, so
+// dashboards need no mode switch.
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) error {
+	key, err := s.cellParam(r)
+	if err != nil {
+		return err
+	}
+	snap, _, err := s.current()
+	if err != nil {
+		return err
+	}
+	resp := frameResponse{Unit: snap.Unit, Levels: []frameLevelJSON{}}
+	resp.Cell.Levels, resp.Cell.Members = encodeKey(key)
+	resp.Cell.Name = key.Describe(s.schema)
+	if snap.Frames == nil {
+		hist := snap.HistoryOf(key)
+		lv := frameLevelJSON{Name: "unit", UnitTicks: snap.Interval.Te - snap.Interval.Tb + 1, Slots: []HistoryPointJSON{}}
+		for _, pt := range hist {
+			lv.Slots = append(lv.Slots, HistoryPointJSON{Unit: pt.Unit, ISB: encodeISB(pt.ISB)})
+		}
+		if n := len(hist); n > 0 {
+			lv.Completed = hist[n-1].Unit + 1
+		}
+		resp.SlotsInUse = len(hist)
+		resp.Levels = append(resp.Levels, lv)
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
+	resp.Tilted = true
+	v := snap.FrameOf(key)
+	if v == nil {
+		return notFound("frame for %s: no history", key.Describe(s.schema))
+	}
+	resp.Base = v.Base
+	for i, lv := range v.Levels {
+		lj := frameLevelJSON{
+			Level:     i,
+			Name:      lv.Name,
+			UnitTicks: lv.UnitTicks,
+			Capacity:  lv.Capacity,
+			Completed: lv.Completed,
+			Slots:     []HistoryPointJSON{},
+		}
+		for _, sl := range lv.Slots {
+			lj.Slots = append(lj.Slots, HistoryPointJSON{Unit: sl.Unit, ISB: encodeISB(sl.ISB)})
+		}
+		resp.SlotsInUse += len(lv.Slots)
+		resp.Levels = append(resp.Levels, lj)
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cube"
 	"repro/internal/regression"
+	"repro/internal/tilt"
 )
 
 // Checkpoint is the serializable state of an Engine: the open unit, every
@@ -13,11 +14,24 @@ import (
 // after a crash or restart — the paper's "stored on disks" half of the
 // critical-layer design.
 type Checkpoint struct {
-	Unit      int64            `json:"unit"`
-	UnitsDone int64            `json:"unitsDone"`
-	Cells     []CellState      `json:"cells"`
-	History   []CellHistory    `json:"history"`
-	Schema    []DimensionShape `json:"schema"` // shape fingerprint for validation
+	Unit      int64         `json:"unit"`
+	UnitsDone int64         `json:"unitsDone"`
+	Cells     []CellState   `json:"cells"`
+	History   []CellHistory `json:"history"`
+	// Tilt holds the per-o-cell tilt frames of a Config.TiltLevels engine
+	// (the persist layer's version-3 envelope). In tilt mode History is
+	// still written — derived from each frame's finest level — so the file
+	// cross-loads into flat engines and pre-tilt readers.
+	Tilt   []CellFrame      `json:"tilt,omitempty"`
+	Schema []DimensionShape `json:"schema"` // shape fingerprint for validation
+}
+
+// CellFrame checkpoints one o-cell's tilted multi-granularity history.
+type CellFrame struct {
+	Levels  []int               `json:"levels"`
+	Members []int32             `json:"members"`
+	Base    int64               `json:"base"` // engine unit of the frame's first registered unit
+	Frame   tilt.UnitFrameState `json:"frame"`
 }
 
 // CellState checkpoints one active m-layer cell.
@@ -75,18 +89,43 @@ func (e *Engine) Checkpoint() *Checkpoint {
 			Acc:     acc.State(),
 		})
 	}
-	for key, entries := range e.history {
-		ch := CellHistory{}
-		for d := 0; d < key.Cuboid.NumDims(); d++ {
-			ch.Levels = append(ch.Levels, key.Cuboid.Level(d))
-			ch.Members = append(ch.Members, key.Member(d))
+	if e.tilted() {
+		for key, pts := range e.tiltHistory() {
+			ch := cellKeyRec(key)
+			for _, p := range pts {
+				ch.Entries = append(ch.Entries, HistoryEntryRec{Unit: p.Unit, ISB: p.ISB})
+			}
+			cp.History = append(cp.History, ch)
 		}
+		for key, cf := range e.frames {
+			rec := cellKeyRec(key)
+			cp.Tilt = append(cp.Tilt, CellFrame{
+				Levels:  rec.Levels,
+				Members: rec.Members,
+				Base:    cf.base,
+				Frame:   cf.frame.State(),
+			})
+		}
+		return cp
+	}
+	for key, entries := range e.history {
+		ch := cellKeyRec(key)
 		for _, h := range entries {
 			ch.Entries = append(ch.Entries, HistoryEntryRec{Unit: h.unit, ISB: h.isb})
 		}
 		cp.History = append(cp.History, ch)
 	}
 	return cp
+}
+
+// cellKeyRec flattens a cell key into the checkpoint coordinate form.
+func cellKeyRec(key cube.CellKey) CellHistory {
+	ch := CellHistory{}
+	for d := 0; d < key.Cuboid.NumDims(); d++ {
+		ch.Levels = append(ch.Levels, key.Cuboid.Level(d))
+		ch.Members = append(ch.Members, key.Member(d))
+	}
+	return ch
 }
 
 // Restore loads a checkpoint into a freshly configured engine. The
@@ -126,23 +165,130 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 		e.cells[key] = acc
 	}
 	e.history = make(map[cube.CellKey][]historyEntry, len(cp.History))
+	if e.tilted() {
+		e.frames = make(map[cube.CellKey]*cellFrame, len(cp.Tilt))
+	}
 	for _, ch := range cp.History {
-		if len(ch.Levels) != len(e.cfg.Schema.Dims) || len(ch.Members) != len(ch.Levels) {
-			return fmt.Errorf("%w: malformed history key", ErrConfig)
-		}
-		cb, err := cube.NewCuboid(ch.Levels...)
+		key, err := historyKey(e.cfg.Schema, ch.Levels, ch.Members)
 		if err != nil {
-			return fmt.Errorf("stream: restoring history: %w", err)
+			return err
 		}
-		key := cube.NewCellKey(cb, ch.Members...)
+		// A checkpoint's history must be strictly increasing in closed
+		// units: duplicates or out-of-order entries would restore silently
+		// and later poison TrendQuery's gap detection, so they are
+		// rejected here rather than at query time.
+		for i, rec := range ch.Entries {
+			if rec.Unit < 0 || rec.Unit >= cp.Unit {
+				return fmt.Errorf("%w: history for cell %v names unit %d outside closed range [0,%d)",
+					ErrConfig, key, rec.Unit, cp.Unit)
+			}
+			if i > 0 && rec.Unit <= ch.Entries[i-1].Unit {
+				return fmt.Errorf("%w: history for cell %v has unit %d after unit %d (want sorted unique units)",
+					ErrConfig, key, rec.Unit, ch.Entries[i-1].Unit)
+			}
+		}
+		if e.tilted() {
+			// History is derived state in tilt mode; frames restore below
+			// (or are reseeded from this history for pre-tilt files).
+			continue
+		}
 		entries := make([]historyEntry, len(ch.Entries))
 		for i, rec := range ch.Entries {
 			entries[i] = historyEntry{unit: rec.Unit, isb: rec.ISB}
 		}
 		e.history[key] = entries
 	}
+	if e.tilted() {
+		if len(cp.Tilt) > 0 {
+			for _, rec := range cp.Tilt {
+				key, err := historyKey(e.cfg.Schema, rec.Levels, rec.Members)
+				if err != nil {
+					return err
+				}
+				if rec.Base < 0 || rec.Base+rec.Frame.Pushed != cp.Unit {
+					return fmt.Errorf("%w: tilt frame for cell %v covers units [%d,%d), checkpoint closed %d",
+						ErrConfig, key, rec.Base, rec.Base+rec.Frame.Pushed, cp.Unit)
+				}
+				if rec.Frame.Pushed > 0 && rec.Frame.UnitTicks != int64(e.cfg.TicksPerUnit) {
+					return fmt.Errorf("%w: tilt frame for cell %v has %d-tick units, engine %d",
+						ErrConfig, key, rec.Frame.UnitTicks, e.cfg.TicksPerUnit)
+				}
+				f, err := tilt.RestoreUnitFrame(e.cfg.TiltLevels, rec.Frame)
+				if err != nil {
+					return fmt.Errorf("%w: tilt frame for cell %v: %v", ErrConfig, key, err)
+				}
+				e.frames[key] = &cellFrame{base: rec.Base, frame: f}
+			}
+		} else if err := e.seedFrames(cp); err != nil {
+			// Pre-tilt (v1/v2) files carry only flat history; replay it
+			// into fresh frames so old state keeps upgrading forward.
+			return err
+		}
+	}
 	// Published snapshots describe units of the replaced state; readers
 	// must wait for the first post-restore boundary.
 	e.snap.Store(nil)
+	return nil
+}
+
+// historyKey validates and decodes one checkpoint cell coordinate.
+func historyKey(schema *cube.Schema, levels []int, members []int32) (cube.CellKey, error) {
+	if len(levels) != len(schema.Dims) || len(members) != len(levels) {
+		return cube.CellKey{}, fmt.Errorf("%w: malformed history key", ErrConfig)
+	}
+	cb, err := cube.NewCuboid(levels...)
+	if err != nil {
+		return cube.CellKey{}, fmt.Errorf("stream: restoring history: %w", err)
+	}
+	return cube.NewCellKey(cb, members...), nil
+}
+
+// seedFrames rebuilds tilt frames from a flat-history checkpoint: each
+// cell's entries replay in unit order with zero regressions filling the
+// gaps (and the tail up to the open unit), exactly as recordTilt would
+// have registered them live. This is how a v1/v2 checkpoint written by a
+// flat engine restores into a tilt-configured one.
+func (e *Engine) seedFrames(cp *Checkpoint) error {
+	zeroAt := func(u int64) regression.ISB {
+		return regression.ISB{Tb: e.unitStart(u), Te: e.unitStart(u+1) - 1}
+	}
+	for _, ch := range cp.History {
+		if len(ch.Entries) == 0 {
+			continue
+		}
+		key, err := historyKey(e.cfg.Schema, ch.Levels, ch.Members)
+		if err != nil {
+			return err
+		}
+		f, err := tilt.NewUnitFrame(e.cfg.TiltLevels)
+		if err != nil {
+			return fmt.Errorf("%w: tilt levels: %v", ErrConfig, err)
+		}
+		base := ch.Entries[0].Unit
+		next := base
+		push := func(isb regression.ISB) error {
+			if err := f.Push(isb); err != nil {
+				return fmt.Errorf("%w: seeding tilt frame for cell %v: %v", ErrConfig, key, err)
+			}
+			next++
+			return nil
+		}
+		for _, rec := range ch.Entries {
+			for next < rec.Unit {
+				if err := push(zeroAt(next)); err != nil {
+					return err
+				}
+			}
+			if err := push(rec.ISB); err != nil {
+				return err
+			}
+		}
+		for next < cp.Unit {
+			if err := push(zeroAt(next)); err != nil {
+				return err
+			}
+		}
+		e.frames[key] = &cellFrame{base: base, frame: f}
+	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/exception"
 	"repro/internal/regression"
+	"repro/internal/tilt"
 	"repro/internal/timeseries"
 )
 
@@ -63,8 +64,21 @@ type Config struct {
 	// Path is the popular drilling path; defaults to the lattice's
 	// DefaultPath when the popular-path algorithm is selected.
 	Path cube.Path
-	// HistoryUnits bounds per-o-cell regression history (default 64).
+	// HistoryUnits bounds per-o-cell regression history (default 64). It
+	// only applies to the flat history; with TiltLevels set, retention is
+	// the level chain's slot capacity instead.
 	HistoryUnits int
+	// TiltLevels, when non-empty, replaces the flat per-o-cell history
+	// with a tilt time frame (§4.1): each closed unit's o-layer ISBs are
+	// promoted through the level chain (tilt.UnitFrame), so trend queries
+	// reach far into the past at progressively coarser granularity while
+	// per-cell state stays bounded by the chain's slot capacity — the
+	// paper's "71 units instead of 35,136". tilt.CalendarLevels() is the
+	// natural chain when a unit is a quarter-hour; the finest level's
+	// Multiple is ignored (each engine unit is one finest frame unit).
+	// Empty keeps the flat HistoryUnits-bounded history, bit-for-bit as
+	// before.
+	TiltLevels []tilt.Level
 	// Delta, when set, also raises change alerts comparing each o-cell's
 	// slope against its previous unit ("current quarter vs. the last").
 	Delta *exception.Delta
@@ -152,6 +166,10 @@ type Engine struct {
 	openEnd   int64
 	cells     map[[cube.MaxDims]int32]*regression.Accumulator
 	history   map[cube.CellKey][]historyEntry
+	// frames holds the per-o-cell tilt frames; non-nil exactly when
+	// Config.TiltLevels is set, in which case history stays empty and
+	// trend state lives here instead.
+	frames    map[cube.CellKey]*cellFrame
 	unitsDone int64
 	// accPool recycles the per-cell accumulators of closed units, so a
 	// steady-state unit allocates nothing per cell.
@@ -199,14 +217,24 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Algorithm == PopularPath && len(cfg.Path.Cuboids) == 0 {
 		cfg.Path = cube.NewLattice(cfg.Schema).DefaultPath()
 	}
-	return &Engine{
+	if len(cfg.TiltLevels) > 0 {
+		// Validate the level chain once; per-cell frames are built lazily.
+		if _, err := tilt.NewUnitFrame(cfg.TiltLevels); err != nil {
+			return nil, fmt.Errorf("%w: tilt levels: %v", ErrConfig, err)
+		}
+	}
+	e := &Engine{
 		cfg:       cfg,
 		nd:        len(cfg.Schema.Dims),
 		openStart: cfg.StartTick,
 		openEnd:   cfg.StartTick + int64(cfg.TicksPerUnit),
 		cells:     make(map[[cube.MaxDims]int32]*regression.Accumulator),
 		history:   make(map[cube.CellKey][]historyEntry),
-	}, nil
+	}
+	if len(cfg.TiltLevels) > 0 {
+		e.frames = make(map[cube.CellKey]*cellFrame)
+	}
+	return e, nil
 }
 
 // Unit returns the index of the currently open unit.
@@ -361,6 +389,13 @@ func (e *Engine) closeUnit() (*UnitResult, error) {
 			e.prevInputs = inputs // empty but non-nil: the base is this unit
 			e.prevUnit = ur.Unit
 		}
+		if e.tilted() {
+			// Frames pad empty units with zero regressions so promotion
+			// cascades stay contiguous.
+			if err := e.recordTilt(ur, nil); err != nil {
+				return nil, err
+			}
+		}
 		e.unitsDone++
 		if e.cfg.PublishSnapshots {
 			e.publishSnapshot(ur)
@@ -393,7 +428,13 @@ func (e *Engine) closeUnit() (*UnitResult, error) {
 		e.prevInputs = inputs
 		e.prevUnit = ur.Unit
 	}
-	e.recordHistory(ur, res)
+	if e.tilted() {
+		if err := e.recordTilt(ur, res); err != nil {
+			return nil, err
+		}
+	} else {
+		e.recordHistory(ur, res)
+	}
 	e.unitsDone++
 	if e.cfg.PublishSnapshots {
 		e.publishSnapshot(ur)
@@ -415,11 +456,9 @@ func (e *Engine) raiseAlerts(ur *UnitResult, res *core.Result) []Alert {
 			})
 		}
 		if e.cfg.Delta != nil {
-			if hist := e.history[key]; len(hist) > 0 {
-				last := hist[len(hist)-1]
-				if last.unit == ur.Unit-1 && e.cfg.Delta.Exceptional(isb, last.isb, true) {
-					alerts = append(alerts, Alert{Unit: ur.Unit, Kind: SlopeChange, Cell: key, ISB: isb})
-				}
+			if lastUnit, lastISB, ok := e.lastUnit(key); ok &&
+				lastUnit == ur.Unit-1 && e.cfg.Delta.Exceptional(isb, lastISB, true) {
+				alerts = append(alerts, Alert{Unit: ur.Unit, Kind: SlopeChange, Cell: key, ISB: isb})
 			}
 		}
 	}
@@ -445,6 +484,30 @@ func (e *Engine) drill(res *core.Result, oCell cube.CellKey) []core.Cell {
 	return out
 }
 
+// lastUnit returns the most recent completed unit recorded for an o-cell —
+// from the flat history, or from the finest frame level in tilt mode
+// (where absent units were padded with zero regressions, so the previous
+// unit always exists once a cell has a frame).
+func (e *Engine) lastUnit(key cube.CellKey) (int64, regression.ISB, bool) {
+	if e.tilted() {
+		cf := e.frames[key]
+		if cf == nil {
+			return 0, regression.ISB{}, false
+		}
+		s, ok := cf.frame.LastSlot(0)
+		if !ok {
+			return 0, regression.ISB{}, false
+		}
+		return cf.base + s.Unit, s.ISB, true
+	}
+	h := e.history[key]
+	if len(h) == 0 {
+		return 0, regression.ISB{}, false
+	}
+	last := h[len(h)-1]
+	return last.unit, last.isb, true
+}
+
 func (e *Engine) recordHistory(ur *UnitResult, res *core.Result) {
 	for key, isb := range res.OLayer {
 		h := append(e.history[key], historyEntry{unit: ur.Unit, isb: isb})
@@ -457,11 +520,32 @@ func (e *Engine) recordHistory(ur *UnitResult, res *core.Result) {
 
 // TrendQuery aggregates the last k units of an o-cell's history into one
 // regression over the combined interval (Theorem 3.3). It fails when the
-// cell lacks k consecutive trailing units.
+// cell lacks k consecutive trailing units. In tilt mode it answers from
+// the finest frame level (whose retention is TiltLevels[0].Slots).
 func (e *Engine) TrendQuery(cell cube.CellKey, k int) (regression.ISB, error) {
+	if e.tilted() {
+		var slots []tilt.Slot
+		var base int64
+		if cf := e.frames[cell]; cf != nil {
+			slots = cf.frame.SlotsAt(0)
+			base = cf.base
+		}
+		return aggregateTrend(len(slots), k, func(i int) (int64, regression.ISB) {
+			return base + slots[i].Unit, slots[i].ISB
+		})
+	}
 	h := e.history[cell]
 	return aggregateTrend(len(h), k, func(i int) (int64, regression.ISB) { return h[i].unit, h[i].isb })
 }
 
-// HistoryLen returns how many units of history an o-cell currently has.
-func (e *Engine) HistoryLen(cell cube.CellKey) int { return len(e.history[cell]) }
+// HistoryLen returns how many units of history an o-cell currently has at
+// the finest granularity.
+func (e *Engine) HistoryLen(cell cube.CellKey) int {
+	if e.tilted() {
+		if cf := e.frames[cell]; cf != nil {
+			return cf.frame.SlotsLen(0)
+		}
+		return 0
+	}
+	return len(e.history[cell])
+}

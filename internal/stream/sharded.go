@@ -369,10 +369,12 @@ func (s *ShardedEngine) Ingest(members []int32, tick int64, value float64) ([]*U
 }
 
 // shardAdvance is one shard's reply to an advanceTo broadcast: its closed
-// units plus, when snapshots are on, a copy of its post-close history.
+// units plus, when snapshots are on, a copy of its post-close history and
+// tilted frame views.
 type shardAdvance struct {
-	urs  []*UnitResult
-	hist map[cube.CellKey][]HistoryPoint
+	urs    []*UnitResult
+	hist   map[cube.CellKey][]HistoryPoint
+	frames map[cube.CellKey]*FrameView
 }
 
 // advanceTo closes units up to (excluding) target on every shard in
@@ -392,6 +394,7 @@ func (s *ShardedEngine) advanceTo(target int64) ([]*UnitResult, error) {
 			// Copied inside the shard goroutine, so it never races with the
 			// shard's own later units.
 			adv.hist = e.snapshotHistory()
+			adv.frames = e.snapshotFrames()
 		}
 		return adv, nil
 	})
@@ -419,11 +422,20 @@ func (s *ShardedEngine) advanceTo(target int64) ([]*UnitResult, error) {
 	s.openEnd = s.unitStart(target + 1)
 	s.done += int64(n)
 	if publish {
-		// Shards own disjoint o-cells, so the merged history is a union.
+		// Shards own disjoint o-cells, so the merged history (and the
+		// merged frame set) is a union.
 		hist := make(map[cube.CellKey][]HistoryPoint)
+		var frames map[cube.CellKey]*FrameView
 		for _, v := range vals {
-			for k, pts := range v.(shardAdvance).hist {
+			adv := v.(shardAdvance)
+			for k, pts := range adv.hist {
 				hist[k] = pts
+			}
+			if adv.frames != nil && frames == nil {
+				frames = make(map[cube.CellKey]*FrameView)
+			}
+			for k, fv := range adv.frames {
+				frames[k] = fv
 			}
 		}
 		last := out[n-1]
@@ -437,6 +449,7 @@ func (s *ShardedEngine) advanceTo(target int64) ([]*UnitResult, error) {
 			Alerts:  cloneAlerts(last.Alerts),
 			Result:  last.Result,
 			History: hist,
+			Frames:  frames,
 		})
 	}
 	return out, nil
@@ -631,6 +644,21 @@ func (s *ShardedEngine) TrendQuery(cell cube.CellKey, k int) (regression.ISB, er
 	return val.(regression.ISB), nil
 }
 
+// TrendQueryAt aggregates the last k completed units of an o-cell at the
+// given tilt level (0 = finest), from the shard that owns the cell.
+func (s *ShardedEngine) TrendQueryAt(cell cube.CellKey, level, k int) (regression.ISB, error) {
+	if err := s.ready(); err != nil {
+		return regression.ISB{}, err
+	}
+	val, err := s.ask(s.hashMembers(&cell.Members), func(e *Engine) (any, error) {
+		return e.TrendQueryAt(cell, level, k)
+	})
+	if err != nil {
+		return regression.ISB{}, err
+	}
+	return val.(regression.ISB), nil
+}
+
 // HistoryLen returns how many units of history an o-cell currently has.
 func (s *ShardedEngine) HistoryLen(cell cube.CellKey) (int, error) {
 	if err := s.ready(); err != nil {
@@ -683,6 +711,7 @@ func (scp *ShardedCheckpoint) Merge() (*Checkpoint, error) {
 	for _, cp := range scp.Shards {
 		out.Cells = append(out.Cells, cp.Cells...)
 		out.History = append(out.History, cp.History...)
+		out.Tilt = append(out.Tilt, cp.Tilt...)
 	}
 	return out, nil
 }
@@ -736,6 +765,12 @@ func (s *ShardedEngine) Restore(scp *ShardedCheckpoint) error {
 			copy(members[:], ch.Members)
 			sid := s.hashMembers(&members)
 			parts[sid].History = append(parts[sid].History, ch)
+		}
+		for _, cf := range cp.Tilt {
+			var members [cube.MaxDims]int32
+			copy(members[:], cf.Members)
+			sid := s.hashMembers(&members)
+			parts[sid].Tilt = append(parts[sid].Tilt, cf)
 		}
 	}
 	for i := range s.pending {

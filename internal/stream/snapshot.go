@@ -42,8 +42,37 @@ type Snapshot struct {
 	// Alerts are the unit's alerts in canonical order (SortAlerts).
 	Alerts []Alert
 	// History maps each o-cell to its trailing per-unit regressions,
-	// oldest first; cells alerted in this unit end at Unit.
+	// oldest first; cells alerted in this unit end at Unit. In tilt mode
+	// it is derived from each frame's finest level, so trend consumers
+	// work identically against flat and tilted engines.
 	History map[cube.CellKey][]HistoryPoint
+	// Frames maps each o-cell to its multi-granularity tilted history.
+	// Non-nil exactly when the engine runs with Config.TiltLevels, so
+	// readers can distinguish "no tilt configured" (nil) from "no cells
+	// yet" (empty).
+	Frames map[cube.CellKey]*FrameView
+}
+
+// FrameOf returns an o-cell's tilted frame view (shared, do not mutate),
+// or nil when the cell is unknown or the engine keeps flat history.
+func (s *Snapshot) FrameOf(cell cube.CellKey) *FrameView {
+	return s.Frames[cell]
+}
+
+// TrendQueryAt aggregates the last k completed units of an o-cell at the
+// given tilt level (0 = finest, answered from History in either mode).
+func (s *Snapshot) TrendQueryAt(cell cube.CellKey, level, k int) (regression.ISB, error) {
+	if level == 0 {
+		return s.TrendQuery(cell, k)
+	}
+	v := s.Frames[cell]
+	if v == nil {
+		if s.Frames == nil {
+			return regression.ISB{}, fmt.Errorf("%w: level %d trend on a flat-history engine", ErrRecord, level)
+		}
+		return regression.ISB{}, fmt.Errorf("%w: no history for cell %v", ErrRecord, cell)
+	}
+	return v.Query(level, k)
 }
 
 // HistoryOf returns an o-cell's trailing history (shared, do not mutate).
@@ -91,6 +120,10 @@ func aggregateTrend(n, k int, at func(i int) (int64, regression.ISB)) (regressio
 // race; the copy runs at unit boundaries only, never on the per-record
 // path.
 func (e *Engine) snapshotHistory() map[cube.CellKey][]HistoryPoint {
+	if e.tilted() {
+		// Frames already copy on read; derive the finest-level view.
+		return e.tiltHistory()
+	}
 	out := make(map[cube.CellKey][]HistoryPoint, len(e.history))
 	for key, h := range e.history {
 		pts := make([]HistoryPoint, len(h))
@@ -132,6 +165,7 @@ func (e *Engine) publishSnapshot(ur *UnitResult) {
 		Result:    ur.Result,
 		Alerts:    alerts,
 		History:   e.snapshotHistory(),
+		Frames:    e.snapshotFrames(),
 	})
 }
 

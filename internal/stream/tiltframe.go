@@ -1,0 +1,204 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/regression"
+	"repro/internal/tilt"
+)
+
+// cellFrame binds one o-cell's tilt frame to the engine unit it started
+// at: frame-local unit ordinal u is engine unit base+u at the finest
+// level.
+type cellFrame struct {
+	base  int64
+	frame *tilt.UnitFrame
+}
+
+// FrameLevelView is one granularity of a published frame view.
+type FrameLevelView struct {
+	// Name labels the granularity ("quarter", "hour", ...).
+	Name string
+	// UnitTicks is the number of raw stream ticks per slot at this level.
+	UnitTicks int64
+	// Capacity is the retention bound (Config.TiltLevels[i].Slots).
+	Capacity int
+	// Completed counts units ever completed at this level, including
+	// evicted ones.
+	Completed int64
+	// Slots are the retained completed units, oldest first. Slot.Unit is
+	// the frame-local ordinal at this level; each slot's ISB carries the
+	// exact raw-tick interval it regresses over.
+	Slots []tilt.Slot
+}
+
+// FrameView is an immutable multi-granularity view of one o-cell's tilted
+// regression history, published through Snapshot.Frames when
+// Config.TiltLevels is set. Like every other snapshot field it is built
+// once at a unit boundary and never mutated, so readers share it freely.
+type FrameView struct {
+	// Base is the engine unit of the frame's first registered unit: the
+	// finest-level slot with ordinal u covers engine unit Base+u.
+	Base int64
+	// Levels mirror Config.TiltLevels, finest first.
+	Levels []FrameLevelView
+}
+
+// Query aggregates the last k retained slots at the given level into one
+// regression over their combined interval (Theorem 3.3) — "the last day
+// with the precision of an hour" without touching any per-tick state.
+func (v *FrameView) Query(level, k int) (regression.ISB, error) {
+	if level < 0 || level >= len(v.Levels) {
+		return regression.ISB{}, fmt.Errorf("%w: level %d of %d", ErrRecord, level, len(v.Levels))
+	}
+	slots := v.Levels[level].Slots
+	if k < 1 || k > len(slots) {
+		return regression.ISB{}, fmt.Errorf("%w: %d units requested at level %q, %d retained",
+			ErrRecord, k, v.Levels[level].Name, len(slots))
+	}
+	isbs := make([]regression.ISB, k)
+	for i, s := range slots[len(slots)-k:] {
+		isbs[i] = s.ISB
+	}
+	return regression.AggregateTime(isbs...)
+}
+
+// tilted reports whether the engine keeps multi-granularity frames instead
+// of the flat per-o-cell history.
+func (e *Engine) tilted() bool { return e.frames != nil }
+
+// recordTilt registers the closed unit with every o-cell frame. Cells with
+// data this unit push their o-layer ISB; cells absent the whole unit push
+// a zero regression over the unit's interval — the unit-level extension of
+// "absent readings count as zero usage" — so frames stay contiguous and
+// promotions never see gaps. Cells seen for the first time start a frame
+// at this unit (no back-fill). res is nil for units that closed empty.
+func (e *Engine) recordTilt(ur *UnitResult, res *core.Result) error {
+	zero := regression.ISB{Tb: ur.Interval.Tb, Te: ur.Interval.Te}
+	for key, cf := range e.frames {
+		isb := zero
+		if res != nil {
+			if v, ok := res.OLayer[key]; ok {
+				isb = v
+			}
+		}
+		if err := cf.frame.Push(isb); err != nil {
+			return fmt.Errorf("stream: tilt promotion for %v: %w", key, err)
+		}
+	}
+	if res == nil {
+		return nil
+	}
+	for key, isb := range res.OLayer {
+		if _, ok := e.frames[key]; ok {
+			continue
+		}
+		f, err := tilt.NewUnitFrame(e.cfg.TiltLevels)
+		if err != nil {
+			// The level chain was validated by NewEngine.
+			return fmt.Errorf("%w: tilt levels: %v", ErrConfig, err)
+		}
+		if err := f.Push(isb); err != nil {
+			return fmt.Errorf("stream: tilt push for %v: %w", key, err)
+		}
+		e.frames[key] = &cellFrame{base: ur.Unit, frame: f}
+	}
+	return nil
+}
+
+// frameView deep-copies one cell frame into its immutable published form.
+func (e *Engine) frameView(cf *cellFrame) *FrameView {
+	v := &FrameView{Base: cf.base, Levels: make([]FrameLevelView, cf.frame.Levels())}
+	span := int64(e.cfg.TicksPerUnit)
+	for i := range v.Levels {
+		lv := e.cfg.TiltLevels[i]
+		if i > 0 {
+			span *= int64(lv.Multiple)
+		}
+		v.Levels[i] = FrameLevelView{
+			Name:      lv.Name,
+			UnitTicks: span,
+			Capacity:  lv.Slots,
+			Completed: cf.frame.Completed(i),
+			Slots:     cf.frame.SlotsAt(i), // SlotsAt copies
+		}
+	}
+	return v
+}
+
+// snapshotFrames copies every o-cell frame for publication. It returns a
+// non-nil (possibly empty) map exactly when the engine is tilted, so
+// readers can distinguish "no tilt configured" from "no cells yet".
+func (e *Engine) snapshotFrames() map[cube.CellKey]*FrameView {
+	if !e.tilted() {
+		return nil
+	}
+	out := make(map[cube.CellKey]*FrameView, len(e.frames))
+	for key, cf := range e.frames {
+		out[key] = e.frameView(cf)
+	}
+	return out
+}
+
+// tiltHistory derives the flat-history representation from the frames'
+// finest level, mapping frame-local ordinals back to engine units. It is
+// what Snapshot.History and Checkpoint.History carry in tilt mode, so
+// trend consumers and older (v1/v2) checkpoint readers keep working
+// against the finest granularity.
+func (e *Engine) tiltHistory() map[cube.CellKey][]HistoryPoint {
+	out := make(map[cube.CellKey][]HistoryPoint, len(e.frames))
+	for key, cf := range e.frames {
+		slots := cf.frame.SlotsAt(0)
+		pts := make([]HistoryPoint, len(slots))
+		for i, s := range slots {
+			pts[i] = HistoryPoint{Unit: cf.base + s.Unit, ISB: s.ISB}
+		}
+		out[key] = pts
+	}
+	return out
+}
+
+// TrendQueryAt aggregates the last k completed units of an o-cell at the
+// given tilt level (0 = finest). Level 0 is answered on flat engines too
+// (it is TrendQuery); coarser levels need Config.TiltLevels.
+func (e *Engine) TrendQueryAt(cell cube.CellKey, level, k int) (regression.ISB, error) {
+	if level == 0 {
+		return e.TrendQuery(cell, k)
+	}
+	if !e.tilted() {
+		return regression.ISB{}, fmt.Errorf("%w: level %d trend on a flat-history engine", ErrRecord, level)
+	}
+	cf := e.frames[cell]
+	if cf == nil {
+		return regression.ISB{}, fmt.Errorf("%w: no history for cell %v", ErrRecord, cell)
+	}
+	if level >= cf.frame.Levels() {
+		return regression.ISB{}, fmt.Errorf("%w: level %d of %d", ErrRecord, level, cf.frame.Levels())
+	}
+	slots := cf.frame.SlotsAt(level)
+	if k < 1 || k > len(slots) {
+		return regression.ISB{}, fmt.Errorf("%w: %d units requested at level %q, %d retained",
+			ErrRecord, k, e.cfg.TiltLevels[level].Name, len(slots))
+	}
+	isbs := make([]regression.ISB, k)
+	for i, s := range slots[len(slots)-k:] {
+		isbs[i] = s.ISB
+	}
+	return regression.AggregateTime(isbs...)
+}
+
+// FrameLevels returns the engine's tilt level chain (nil on flat engines).
+func (e *Engine) FrameLevels() []tilt.Level { return e.cfg.TiltLevels }
+
+// TiltSlots returns the total retained and maximum frame slots across all
+// o-cell frames — the bounded-state invariant of §4.1: inUse never exceeds
+// cells × SlotCapacity no matter how many units have flowed through.
+func (e *Engine) TiltSlots() (inUse, capacity int) {
+	for _, cf := range e.frames {
+		inUse += cf.frame.SlotsInUse()
+		capacity += cf.frame.SlotCapacity()
+	}
+	return inUse, capacity
+}

@@ -67,8 +67,8 @@ func LogarithmicLevels(levels, ticksPerUnit, slots int) []Level {
 // Slot is one completed unit at some level: the unit's ordinal since the
 // frame origin and the ISB of the regression over the unit's ticks.
 type Slot struct {
-	Unit int64 // 0-based unit index at this level since frame start
-	ISB  regression.ISB
+	Unit int64          `json:"unit"` // 0-based unit index at this level since frame start
+	ISB  regression.ISB `json:"isb"`
 }
 
 type levelState struct {
@@ -152,6 +152,38 @@ func (f *Frame) Add(t int64, z float64) error {
 		f.acc.Reset(f.start + f.ticks)
 	}
 	return nil
+}
+
+// AdvanceTo registers absent readings as zeros for every raw tick from
+// NextTick up to (excluding) t, completing units and cascading promotions
+// on the way — the frame-level analogue of Accumulator.AdvanceTo, and
+// bit-for-bit interchangeable with calling Add(NextTick(), 0) in a loop.
+// Within a unit the fill is O(1); the total cost is O(units crossed), not
+// O(ticks skipped). A t at or before NextTick is a no-op.
+func (f *Frame) AdvanceTo(t int64) {
+	mult := int64(f.levels[0].cfg.Multiple)
+	for {
+		next := f.start + f.ticks
+		if t <= next {
+			return
+		}
+		step := t - next
+		if rem := mult - f.acc.N(); step > rem {
+			step = rem
+		}
+		f.acc.AdvanceTo(next + step)
+		f.ticks += step
+		if f.acc.N() == mult {
+			isb, err := f.acc.Snapshot()
+			if err != nil {
+				// The accumulator holds mult ≥ 1 points; Snapshot cannot
+				// fail on zero fills.
+				panic(fmt.Sprintf("tilt: advance snapshot failed: %v", err))
+			}
+			f.completeUnit(0, isb)
+			f.acc.Reset(f.start + f.ticks)
+		}
+	}
 }
 
 // completeUnit registers a finished unit ISB at level i and cascades

@@ -103,8 +103,29 @@ func (f *UnitFrame) completeUnit(i int, isb regression.ISB) {
 // Levels returns the number of granularity levels.
 func (f *UnitFrame) Levels() int { return len(f.levels) }
 
+// LevelName returns the configured name of level i.
+func (f *UnitFrame) LevelName(i int) string { return f.levels[i].cfg.Name }
+
 // Pushed returns how many unit ISBs have been registered.
 func (f *UnitFrame) Pushed() int64 { return f.pushed }
+
+// SlotsLen returns how many completed units level i currently retains,
+// without copying them.
+func (f *UnitFrame) SlotsLen(i int) int {
+	if i < 0 || i >= len(f.levels) {
+		return 0
+	}
+	return len(f.levels[i].slots)
+}
+
+// LastSlot returns the most recent retained completed unit at level i.
+func (f *UnitFrame) LastSlot(i int) (Slot, bool) {
+	if i < 0 || i >= len(f.levels) || len(f.levels[i].slots) == 0 {
+		return Slot{}, false
+	}
+	slots := f.levels[i].slots
+	return slots[len(slots)-1], true
+}
 
 // SlotsAt returns the retained completed units at level i, oldest first.
 func (f *UnitFrame) SlotsAt(i int) []Slot {
@@ -158,4 +179,99 @@ func (f *UnitFrame) SlotsInUse() int {
 		total += len(f.levels[i].slots)
 	}
 	return total
+}
+
+// UnitFrameState is the serializable state of a UnitFrame — what a stream
+// checkpoint stores per o-cell so tilted multi-granularity history
+// survives restarts. State/RestoreUnitFrame round-trip exactly; the
+// restore path validates level structure, slot ordering, and interval
+// adjacency so a corrupt file cannot poison later promotions.
+type UnitFrameState struct {
+	UnitTicks int64           `json:"unitTicks"`
+	NextTb    int64           `json:"nextTb"`
+	Pushed    int64           `json:"pushed"`
+	Levels    []LevelStateRec `json:"levels"`
+}
+
+// LevelStateRec is one level's retained slots and completion counter.
+type LevelStateRec struct {
+	Next  int64  `json:"next"`
+	Slots []Slot `json:"slots"`
+}
+
+// State exports the frame's dynamic state for checkpointing.
+func (f *UnitFrame) State() UnitFrameState {
+	st := UnitFrameState{UnitTicks: f.unitTicks, NextTb: f.nextTb, Pushed: f.pushed}
+	st.Levels = make([]LevelStateRec, len(f.levels))
+	for i := range f.levels {
+		ls := &f.levels[i]
+		st.Levels[i] = LevelStateRec{Next: ls.next, Slots: append([]Slot(nil), ls.slots...)}
+	}
+	return st
+}
+
+// RestoreUnitFrame rebuilds a frame from a checkpointed state against the
+// same level chain it was configured with.
+func RestoreUnitFrame(levels []Level, st UnitFrameState) (*UnitFrame, error) {
+	f, err := NewUnitFrame(levels)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Levels) != len(f.levels) {
+		return nil, fmt.Errorf("%w: restore: state has %d levels, frame %d",
+			ErrConfig, len(st.Levels), len(f.levels))
+	}
+	if st.Pushed < 0 || (st.Pushed > 0 && st.UnitTicks < 1) {
+		return nil, fmt.Errorf("%w: restore: pushed %d units of %d ticks", ErrConfig, st.Pushed, st.UnitTicks)
+	}
+	if len(st.Levels) > 0 && st.Levels[0].Next != st.Pushed {
+		return nil, fmt.Errorf("%w: restore: %d pushed units but %d finest completions",
+			ErrConfig, st.Pushed, st.Levels[0].Next)
+	}
+	span := int64(1)
+	for i := range f.levels {
+		ls := &f.levels[i]
+		rec := st.Levels[i]
+		if i > 0 {
+			span *= int64(ls.cfg.Multiple)
+			if want := st.Levels[i-1].Next / int64(ls.cfg.Multiple); rec.Next != want {
+				return nil, fmt.Errorf("%w: restore: level %q completed %d units, want %d",
+					ErrConfig, ls.cfg.Name, rec.Next, want)
+			}
+		}
+		if rec.Next < int64(len(rec.Slots)) || len(rec.Slots) > ls.cfg.Slots {
+			return nil, fmt.Errorf("%w: restore: level %q retains %d slots of %d completed (cap %d)",
+				ErrConfig, ls.cfg.Name, len(rec.Slots), rec.Next, ls.cfg.Slots)
+		}
+		for j, s := range rec.Slots {
+			if want := rec.Next - int64(len(rec.Slots)) + int64(j); s.Unit != want {
+				return nil, fmt.Errorf("%w: restore: level %q slot %d is unit %d, want %d",
+					ErrConfig, ls.cfg.Name, j, s.Unit, want)
+			}
+			if !s.ISB.IsFinite() {
+				return nil, fmt.Errorf("%w: restore: level %q unit %d has non-finite measure",
+					ErrConfig, ls.cfg.Name, s.Unit)
+			}
+			if n := s.ISB.N(); n != span*st.UnitTicks {
+				return nil, fmt.Errorf("%w: restore: level %q unit %d spans %d ticks, want %d",
+					ErrConfig, ls.cfg.Name, s.Unit, n, span*st.UnitTicks)
+			}
+			if j > 0 && s.ISB.Tb != rec.Slots[j-1].ISB.Te+1 {
+				return nil, fmt.Errorf("%w: restore: level %q units %d and %d are not adjacent",
+					ErrConfig, ls.cfg.Name, rec.Slots[j-1].Unit, s.Unit)
+			}
+		}
+		ls.slots = append([]Slot(nil), rec.Slots...)
+		ls.next = rec.Next
+	}
+	if n := len(st.Levels[0].Slots); n > 0 {
+		if last := st.Levels[0].Slots[n-1]; last.ISB.Te+1 != st.NextTb {
+			return nil, fmt.Errorf("%w: restore: next unit starts at %d, last finest unit ends at %d",
+				ErrConfig, st.NextTb, last.ISB.Te)
+		}
+	}
+	f.unitTicks = st.UnitTicks
+	f.nextTb = st.NextTb
+	f.pushed = st.Pushed
+	return f, nil
 }

@@ -141,11 +141,18 @@ type (
 	Frame = tilt.Frame
 	// UnitFrame is a tilt frame fed with completed-unit ISBs.
 	UnitFrame = tilt.UnitFrame
+	// UnitFrameState is the serializable state of a UnitFrame.
+	UnitFrameState = tilt.UnitFrameState
 	// FrameLevel configures one granularity of a frame.
 	FrameLevel = tilt.Level
 	// FrameSlot is one completed unit at some granularity.
 	FrameSlot = tilt.Slot
 )
+
+// RestoreUnitFrame rebuilds a unit frame from checkpointed state.
+func RestoreUnitFrame(levels []FrameLevel, st UnitFrameState) (*UnitFrame, error) {
+	return tilt.RestoreUnitFrame(levels, st)
+}
 
 // Result navigation (the analyst's drill-down workflow).
 type (
@@ -297,14 +304,26 @@ type StreamSnapshot = stream.Snapshot
 // snapshot.
 type StreamHistoryPoint = stream.HistoryPoint
 
+// StreamFrameView is the immutable multi-granularity view of one o-cell's
+// tilted history, published through snapshots when StreamConfig.TiltLevels
+// is set (§4.1 over the online engine).
+type StreamFrameView = stream.FrameView
+
+// StreamFrameLevelView is one granularity of a StreamFrameView.
+type StreamFrameLevelView = stream.FrameLevelView
+
+// StreamCellFrame is the checkpoint record of one o-cell's tilted history.
+type StreamCellFrame = stream.CellFrame
+
 // SnapshotSource supplies published snapshots to the query server; both
 // stream engine flavors implement it.
 type SnapshotSource = serve.Source
 
 // QueryServer is the HTTP/JSON analyst query API over published engine
-// snapshots: /v1/exceptions, /v1/supporters, /v1/slice, /v1/trend,
-// /v1/alerts, /v1/summary, /healthz, /metrics. It is an http.Handler; see
-// DESIGN.md §7 for the snapshot-publication protocol behind it.
+// snapshots: /v1/exceptions, /v1/supporters, /v1/slice, /v1/trend
+// (?level= for tilted granularities), /v1/frame, /v1/alerts, /v1/summary,
+// /healthz, /metrics. It is an http.Handler; see DESIGN.md §7 for the
+// snapshot-publication protocol behind it and §8 for the tilted history.
 type QueryServer = serve.Server
 
 // NewQueryServer builds the analyst query API over a snapshot source.

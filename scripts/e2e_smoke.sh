@@ -23,19 +23,37 @@ go build -o "$workdir" ./cmd/datagen ./cmd/streamd
 fifo="$workdir/stream.fifo"
 mkfifo "$fifo"
 
-echo "== start streamd -listen $ADDR (4 shards)"
+echo "== start streamd -listen $ADDR (4 shards, tilted history)"
 "$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 4 \
+  -tilt calendar \
   -listen "$ADDR" -checkpoint "$workdir/state.json" \
   < "$fifo" > "$workdir/out.log" 2>&1 &
 spid=$!
 
 echo "== start datagen -stream (paced, with query load)"
-"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 3000 -pace 5ms \
+# Enough ticks that the stream outlives the whole query phase even when a
+# loaded CI box makes the retry loops below crawl — SIGINT ends the run
+# long before the stream does, so the tick budget costs no wall time.
+"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 60000 -pace 5ms \
   -query "http://$ADDR" -qinterval 20ms \
   > "$fifo" 2> "$workdir/datagen.log" &
 dpid=$!
 
-fetch() { curl -fsS --max-time 5 "http://$ADDR$1"; }
+# fetch retries a transiently failing endpoint (server mid-boundary, load
+# spikes on a busy CI box) instead of failing the whole smoke on one shot;
+# each attempt has its own curl timeout and the loop is bounded at ~10s.
+fetch() {
+  local path=$1 body i
+  for i in $(seq 1 20); do
+    if body=$(curl -fsS --max-time 5 "http://$ADDR$path" 2>/dev/null); then
+      printf '%s' "$body"
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "fetch $path: no success after 20 attempts" >&2
+  return 1
+}
 
 echo "== wait for the first completed unit"
 ready=""
@@ -55,7 +73,10 @@ echo "   healthz: $h"
 
 assert_json() { # path, required substring
   local body
-  body=$(fetch "$1")
+  if ! body=$(fetch "$1"); then
+    echo "FAIL: GET $1 never succeeded" >&2
+    exit 1
+  fi
   if [ -z "$body" ] || ! grep -q "$2" <<<"$body"; then
     echo "FAIL: GET $1 returned unexpected body: $body" >&2
     exit 1
@@ -71,10 +92,16 @@ assert_json '/v1/alerts'                      '"alerts":\['
 assert_json '/v1/supporters?members=0,0'      '"supporters":'
 assert_json '/v1/slice?dim=0&level=1&member=0' '"cells":'
 assert_json '/v1/trend?members=0,0&k=1'       '"points":\['
-# Errors are JSON too.
+# Tilted endpoints: the per-level frame listing, and an hour-granularity
+# trend once 4 quarters have closed (fetch retries until they have).
+assert_json '/v1/frame?members=0,0'           '"tilted":true'
+assert_json '/v1/trend?members=0,0&k=1&level=1' '"level":"hour"'
+# Errors are JSON too — including the uniform lower-bound validation.
 body=$(curl -sS --max-time 5 "http://$ADDR/v1/slice?dim=99&member=0")
 grep -q '"error"' <<<"$body" || { echo "FAIL: bad request not JSON: $body" >&2; exit 1; }
-echo "   OK GET /v1/slice (bad dim rejected as JSON error)"
+body=$(curl -sS --max-time 5 "http://$ADDR/v1/exceptions?k=0")
+grep -q 'below minimum' <<<"$body" || { echo "FAIL: k=0 not rejected: $body" >&2; exit 1; }
+echo "   OK bad requests rejected as JSON errors"
 fetch /metrics | grep -q 'regcube_http_requests_total' \
   || { echo "FAIL: /metrics missing counters" >&2; exit 1; }
 echo "   OK GET /metrics"
@@ -97,10 +124,15 @@ grep -qE '^# [0-9]+ records, [0-9]+ units$' "$workdir/out.log" \
 kill "$dpid" 2>/dev/null || true
 dpid=""
 
-echo "== resume from the checkpoint"
+echo "== resume the v3 checkpoint tilted, then flat"
 "$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 2 \
+  -tilt calendar \
   -checkpoint "$workdir/state.json" < /dev/null > "$workdir/resume.log" 2>&1
 grep -q '# resumed at unit' "$workdir/resume.log" \
-  || { echo "FAIL: no resume banner" >&2; cat "$workdir/resume.log" >&2; exit 1; }
+  || { echo "FAIL: no tilted resume banner" >&2; cat "$workdir/resume.log" >&2; exit 1; }
+"$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 1 \
+  -checkpoint "$workdir/state.json" < /dev/null > "$workdir/resume-flat.log" 2>&1
+grep -q '# resumed at unit' "$workdir/resume-flat.log" \
+  || { echo "FAIL: no flat resume banner" >&2; cat "$workdir/resume-flat.log" >&2; exit 1; }
 
 echo "e2e smoke OK"
