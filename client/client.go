@@ -1,0 +1,368 @@
+// Package client is the Go SDK for the regcube query API v2.
+//
+// A Client speaks the typed request model of internal/query to a running
+// query server (streamd -listen, or any serve.Server): every analyst
+// question — summaries, ranked exceptions, alerts, drill-down supporters,
+// slices, multi-unit trends, tilt frames — is a typed request with a
+// typed response, transported through POST /v1/query. Batch sends many
+// requests in one round trip and the server answers them all from one
+// snapshot, so every result in a batch is unit-consistent with every
+// other; the per-query methods are one-element batches.
+//
+// Errors map back to the query sentinels, so callers branch with
+// errors.Is: ErrInvalid (the request can never succeed), ErrNotFound
+// (the current unit does not hold the target), ErrUnavailable (no unit
+// has completed yet — retried automatically, see WithRetries).
+//
+//	c, err := client.New("http://127.0.0.1:8080")
+//	...
+//	top, err := c.Exceptions(ctx, client.ExceptionsRequest{K: 10})
+//	trend, err := c.Trend(ctx, client.TrendRequest{CellRef: client.OCell(2, 0), K: 4})
+//	reply, err := c.Batch(ctx,
+//		client.SummaryRequest{},
+//		client.AlertsRequest{},
+//		client.FrameRequest{CellRef: client.OCell(2, 0)},
+//	)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/query"
+)
+
+// The request/response model, re-exported so SDK users need only this
+// package.
+type (
+	// Request is the typed query union; see the concrete kinds below.
+	Request = query.Request
+	// Kind discriminates requests on the wire.
+	Kind = query.Kind
+	// CellRef names one cell by levels and members.
+	CellRef = query.CellRef
+
+	// SummaryRequest asks for the unit header and per-cuboid counts.
+	SummaryRequest = query.SummaryRequest
+	// ExceptionsRequest asks for ranked exception cells.
+	ExceptionsRequest = query.ExceptionsRequest
+	// AlertsRequest asks for the unit's o-layer alerts.
+	AlertsRequest = query.AlertsRequest
+	// SupportersRequest asks for a cell's exception descendants.
+	SupportersRequest = query.SupportersRequest
+	// SliceRequest asks for the exceptions under one member.
+	SliceRequest = query.SliceRequest
+	// TrendRequest asks for a k-unit trend regression of an o-cell.
+	TrendRequest = query.TrendRequest
+	// FrameRequest asks for an o-cell's per-level tilt frame listing.
+	FrameRequest = query.FrameRequest
+
+	// Response is the typed result union.
+	Response = query.Response
+	// SummaryResponse answers SummaryRequest.
+	SummaryResponse = query.SummaryResponse
+	// CellsResponse answers ExceptionsRequest and SliceRequest.
+	CellsResponse = query.CellsResponse
+	// AlertsResponse answers AlertsRequest.
+	AlertsResponse = query.AlertsResponse
+	// SupportersResponse answers SupportersRequest.
+	SupportersResponse = query.SupportersResponse
+	// TrendResponse answers TrendRequest.
+	TrendResponse = query.TrendResponse
+	// FrameResponse answers FrameRequest.
+	FrameResponse = query.FrameResponse
+)
+
+// The sentinel errors responses map back to; test with errors.Is.
+var (
+	// ErrInvalid marks requests that can never succeed (HTTP 400).
+	ErrInvalid = query.ErrInvalid
+	// ErrCell marks invalid cell coordinates (HTTP 400).
+	ErrCell = query.ErrCell
+	// ErrNotFound marks targets the current unit does not hold (HTTP 404).
+	ErrNotFound = query.ErrNotFound
+	// ErrUnavailable means no unit has completed yet (HTTP 503).
+	ErrUnavailable = query.ErrUnavailable
+)
+
+// OCell references an o-layer cell by its members.
+func OCell(members ...int32) CellRef { return query.OCell(members...) }
+
+// Cell references a cell at explicit levels.
+func Cell(levels []int, members []int32) CellRef { return query.Cell(levels, members) }
+
+// Client is a regcube query API client. It is safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (pools,
+// transports, instrumentation). Its Timeout wins over WithTimeout.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithTimeout bounds each HTTP attempt (default 10s). Retries each get
+// the full budget; bound the total with the context instead.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.hc.Timeout = d } }
+
+// WithRetries sets how many times a failed attempt is retried (default
+// 2). Only transport errors and 503 no-snapshot-yet responses retry —
+// 4xx results are deterministic and returned immediately.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithRetryBackoff sets the base delay between attempts (default 150ms,
+// doubling per retry).
+func WithRetryBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New builds a client for a query server base URL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q: scheme must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q: missing host", baseURL)
+	}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Timeout: 10 * time.Second},
+		retries: 2,
+		backoff: 150 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.retries < 0 {
+		c.retries = 0
+	}
+	return c, nil
+}
+
+// Result is one request's outcome inside a batch reply: exactly one of
+// Response and Err is set.
+type Result struct {
+	Response Response
+	Err      error
+}
+
+// BatchReply is the decoded outcome of one Batch round trip. Every
+// result was answered from the snapshot of the same closed unit.
+type BatchReply struct {
+	// Unit is the closed unit all results describe.
+	Unit int64
+	// UnitsDone counts closed units as of the answering snapshot.
+	UnitsDone int64
+	// Results are in request order.
+	Results []Result
+}
+
+// Batch sends the requests as one POST /v1/query round trip and decodes
+// each result by its request's kind. The returned error covers the round
+// trip itself (transport, malformed batch, no snapshot after retries);
+// per-request failures land in the matching Result.Err.
+func (c *Client) Batch(ctx context.Context, reqs ...Request) (*BatchReply, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("client: %w: empty batch", ErrInvalid)
+	}
+	body, err := json.Marshal(query.BatchRequest{Queries: query.Wrap(reqs...)})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding batch: %w", err)
+	}
+	data, err := c.roundTrip(ctx, http.MethodPost, "/v1/query", body)
+	if err != nil {
+		return nil, err
+	}
+	var batch query.BatchResponse
+	if err := json.Unmarshal(data, &batch); err != nil {
+		return nil, fmt.Errorf("client: decoding batch reply: %w", err)
+	}
+	if len(batch.Results) != len(reqs) {
+		return nil, fmt.Errorf("client: batch reply has %d results for %d requests",
+			len(batch.Results), len(reqs))
+	}
+	reply := &BatchReply{Unit: batch.Unit, UnitsDone: batch.UnitsDone, Results: make([]Result, len(reqs))}
+	for i, res := range batch.Results {
+		resp, err := res.Decode(reqs[i].Kind())
+		reply.Results[i] = Result{Response: resp, Err: err}
+	}
+	return reply, nil
+}
+
+// Do executes one typed request and returns its typed response.
+func (c *Client) Do(ctx context.Context, req Request) (Response, error) {
+	reply, err := c.Batch(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Results[0].Response, reply.Results[0].Err
+}
+
+// Summary fetches the current unit's header, stats, and cuboid rollup.
+func (c *Client) Summary(ctx context.Context) (*SummaryResponse, error) {
+	return doTyped[*SummaryResponse](c, ctx, SummaryRequest{})
+}
+
+// Exceptions fetches ranked exception cells.
+func (c *Client) Exceptions(ctx context.Context, req ExceptionsRequest) (*CellsResponse, error) {
+	return doTyped[*CellsResponse](c, ctx, req)
+}
+
+// Alerts fetches the current unit's o-layer alerts with drill-down.
+func (c *Client) Alerts(ctx context.Context) (*AlertsResponse, error) {
+	return doTyped[*AlertsResponse](c, ctx, AlertsRequest{})
+}
+
+// Supporters fetches a cell's exception descendants.
+func (c *Client) Supporters(ctx context.Context, req SupportersRequest) (*SupportersResponse, error) {
+	return doTyped[*SupportersResponse](c, ctx, req)
+}
+
+// Slice fetches the exceptions under one member of one dimension.
+func (c *Client) Slice(ctx context.Context, req SliceRequest) (*CellsResponse, error) {
+	return doTyped[*CellsResponse](c, ctx, req)
+}
+
+// Trend fetches a k-unit trend regression of an o-cell.
+func (c *Client) Trend(ctx context.Context, req TrendRequest) (*TrendResponse, error) {
+	return doTyped[*TrendResponse](c, ctx, req)
+}
+
+// Frame fetches an o-cell's per-level tilt frame listing.
+func (c *Client) Frame(ctx context.Context, req FrameRequest) (*FrameResponse, error) {
+	return doTyped[*FrameResponse](c, ctx, req)
+}
+
+// doTyped narrows Do's union result to the kind's concrete response.
+func doTyped[T Response](c *Client, ctx context.Context, req Request) (T, error) {
+	var zero T
+	resp, err := c.Do(ctx, req)
+	if err != nil {
+		return zero, err
+	}
+	typed, ok := resp.(T)
+	if !ok {
+		return zero, fmt.Errorf("client: unexpected response type %T for %s", resp, req.Kind())
+	}
+	return typed, nil
+}
+
+// Health is the GET /healthz liveness report.
+type Health struct {
+	Status        string  `json:"status"`
+	Serving       bool    `json:"serving"`
+	Unit          int64   `json:"unit"`
+	UnitsDone     int64   `json:"unitsDone"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// Health fetches the server's liveness and serving state. It succeeds
+// even before the first unit closes (Serving false, Unit -1).
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	data, err := c.roundTrip(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	var h Health
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("client: decoding health: %w", err)
+	}
+	return &h, nil
+}
+
+// roundTrip issues one HTTP request with the client's retry policy:
+// transport failures and 503 (no snapshot yet) retry with doubling
+// backoff; everything else returns immediately, with non-200 statuses
+// mapped to the query sentinels.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		data, err, retriable := c.attempt(ctx, method, path, body)
+		if err == nil {
+			return data, nil
+		}
+		if !retriable || attempt >= c.retries {
+			return nil, err
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client: %w (last error: %v)", ctx.Err(), lastErr)
+		case <-time.After(retryDelay(c.backoff, attempt)):
+		}
+	}
+}
+
+// maxRetryDelay caps the doubling backoff so arbitrarily high retry
+// counts wait, instead of the shift overflowing into a hot spin.
+const maxRetryDelay = 30 * time.Second
+
+// retryDelay is base·2^attempt clamped to maxRetryDelay.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < maxRetryDelay; i++ {
+		d *= 2
+	}
+	if d > maxRetryDelay || d <= 0 {
+		d = maxRetryDelay
+	}
+	return d
+}
+
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (data []byte, err error, retriable bool) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err), false
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Transport errors (refused, reset, timeout) are worth retrying;
+		// a canceled context is not.
+		return nil, fmt.Errorf("client: %w", err), ctx.Err() == nil
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err), true
+	}
+	if resp.StatusCode == http.StatusOK {
+		return data, nil, false
+	}
+	serr := query.StatusError(resp.StatusCode, errorBody(data))
+	return nil, serr, errors.Is(serr, ErrUnavailable)
+}
+
+// errorBody extracts the server's {"error": "..."} message, falling back
+// to the raw body.
+func errorBody(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -1,42 +1,91 @@
 package main
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"math"
-	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/client"
 )
 
-// loadPaths is the query mix the load generator cycles through — the
-// endpoints an analyst dashboard would poll. /v1/frame answers on flat
-// and tilted engines alike, so the mix works against any streamd.
-var loadPaths = []string{
-	"/healthz",
-	"/v1/exceptions?k=8",
-	"/v1/summary",
-	"/v1/alerts",
-	"/v1/frame?members=0,0",
+// loadOp is one typed operation of the load mix.
+type loadOp struct {
+	name string
+	run  func(ctx context.Context, c *client.Client) error
 }
 
-// startLoad spawns `workers` goroutines issuing GET requests against the
-// target base URL, one every `interval` per worker, cycling through
-// loadPaths. The returned stop function tears the workers down and prints
-// a latency report to stderr. Errors (including 503s while the server has
-// no snapshot yet) are counted, not fatal: the load generator runs
-// concurrently with the pipeline warming up.
+// loadOps is the query mix the load generator cycles through — the typed
+// client calls an analyst dashboard would issue, all through the Go SDK
+// (repro/client) so the SDK itself is exercised under mixed ingest+query
+// load. /v1/frame answers on flat and tilted engines alike, and the
+// batch op drives POST /v1/query, so the mix works against any streamd.
+var loadOps = []loadOp{
+	{"health", func(ctx context.Context, c *client.Client) error {
+		_, err := c.Health(ctx)
+		return err
+	}},
+	{"exceptions", func(ctx context.Context, c *client.Client) error {
+		_, err := c.Exceptions(ctx, client.ExceptionsRequest{K: 8})
+		return err
+	}},
+	{"summary", func(ctx context.Context, c *client.Client) error {
+		_, err := c.Summary(ctx)
+		return err
+	}},
+	{"alerts", func(ctx context.Context, c *client.Client) error {
+		_, err := c.Alerts(ctx)
+		return err
+	}},
+	{"frame", func(ctx context.Context, c *client.Client) error {
+		_, err := c.Frame(ctx, client.FrameRequest{CellRef: client.OCell(0, 0)})
+		return err
+	}},
+	{"batch", func(ctx context.Context, c *client.Client) error {
+		reply, err := c.Batch(ctx,
+			client.SummaryRequest{},
+			client.ExceptionsRequest{K: 4},
+			client.AlertsRequest{},
+		)
+		if err != nil {
+			return err
+		}
+		for _, res := range reply.Results {
+			if res.Err != nil {
+				return res.Err
+			}
+		}
+		return nil
+	}},
+}
+
+// startLoad spawns `workers` goroutines issuing typed SDK calls against
+// the target base URL, one every `interval` per worker, cycling through
+// loadOps. The returned stop function tears the workers down and prints
+// a latency report to stderr. Errors (including ErrUnavailable while the
+// server has no snapshot yet, after the client's single retry) are
+// counted, not fatal: the load generator runs concurrently with the
+// pipeline warming up.
 func startLoad(baseURL string, interval time.Duration, workers int) func() {
 	if workers < 1 {
 		workers = 1
 	}
+	c, err := client.New(baseURL,
+		client.WithTimeout(5*time.Second),
+		client.WithRetries(1),
+		client.WithRetryBackoff(50*time.Millisecond))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: load: %v\n", err)
+		return func() {}
+	}
 	stop := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
 	results := make([][]time.Duration, workers)
 	errs := make([]int64, workers)
-	client := &http.Client{Timeout: 5 * time.Second}
 	for wid := 0; wid < workers; wid++ {
 		wg.Add(1)
 		go func(wid int) {
@@ -47,19 +96,12 @@ func startLoad(baseURL string, interval time.Duration, workers int) func() {
 					return
 				default:
 				}
-				path := loadPaths[(wid+i)%len(loadPaths)]
+				op := loadOps[(wid+i)%len(loadOps)]
 				t0 := time.Now()
-				resp, err := client.Get(baseURL + path)
-				if err != nil {
+				if err := op.run(ctx, c); err != nil {
 					errs[wid]++
 				} else {
-					_, _ = io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK {
-						errs[wid]++
-					} else {
-						results[wid] = append(results[wid], time.Since(t0))
-					}
+					results[wid] = append(results[wid], time.Since(t0))
 				}
 				if interval > 0 {
 					select {
@@ -73,7 +115,11 @@ func startLoad(baseURL string, interval time.Duration, workers int) func() {
 	}
 	return func() {
 		close(stop)
+		// Let in-flight calls finish (they have their own timeout) so the
+		// teardown doesn't count them as errors; cancel only releases the
+		// context afterwards.
 		wg.Wait()
+		cancel()
 		var all []time.Duration
 		var errors int64
 		for wid := range results {

@@ -1,0 +1,150 @@
+// Command queryprobe smoke-tests a running query server through the Go
+// client SDK (repro/client): it waits for the server to start serving,
+// issues one mixed POST /v1/query batch — several valid request kinds
+// plus one deliberately invalid sub-request — and asserts every result
+// comes back as the typed model promises. Exit status 0 means the whole
+// v2 query path (client → batch endpoint → dispatcher → snapshot) works
+// end to end; anything else prints the failure and exits 1.
+//
+// Usage:
+//
+//	queryprobe -addr http://127.0.0.1:8080 [-cell 0,0] [-timeout 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "query server base URL")
+	cellStr := flag.String("cell", "0,0", "o-cell members for the supporters/frame probes")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall probe deadline")
+	flag.Parse()
+
+	if err := run(*addr, *cellStr, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "queryprobe: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("queryprobe: OK")
+}
+
+func run(addr, cellStr string, timeout time.Duration) error {
+	members, err := parseMembers(cellStr)
+	if err != nil {
+		return fmt.Errorf("-cell: %w", err)
+	}
+	c, err := client.New(addr,
+		client.WithTimeout(5*time.Second),
+		client.WithRetries(3),
+		client.WithRetryBackoff(200*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	// Wait until the server has a completed unit to answer from.
+	for {
+		h, err := c.Health(ctx)
+		if err != nil {
+			return fmt.Errorf("health: %w", err)
+		}
+		if h.Serving && h.UnitsDone > 0 {
+			fmt.Printf("queryprobe: serving unit %d (%d done)\n", h.Unit, h.UnitsDone)
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server never served a completed unit: %w", ctx.Err())
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+
+	// One unit-consistent batch mixing five kinds with one deliberately
+	// invalid sub-request. Frame data for a young cell can lag a unit on
+	// tilted engines, so the loop tolerates transient not-found results.
+	cell := client.OCell(members...)
+	var reply *client.BatchReply
+	for {
+		reply, err = c.Batch(ctx,
+			client.SummaryRequest{},
+			client.ExceptionsRequest{K: 5},
+			client.AlertsRequest{},
+			client.FrameRequest{CellRef: cell},
+			client.SliceRequest{Dim: 99, Member: 0}, // must fail typed
+		)
+		if err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+		if !transientNotFound(reply.Results[:4]) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("batch results never settled: %w", ctx.Err())
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+
+	sum, ok := reply.Results[0].Response.(*client.SummaryResponse)
+	if !ok || reply.Results[0].Err != nil {
+		return fmt.Errorf("summary: %v", reply.Results[0].Err)
+	}
+	if sum.Unit != reply.Unit {
+		return fmt.Errorf("summary unit %d != batch unit %d (batch not unit-consistent)", sum.Unit, reply.Unit)
+	}
+	exc, ok := reply.Results[1].Response.(*client.CellsResponse)
+	if !ok || reply.Results[1].Err != nil {
+		return fmt.Errorf("exceptions: %v", reply.Results[1].Err)
+	}
+	alerts, ok := reply.Results[2].Response.(*client.AlertsResponse)
+	if !ok || reply.Results[2].Err != nil {
+		return fmt.Errorf("alerts: %v", reply.Results[2].Err)
+	}
+	frame, ok := reply.Results[3].Response.(*client.FrameResponse)
+	if !ok || reply.Results[3].Err != nil {
+		return fmt.Errorf("frame: %v", reply.Results[3].Err)
+	}
+	if err := reply.Results[4].Err; !errors.Is(err, client.ErrInvalid) {
+		return fmt.Errorf("invalid slice sub-request returned %v, want ErrInvalid", err)
+	}
+	fmt.Printf("queryprobe: unit %d: %d exceptions (top %d listed), %d alerts, frame %d levels (%d slots), bad sub-request rejected typed\n",
+		reply.Unit, exc.Count, len(exc.Cells), len(alerts.Alerts), len(frame.Levels), frame.SlotsInUse)
+	return nil
+}
+
+// transientNotFound reports whether any result failed with ErrNotFound —
+// the one failure mode that resolves by itself as more units close.
+func transientNotFound(results []client.Result) bool {
+	for _, r := range results {
+		if errors.Is(r.Err, client.ErrNotFound) {
+			return true
+		}
+		if r.Err != nil {
+			return false
+		}
+	}
+	return false
+}
+
+func parseMembers(s string) ([]int32, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int32, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int32(v)
+	}
+	return out, nil
+}

@@ -226,9 +226,18 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("-listen: %w", err)
 		}
-		// ReadHeaderTimeout keeps slow or stuck clients from pinning
-		// connections (and Shutdown) on a daemon that runs for days.
-		srv = &http.Server{Handler: serve.New(eng, schema), ReadHeaderTimeout: 5 * time.Second}
+		// The timeouts keep slow or stuck clients from pinning connections
+		// (and Shutdown) on a daemon that runs for days: headers within 5s,
+		// the whole request — including a POST /v1/query body — within 30s,
+		// idle keep-alives reaped after 2 minutes, headers capped at 64 KiB
+		// (the serving layer separately caps query bodies at 1 MiB).
+		srv = &http.Server{
+			Handler:           serve.New(eng, schema),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+			MaxHeaderBytes:    1 << 16,
+		}
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "streamd: http: %v\n", err)

@@ -1,23 +1,25 @@
 // Serving: run the sharded online analyzer and the HTTP query API in one
-// process, then play analyst against it.
+// process, then play analyst against it through the Go client SDK.
 //
 //	go run ./examples/serving
 //
 // A 4-shard engine ingests a synthetic power-grid-style stream while the
 // query server answers from per-unit snapshots — the same lock-free path
 // `streamd -listen` uses. The example queries its own server over
-// loopback mid-ingest and prints what an analyst dashboard would show.
+// loopback mid-ingest with the typed client (repro/client) and prints
+// what an analyst dashboard would show, ending with one POST /v1/query
+// batch that fetches a whole dashboard refresh in a single
+// unit-consistent round trip.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"net/http/httptest"
 
 	regcube "repro"
+	"repro/client"
 )
 
 func main() {
@@ -59,10 +61,16 @@ func main() {
 	}
 	defer eng.Close()
 
-	// The query API over the engine, on a loopback listener.
+	// The query API over the engine, on a loopback listener, and the
+	// typed SDK client over that.
 	ts := httptest.NewServer(regcube.NewQueryServer(eng, schema))
 	defer ts.Close()
 	fmt.Printf("query API listening on %s\n", ts.URL)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	// Stream four units of readings: usage in region 2 trends up steeply,
 	// everything else stays flat.
@@ -80,102 +88,74 @@ func main() {
 		}
 	}
 
-	get := func(path string) string {
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer resp.Body.Close()
-		body, err := io.ReadAll(resp.Body)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return string(body)
-	}
-
-	// The dashboard's poll loop, condensed.
-	var health struct {
-		Unit      int64 `json:"unit"`
-		UnitsDone int64 `json:"unitsDone"`
-	}
-	if err := json.Unmarshal([]byte(get("/healthz")), &health); err != nil {
+	// The dashboard's poll loop, condensed to typed calls.
+	health, err := c.Health(ctx)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("serving unit %d (%d units done)\n", health.Unit, health.UnitsDone)
 
-	var ex struct {
-		Count int `json:"count"`
-		Cells []struct {
-			Name string `json:"name"`
-			ISB  struct {
-				Slope float64 `json:"slope"`
-			} `json:"isb"`
-		} `json:"cells"`
-	}
-	if err := json.Unmarshal([]byte(get("/v1/exceptions?k=3")), &ex); err != nil {
+	ex, err := c.Exceptions(ctx, client.ExceptionsRequest{K: 3})
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%d exception cells; steepest 3:\n", ex.Count)
-	for _, c := range ex.Cells {
-		fmt.Printf("  %-34s slope %+0.2f\n", c.Name, c.ISB.Slope)
+	for _, cell := range ex.Cells {
+		fmt.Printf("  %-34s slope %+0.2f\n", cell.Name, cell.ISB.Slope)
 	}
 
 	// Drill into the hot o-cell's supporters and pull its 4-unit trend.
-	var sup struct {
-		Supporters []struct {
-			Name string `json:"name"`
-		} `json:"supporters"`
-	}
-	if err := json.Unmarshal([]byte(get("/v1/supporters?members=2,0")), &sup); err != nil {
+	hot := client.OCell(2, 0)
+	sup, err := c.Supporters(ctx, client.SupportersRequest{CellRef: hot})
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("o-cell (region 2, appliance 0) has %d exception supporters\n", len(sup.Supporters))
+	fmt.Printf("o-cell (region 2, appliance 0) has %d exception supporters\n", sup.Count)
 
-	var trend struct {
-		Cell struct {
-			ISB struct {
-				Tb, Te int64
-				Slope  float64 `json:"slope"`
-			} `json:"isb"`
-		} `json:"cell"`
-	}
-	if err := json.Unmarshal([]byte(get("/v1/trend?members=2,0&k=4")), &trend); err != nil {
+	trend, err := c.Trend(ctx, client.TrendRequest{CellRef: hot, K: 4})
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("4-unit trend of (region 2, appliance 0): slope %+0.3f per tick\n", trend.Cell.ISB.Slope)
 
 	// The same cell at a coarser tilt granularity: the last "hour" (4
 	// units) is answered from one promoted slot, not four.
-	var hour struct {
-		Level string `json:"level"`
-		Cell  struct {
-			ISB struct {
-				Slope float64 `json:"slope"`
-			} `json:"isb"`
-		} `json:"cell"`
-	}
-	if err := json.Unmarshal([]byte(get("/v1/trend?members=2,0&k=1&level=2")), &hour); err != nil {
+	hour, err := c.Trend(ctx, client.TrendRequest{CellRef: hot, K: 1, Level: 2})
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("1-%s trend of (region 2, appliance 0): slope %+0.3f per tick\n", hour.Level, hour.Cell.ISB.Slope)
 
 	// And the frame itself: per-level slot occupancy of the tilted
 	// register (Figure 4's "now" edge on the right).
-	var frame struct {
-		SlotsInUse int `json:"slotsInUse"`
-		Levels     []struct {
-			Name      string `json:"name"`
-			UnitTicks int64  `json:"unitTicks"`
-			Slots     []struct {
-				Unit int64 `json:"unit"`
-			} `json:"slots"`
-		} `json:"levels"`
-	}
-	if err := json.Unmarshal([]byte(get("/v1/frame?members=2,0")), &frame); err != nil {
+	frame, err := c.Frame(ctx, client.FrameRequest{CellRef: hot})
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("tilted frame of (region 2, appliance 0): %d slots in use\n", frame.SlotsInUse)
 	for _, lv := range frame.Levels {
 		fmt.Printf("  %-8s %2d slots × %d ticks\n", lv.Name, len(lv.Slots), lv.UnitTicks)
 	}
+
+	// A whole dashboard refresh in one POST /v1/query round trip: every
+	// result answers from the same snapshot, so the summary, alert list,
+	// and ranked exceptions can never mix units.
+	reply, err := c.Batch(ctx,
+		client.SummaryRequest{},
+		client.AlertsRequest{},
+		client.ExceptionsRequest{K: 1},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range reply.Results {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+	}
+	sum := reply.Results[0].Response.(*client.SummaryResponse)
+	alerts := reply.Results[1].Response.(*client.AlertsResponse)
+	top := reply.Results[2].Response.(*client.CellsResponse)
+	fmt.Printf("batch @ unit %d: %d o-cells, %d alerts, steepest exception %s\n",
+		reply.Unit, sum.OCells, len(alerts.Alerts), top.Cells[0].Name)
 }

@@ -1,0 +1,350 @@
+package query
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/stream"
+)
+
+// Executor answers typed Requests from one published engine snapshot. It
+// precomputes the navigation state every request kind shares — the
+// drill-down View, both exception orderings, the per-cuboid summary — so
+// repeated requests against one unit reuse the sorts instead of
+// re-ranking the full exception set per request. An Executor is immutable
+// after construction and safe for concurrent use; serving layers cache
+// one per snapshot (see internal/serve).
+type Executor struct {
+	schema  *cube.Schema
+	snap    *stream.Snapshot
+	view    *View               // nil when the unit closed empty
+	bySlope []core.Cell         // every exception, steepest first
+	byKey   []core.Cell         // every exception, canonical key order
+	cuboids []CuboidSummaryJSON // the per-cuboid rollup summaries serve
+}
+
+// NewExecutor builds the dispatcher over a snapshot. A nil snapshot
+// (nothing published yet) is ErrUnavailable; a snapshot whose unit closed
+// empty is fine — per-cell requests just answer empty.
+func NewExecutor(schema *cube.Schema, snap *stream.Snapshot) (*Executor, error) {
+	if snap == nil {
+		return nil, ErrUnavailable
+	}
+	e := &Executor{schema: schema, snap: snap}
+	if !snap.Empty() {
+		e.view = NewView(snap.Result)
+		e.bySlope = e.view.TopExceptions(-1)
+		e.byKey = snap.Result.ExceptionCells()
+		for _, cs := range e.view.Summary() {
+			levels := make([]int, cs.Cuboid.NumDims())
+			for d := range levels {
+				levels[d] = cs.Cuboid.Level(d)
+			}
+			e.cuboids = append(e.cuboids, CuboidSummaryJSON{
+				Levels:      levels,
+				Name:        cs.Cuboid.Describe(schema),
+				Exceptions:  cs.Exceptions,
+				MaxAbsSlope: cs.MaxAbsSlope,
+			})
+		}
+	}
+	return e, nil
+}
+
+// Snapshot returns the snapshot this executor answers from — serving
+// layers key their executor cache on it.
+func (e *Executor) Snapshot() *stream.Snapshot { return e.snap }
+
+// Schema returns the schema requests are validated against.
+func (e *Executor) Schema() *cube.Schema { return e.schema }
+
+// Execute validates and runs one request, dispatching on its concrete
+// type. Both value and pointer forms of the request types are accepted.
+// Errors wrap ErrInvalid/ErrCell (bad request) or ErrNotFound (the
+// snapshot does not hold the target).
+func (e *Executor) Execute(req Request) (Response, error) {
+	if req == nil {
+		return nil, invalidf("nil request")
+	}
+	if err := req.Validate(e.schema); err != nil {
+		return nil, err
+	}
+	// Cell-addressed kinds resolve their key exactly once here; Validate
+	// above already proved it resolves, so helpers just consume it.
+	switch r := req.(type) {
+	case SummaryRequest:
+		return e.summary(), nil
+	case *SummaryRequest:
+		return e.summary(), nil
+	case ExceptionsRequest:
+		return e.exceptions(r), nil
+	case *ExceptionsRequest:
+		return e.exceptions(*r), nil
+	case AlertsRequest:
+		return e.alerts(), nil
+	case *AlertsRequest:
+		return e.alerts(), nil
+	case SupportersRequest:
+		return e.dispatchCell(r.CellRef, func(key cube.CellKey) (Response, error) { return e.supporters(r, key) })
+	case *SupportersRequest:
+		return e.dispatchCell(r.CellRef, func(key cube.CellKey) (Response, error) { return e.supporters(*r, key) })
+	case SliceRequest:
+		return e.slice(r), nil
+	case *SliceRequest:
+		return e.slice(*r), nil
+	case TrendRequest:
+		return e.dispatchCell(r.CellRef, func(key cube.CellKey) (Response, error) { return e.trend(r, key) })
+	case *TrendRequest:
+		return e.dispatchCell(r.CellRef, func(key cube.CellKey) (Response, error) { return e.trend(*r, key) })
+	case FrameRequest:
+		return e.dispatchCell(r.CellRef, func(key cube.CellKey) (Response, error) { return e.frame(key) })
+	case *FrameRequest:
+		return e.dispatchCell(r.CellRef, func(key cube.CellKey) (Response, error) { return e.frame(key) })
+	default:
+		return nil, invalidf("unsupported request type %T", req)
+	}
+}
+
+// dispatchCell resolves a cell reference once and runs the kind's
+// handler with the key.
+func (e *Executor) dispatchCell(ref CellRef, fn func(key cube.CellKey) (Response, error)) (Response, error) {
+	key, err := ref.Resolve(e.schema)
+	if err != nil {
+		return nil, err
+	}
+	return fn(key)
+}
+
+// ExecuteBatch runs every enveloped request against this executor's one
+// snapshot and collects per-request results — the body of POST /v1/query.
+// Request errors never fail the batch; they land in the matching result
+// with the status the request would have received standalone.
+func (e *Executor) ExecuteBatch(queries []Envelope) *BatchResponse {
+	resp := &BatchResponse{
+		Unit:      e.snap.Unit,
+		UnitsDone: e.snap.UnitsDone,
+		Results:   make([]BatchResult, len(queries)),
+	}
+	for i, q := range queries {
+		res, err := e.Execute(q.Request)
+		if err != nil {
+			resp.Results[i] = BatchResult{Status: HTTPStatus(err), Error: ErrorMessage(err)}
+			continue
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			resp.Results[i] = BatchResult{Status: http.StatusInternalServerError, Error: err.Error()}
+			continue
+		}
+		resp.Results[i] = BatchResult{OK: true, Result: raw}
+	}
+	return resp
+}
+
+func (e *Executor) summary() *SummaryResponse {
+	snap := e.snap
+	resp := &SummaryResponse{
+		Unit:      snap.Unit,
+		UnitsDone: snap.UnitsDone,
+		Interval:  encodeInterval(snap.Interval),
+		Empty:     snap.Empty(),
+		Alerts:    len(snap.Alerts),
+		Cuboids:   []CuboidSummaryJSON{},
+	}
+	if e.view != nil {
+		res := snap.Result
+		resp.OCells = len(res.OLayer)
+		resp.Exceptions = len(res.Exceptions)
+		resp.Stats = &StatsJSON{
+			Algorithm:       res.Stats.Algorithm,
+			Tuples:          res.Stats.Tuples,
+			TreeNodes:       res.Stats.TreeNodes,
+			CuboidsComputed: res.Stats.CuboidsComputed,
+			CellsComputed:   res.Stats.CellsComputed,
+			CellsRetained:   res.Stats.CellsRetained,
+			BytesRetained:   res.Stats.BytesRetained,
+			BuildNanos:      res.Stats.BuildTime.Nanoseconds(),
+			CubeNanos:       res.Stats.CubeTime.Nanoseconds(),
+		}
+		resp.Cuboids = e.cuboids
+	}
+	return resp
+}
+
+func (e *Executor) exceptions(r ExceptionsRequest) *CellsResponse {
+	resp := &CellsResponse{
+		Unit:     e.snap.Unit,
+		Interval: encodeInterval(e.snap.Interval),
+		Cells:    []CellJSON{},
+	}
+	if e.view != nil {
+		resp.Count = len(e.snap.Result.Exceptions)
+		cells := e.bySlope
+		if r.Order == OrderKey {
+			cells = e.byKey
+		}
+		if r.K > 0 && r.K < len(cells) {
+			cells = cells[:r.K]
+		}
+		resp.Cells = encodeCells(e.schema, cells)
+	}
+	return resp
+}
+
+func (e *Executor) alerts() *AlertsResponse {
+	resp := &AlertsResponse{
+		Unit:     e.snap.Unit,
+		Interval: encodeInterval(e.snap.Interval),
+		Alerts:   []AlertJSON{},
+	}
+	for _, a := range e.snap.Alerts {
+		resp.Alerts = append(resp.Alerts, encodeAlert(e.schema, a))
+	}
+	return resp
+}
+
+func (e *Executor) supporters(r SupportersRequest, key cube.CellKey) (Response, error) {
+	resp := &SupportersResponse{Unit: e.snap.Unit, Supporters: []CellJSON{}}
+	resp.Cell.Levels, resp.Cell.Members = encodeKey(key)
+	resp.Cell.Name = key.Describe(e.schema)
+	if e.view != nil {
+		res := e.snap.Result
+		if isb, ok := res.OLayer[key]; ok {
+			resp.Retained = true
+			j := encodeISB(isb)
+			resp.Cell.ISB = &j
+		} else if isb, ok := res.Exceptions[key]; ok {
+			resp.Retained = true
+			j := encodeISB(isb)
+			resp.Cell.ISB = &j
+		}
+		sup := e.view.Supporters(key)
+		resp.Count = len(sup)
+		if r.K > 0 && r.K < len(sup) {
+			sup = sup[:r.K]
+		}
+		resp.Supporters = encodeCells(e.schema, sup)
+	}
+	return resp, nil
+}
+
+func (e *Executor) slice(r SliceRequest) *CellsResponse {
+	resp := &CellsResponse{
+		Unit:     e.snap.Unit,
+		Interval: encodeInterval(e.snap.Interval),
+		Cells:    []CellJSON{},
+	}
+	if e.view != nil {
+		cells := e.view.Slice(r.Dim, r.Level, r.Member)
+		resp.Count = len(cells)
+		if r.K > 0 && r.K < len(cells) {
+			cells = cells[:r.K]
+		}
+		resp.Cells = encodeCells(e.schema, cells)
+	}
+	return resp
+}
+
+func (e *Executor) trend(r TrendRequest, key cube.CellKey) (Response, error) {
+	k := r.K
+	if k == 0 {
+		k = 1
+	}
+	snap := e.snap
+	resp := &TrendResponse{Unit: snap.Unit, K: k, Points: []HistoryPointJSON{}}
+	if r.Level == 0 {
+		have := snap.HistoryLen(key)
+		if k > have {
+			return nil, notFoundf("trend for %s: %d units requested, %d recorded",
+				key.Describe(e.schema), k, have)
+		}
+		isb, terr := snap.TrendQuery(key, k)
+		if terr != nil {
+			// The remaining failure is a history gap; surface the real cause.
+			return nil, notFoundf("trend for %s: %v", key.Describe(e.schema), terr)
+		}
+		resp.Cell = encodeCell(e.schema, core.Cell{Key: key, ISB: isb})
+		resp.History = have
+		tail := snap.HistoryOf(key)
+		tail = tail[len(tail)-k:]
+		for _, pt := range tail {
+			resp.Points = append(resp.Points, HistoryPointJSON{Unit: pt.Unit, ISB: encodeISB(pt.ISB)})
+		}
+		return resp, nil
+	}
+	// Coarser levels are answered from the published tilt frames.
+	if snap.Frames == nil {
+		return nil, invalidf("parameter level: %d, but the engine keeps flat history (no tilt levels)", r.Level)
+	}
+	v := snap.FrameOf(key)
+	if v == nil {
+		return nil, notFoundf("trend for %s: no history", key.Describe(e.schema))
+	}
+	if r.Level >= len(v.Levels) {
+		return nil, invalidf("parameter level: %d outside [0,%d)", r.Level, len(v.Levels))
+	}
+	lv := v.Levels[r.Level]
+	if k > len(lv.Slots) {
+		return nil, notFoundf("trend for %s: %d %s units requested, %d retained",
+			key.Describe(e.schema), k, lv.Name, len(lv.Slots))
+	}
+	isb, terr := v.Query(r.Level, k)
+	if terr != nil {
+		return nil, notFoundf("trend for %s: %v", key.Describe(e.schema), terr)
+	}
+	resp.Cell = encodeCell(e.schema, core.Cell{Key: key, ISB: isb})
+	resp.Level = lv.Name
+	resp.History = len(lv.Slots)
+	for _, sl := range lv.Slots[len(lv.Slots)-k:] {
+		resp.Points = append(resp.Points, HistoryPointJSON{Unit: sl.Unit, ISB: encodeISB(sl.ISB)})
+	}
+	return resp, nil
+}
+
+func (e *Executor) frame(key cube.CellKey) (Response, error) {
+	snap := e.snap
+	resp := &FrameResponse{Unit: snap.Unit, Levels: []FrameLevelJSON{}}
+	resp.Cell.Levels, resp.Cell.Members = encodeKey(key)
+	resp.Cell.Name = key.Describe(e.schema)
+	if snap.Frames == nil {
+		hist := snap.HistoryOf(key)
+		lv := FrameLevelJSON{
+			Name:      "unit",
+			UnitTicks: snap.Interval.Te - snap.Interval.Tb + 1,
+			Slots:     []HistoryPointJSON{},
+		}
+		for _, pt := range hist {
+			lv.Slots = append(lv.Slots, HistoryPointJSON{Unit: pt.Unit, ISB: encodeISB(pt.ISB)})
+		}
+		if n := len(hist); n > 0 {
+			lv.Completed = hist[n-1].Unit + 1
+		}
+		resp.SlotsInUse = len(hist)
+		resp.Levels = append(resp.Levels, lv)
+		return resp, nil
+	}
+	resp.Tilted = true
+	v := snap.FrameOf(key)
+	if v == nil {
+		return nil, notFoundf("frame for %s: no history", key.Describe(e.schema))
+	}
+	resp.Base = v.Base
+	for i, lv := range v.Levels {
+		lj := FrameLevelJSON{
+			Level:     i,
+			Name:      lv.Name,
+			UnitTicks: lv.UnitTicks,
+			Capacity:  lv.Capacity,
+			Completed: lv.Completed,
+			Slots:     []HistoryPointJSON{},
+		}
+		for _, sl := range lv.Slots {
+			lj.Slots = append(lj.Slots, HistoryPointJSON{Unit: sl.Unit, ISB: encodeISB(sl.ISB)})
+		}
+		resp.SlotsInUse += len(lj.Slots)
+		resp.Levels = append(resp.Levels, lj)
+	}
+	return resp, nil
+}

@@ -5,100 +5,36 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/cube"
-	"repro/internal/regression"
-	"repro/internal/stream"
-	"repro/internal/timeseries"
+	"repro/internal/query"
 )
 
-// ISBJSON is the wire form of a regression measure.
-type ISBJSON struct {
-	Tb    int64   `json:"tb"`
-	Te    int64   `json:"te"`
-	Base  float64 `json:"base"`
-	Slope float64 `json:"slope"`
-}
+// The wire types moved to internal/query with the v2 typed request model
+// — the same structs now serialize over the GET endpoints, POST /v1/query
+// batches, and the Go client. These aliases keep serve's historical names
+// valid for existing consumers.
+type (
+	// ISBJSON is the wire form of a regression measure.
+	ISBJSON = query.ISBJSON
+	// IntervalJSON is the wire form of a closed tick interval.
+	IntervalJSON = query.IntervalJSON
+	// CellJSON is the wire form of a retained cell.
+	CellJSON = query.CellJSON
+	// AlertJSON is the wire form of one o-layer alert with drill-down.
+	AlertJSON = query.AlertJSON
+	// HistoryPointJSON is one completed unit of an o-cell's history.
+	HistoryPointJSON = query.HistoryPointJSON
+)
 
-func encodeISB(isb regression.ISB) ISBJSON {
-	return ISBJSON{Tb: isb.Tb, Te: isb.Te, Base: isb.Base, Slope: isb.Slope}
-}
-
-// IntervalJSON is the wire form of a closed tick interval.
-type IntervalJSON struct {
-	Tb int64 `json:"tb"`
-	Te int64 `json:"te"`
-}
-
-func encodeInterval(iv timeseries.Interval) IntervalJSON {
-	return IntervalJSON{Tb: iv.Tb, Te: iv.Te}
-}
-
-// CellJSON is the wire form of a retained cell: machine-usable coordinates
-// (levels+members, round-trippable through the levels/members query
-// parameters) plus the human-readable rendering.
-type CellJSON struct {
-	Levels  []int   `json:"levels"`
-	Members []int32 `json:"members"`
-	Cuboid  string  `json:"cuboid"`
-	Name    string  `json:"name"`
-	ISB     ISBJSON `json:"isb"`
-}
-
-func encodeKey(key cube.CellKey) (levels []int, members []int32) {
-	nd := key.Cuboid.NumDims()
-	levels = make([]int, nd)
-	members = make([]int32, nd)
-	for d := 0; d < nd; d++ {
-		levels[d] = key.Cuboid.Level(d)
-		members[d] = key.Member(d)
-	}
-	return levels, members
-}
-
-func encodeCell(s *cube.Schema, c core.Cell) CellJSON {
-	levels, members := encodeKey(c.Key)
-	return CellJSON{
-		Levels:  levels,
-		Members: members,
-		Cuboid:  c.Key.Cuboid.Describe(s),
-		Name:    c.Key.Describe(s),
-		ISB:     encodeISB(c.ISB),
-	}
-}
-
-// encodeCells never returns nil, so empty result sets serialize as [] and
-// not null.
-func encodeCells(s *cube.Schema, cells []core.Cell) []CellJSON {
-	out := make([]CellJSON, len(cells))
-	for i, c := range cells {
-		out[i] = encodeCell(s, c)
-	}
-	return out
-}
-
-// AlertJSON is the wire form of one o-layer alert with its drill-down.
-type AlertJSON struct {
-	Unit       int64      `json:"unit"`
-	Kind       string     `json:"kind"`
-	Cell       CellJSON   `json:"cell"`
-	Supporters []CellJSON `json:"supporters"`
-}
-
-func encodeAlert(s *cube.Schema, a stream.Alert) AlertJSON {
-	return AlertJSON{
-		Unit:       a.Unit,
-		Kind:       a.Kind.String(),
-		Cell:       encodeCell(s, core.Cell{Key: a.Cell, ISB: a.ISB}),
-		Supporters: encodeCells(s, a.Drill),
-	}
-}
-
-// HistoryPointJSON is one completed unit of an o-cell's trend history.
-type HistoryPointJSON struct {
-	Unit int64   `json:"unit"`
-	ISB  ISBJSON `json:"isb"`
-}
+// Unexported aliases keep the package-internal names the tests (and the
+// pre-v2 handlers) used for the response bodies.
+type (
+	summaryResponse    = query.SummaryResponse
+	cellsResponse      = query.CellsResponse
+	alertsResponse     = query.AlertsResponse
+	supportersResponse = query.SupportersResponse
+	trendResponse      = query.TrendResponse
+	frameResponse      = query.FrameResponse
+)
 
 // parseIntList parses "1,0,2" into ints.
 func parseIntList(s string) ([]int, error) {

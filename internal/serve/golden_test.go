@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden endpoint fixtures")
+
+// goldenNanos matches the only nondeterministic bytes in any pinned body:
+// the cube-build wall-clock timings inside /v1/summary's stats block.
+var goldenNanos = regexp.MustCompile(`"(buildNanos|cubeNanos)":\d+`)
+
+func normalizeGolden(b []byte) []byte {
+	return goldenNanos.ReplaceAll(b, []byte(`"$1":0`))
+}
+
+// goldenCases enumerate every GET endpoint (and its parameter shapes)
+// whose response bytes are pinned across API refactors. The fixture
+// engines are fully deterministic — synthetic ingest, canonical sort
+// orders, stable JSON field order — so the recorded bodies are exact.
+// /healthz and /metrics are excluded (wall-clock fields).
+var goldenCases = []struct {
+	file string
+	tilt bool // tiltServer(3, 13) instead of testServer(2, 3)
+	path string
+}{
+	{"flat_summary", false, "/v1/summary"},
+	{"flat_exceptions_default", false, "/v1/exceptions"},
+	{"flat_exceptions_k5", false, "/v1/exceptions?k=5"},
+	{"flat_exceptions_k4_key", false, "/v1/exceptions?k=4&order=key"},
+	{"flat_alerts", false, "/v1/alerts"},
+	{"flat_supporters", false, "/v1/supporters?members=1,1"},
+	{"flat_supporters_k2", false, "/v1/supporters?members=1,1&k=2"},
+	{"flat_supporters_mid", false, "/v1/supporters?levels=1,2&members=0,1"},
+	{"flat_slice", false, "/v1/slice?dim=0&level=1&member=1"},
+	{"flat_slice_k2", false, "/v1/slice?dim=1&level=2&member=3&k=2"},
+	{"flat_trend_k3", false, "/v1/trend?members=0,0&k=3"},
+	{"flat_frame", false, "/v1/frame?members=0,0"},
+	{"tilt_summary", true, "/v1/summary"},
+	{"tilt_trend_hour", true, "/v1/trend?members=1,1&k=2&level=1"},
+	{"tilt_trend_day", true, "/v1/trend?members=1,1&k=1&level=2"},
+	{"tilt_frame", true, "/v1/frame?members=1,0"},
+}
+
+// TestGoldenEndpoints locks the serving surface: every existing GET
+// endpoint must return byte-identical JSON to the recorded pre-redesign
+// fixtures for the same parameters. Regenerate deliberately with
+// `go test ./internal/serve -run Golden -update` when a wire change is
+// intended.
+func TestGoldenEndpoints(t *testing.T) {
+	flat, _, _ := testServer(t, 2, 3)
+	tilted, _, _ := tiltServer(t, 3, 13)
+	for _, tc := range goldenCases {
+		t.Run(tc.file, func(t *testing.T) {
+			srv := flat
+			if tc.tilt {
+				srv = tilted
+			}
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("GET", tc.path, nil))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("GET %s: status %d: %s", tc.path, rec.Code, rec.Body.String())
+			}
+			got := normalizeGolden(rec.Body.Bytes())
+			file := filepath.Join("testdata", "golden", tc.file+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(file), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(file, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("GET %s drifted from golden %s\n got: %s\nwant: %s",
+					tc.path, file, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenContentType pins the header contract alongside the bodies.
+func TestGoldenContentType(t *testing.T) {
+	srv, _, _ := testServer(t, 2, 1)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/summary", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+}

@@ -10,32 +10,44 @@
 // response is unit-consistent — all fields of one reply describe the same
 // closed unit, even while newer units are being merged concurrently.
 //
-// Endpoints (all GET):
+// Since the v2 query API (DESIGN.md §9) the server is a thin transport
+// binding: each GET endpoint decodes its URL parameters into a typed
+// query.Request, and a single query.Executor — cached per snapshot —
+// validates and runs it. POST /v1/query accepts a JSON batch of the same
+// typed requests and answers them all from one snapshot in one round
+// trip; repro/client is the Go binding over it.
 //
-//	/healthz               liveness + serving state
-//	/metrics               Prometheus-style counters
-//	/v1/summary            unit header, cube stats, per-cuboid exception counts
-//	/v1/exceptions         ranked exception cells (?k=, ?order=slope|key)
-//	/v1/alerts             the unit's o-layer alerts with drill-down
-//	/v1/supporters         exception descendants of one cell (?levels=&members=&k=)
-//	/v1/slice              exceptions under one member (?dim=&level=&member=&k=)
-//	/v1/trend              k-unit trend regression of an o-cell (?members=&k=&level=)
-//	/v1/frame              per-level slot listing of an o-cell's tilted history (?members=)
+// Endpoints:
 //
-// Integer parameters share one validation rule: explicit values below an
-// endpoint's minimum (1 for ?k= limits, 0 for coordinates) are rejected
-// with 400 before any snapshot is consulted.
+//	GET  /healthz               liveness + serving state
+//	GET  /metrics               Prometheus-style counters
+//	GET  /v1/summary            unit header, cube stats, per-cuboid exception counts
+//	GET  /v1/exceptions         ranked exception cells (?k=, ?order=slope|key)
+//	GET  /v1/alerts             the unit's o-layer alerts with drill-down
+//	GET  /v1/supporters         exception descendants of one cell (?levels=&members=&k=)
+//	GET  /v1/slice              exceptions under one member (?dim=&level=&member=&k=)
+//	GET  /v1/trend              k-unit trend regression of an o-cell (?members=&k=&level=)
+//	GET  /v1/frame              per-level slot listing of an o-cell's tilted history (?members=)
+//	POST /v1/query              batch of typed requests, one unit-consistent reply
+//
+// The GET endpoints are a compatibility surface: their JSON bodies are
+// byte-identical to the pre-v2 handlers' (pinned by golden tests) and any
+// method other than the registered one is rejected with 405 plus an Allow
+// header. Integer parameters share one validation rule: explicit values
+// below an endpoint's minimum (1 for ?k= limits, 0 for coordinates) are
+// rejected with 400 before any snapshot is consulted.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/query"
 	"repro/internal/stream"
@@ -47,6 +59,13 @@ import (
 type Source interface {
 	Snapshot() *stream.Snapshot
 }
+
+// maxQueryBodyBytes bounds a POST /v1/query body; larger requests are
+// rejected with 413 before any decoding work.
+const maxQueryBodyBytes = 1 << 20
+
+// maxBatchQueries bounds the sub-requests of one batch.
+const maxBatchQueries = 128
 
 // endpoint indexes the per-endpoint request counters.
 type endpoint int
@@ -61,11 +80,12 @@ const (
 	epSlice
 	epTrend
 	epFrame
+	epQuery
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
-	"healthz", "metrics", "summary", "exceptions", "alerts", "supporters", "slice", "trend", "frame",
+	"healthz", "metrics", "summary", "exceptions", "alerts", "supporters", "slice", "trend", "frame", "query",
 }
 
 // endpointStats are lock-free per-endpoint counters.
@@ -75,35 +95,30 @@ type endpointStats struct {
 	nanos    atomic.Int64
 }
 
-// viewCache pairs a snapshot with the query.View built over its result
-// and the two exception orderings /v1/exceptions serves, so repeated
-// requests against one unit reuse the lattice and the sorts instead of
-// re-ranking the full exception set per request. Publication of a new
-// snapshot simply misses the cache; rebuilding is idempotent, so two
-// racing requests at a boundary at worst both build it. The cached
-// slices are immutable — handlers only slice prefixes off them.
-type viewCache struct {
-	snap    *stream.Snapshot
-	view    *query.View
-	bySlope []core.Cell         // every exception, steepest first
-	byKey   []core.Cell         // every exception, canonical key order
-	cuboids []cuboidSummaryJSON // /v1/summary's per-cuboid rollup
-}
-
 // Server answers analyst queries from published engine snapshots. It is an
-// http.Handler; all state it keeps (view cache, metrics) is lock-free, so
-// any number of requests proceed concurrently with each other and with
+// http.Handler; all state it keeps (executor cache, metrics) is lock-free,
+// so any number of requests proceed concurrently with each other and with
 // ingestion.
 type Server struct {
 	src    Source
 	schema *cube.Schema
 	mux    *http.ServeMux
 	start  time.Time
-	view   atomic.Pointer[viewCache]
-	stats  [numEndpoints]endpointStats
+	// exec caches the query.Executor built over the latest snapshot, so
+	// repeated requests against one unit reuse the lattice and the
+	// exception sorts. Publication of a new snapshot simply misses the
+	// cache; rebuilding is idempotent, so two racing requests at a
+	// boundary at worst both build it.
+	exec  atomic.Pointer[query.Executor]
+	stats [numEndpoints]endpointStats
+	// encodeErrors counts response bodies that failed mid-write (client
+	// gone, connection reset); they also land in the per-endpoint error
+	// counters.
+	encodeErrors atomic.Int64
 }
 
-// New builds a query server over a snapshot source.
+// New builds a query server over a snapshot source. Method-mismatched
+// requests get 405 with an Allow header from the route patterns.
 func New(src Source, schema *cube.Schema) *Server {
 	s := &Server{src: src, schema: schema, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
@@ -115,13 +130,16 @@ func New(src Source, schema *cube.Schema) *Server {
 	s.mux.HandleFunc("GET /v1/slice", s.instrument(epSlice, s.handleSlice))
 	s.mux.HandleFunc("GET /v1/trend", s.instrument(epTrend, s.handleTrend))
 	s.mux.HandleFunc("GET /v1/frame", s.instrument(epFrame, s.handleFrame))
+	s.mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
 	return s
 }
 
 // ServeHTTP dispatches to the API routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// apiError carries an HTTP status with a handler error.
+// apiError carries an HTTP status with a transport-level error (parse
+// failures, body limits); semantic errors come out of query.Execute as
+// its sentinels.
 type apiError struct {
 	status int
 	msg    string
@@ -133,12 +151,21 @@ func badRequest(format string, args ...any) error {
 	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-func notFound(format string, args ...any) error {
-	return &apiError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
-}
-
 // errNoSnapshot is returned until the first unit boundary publishes.
 var errNoSnapshot = &apiError{status: http.StatusServiceUnavailable, msg: "no completed unit yet"}
+
+// errEncode marks a response that failed while already being written —
+// counted, but nothing more can be sent on the connection.
+var errEncode = errors.New("serve: encoding response")
+
+// errorStatus maps a handler error to its HTTP status and wire message.
+func errorStatus(err error) (int, string) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status, ae.msg
+	}
+	return query.HTTPStatus(err), query.ErrorMessage(err)
+}
 
 // instrument wraps a handler with per-endpoint counters and JSON error
 // rendering.
@@ -151,67 +178,76 @@ func (s *Server) instrument(ep endpoint, fn func(w http.ResponseWriter, r *http.
 		st.nanos.Add(time.Since(t0).Nanoseconds())
 		if err != nil {
 			st.errors.Add(1)
-			status := http.StatusInternalServerError
-			if ae, ok := err.(*apiError); ok {
-				status = ae.status
+			if errors.Is(err, errEncode) {
+				// The status line and part of the body are already on the
+				// wire; there is nothing valid left to send.
+				return
 			}
-			writeJSON(w, status, map[string]string{"error": err.Error()})
+			status, msg := errorStatus(err)
+			_ = s.writeJSON(w, status, map[string]string{"error": msg})
 		}
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes a JSON response, counting encode failures (they feed
+// the per-endpoint error counters through instrument and the dedicated
+// regcube_http_encode_errors_total gauge).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeErrors.Add(1)
+		return fmt.Errorf("%w: %v", errEncode, err)
+	}
+	return nil
 }
 
-// current returns the latest snapshot and its cached navigation state.
-// The cache entry is nil when the unit closed empty.
-func (s *Server) current() (*stream.Snapshot, *viewCache, error) {
+// executor returns the typed-query dispatcher over the latest snapshot,
+// building and caching it on first use per unit.
+func (s *Server) executor() (*query.Executor, error) {
 	snap := s.src.Snapshot()
 	if snap == nil {
-		return nil, nil, errNoSnapshot
+		return nil, errNoSnapshot
 	}
-	if snap.Result == nil {
-		return snap, nil, nil
+	old := s.exec.Load()
+	if old != nil && old.Snapshot() == snap {
+		return old, nil
 	}
-	old := s.view.Load()
-	if old != nil && old.snap == snap {
-		return snap, old, nil
+	ex, err := query.NewExecutor(s.schema, snap)
+	if err != nil {
+		return nil, err
 	}
-	v := query.NewView(snap.Result)
-	c := &viewCache{
-		snap:    snap,
-		view:    v,
-		bySlope: v.TopExceptions(-1),
-		byKey:   snap.Result.ExceptionCells(),
-	}
-	for _, cs := range v.Summary() {
-		levels := make([]int, cs.Cuboid.NumDims())
-		for d := range levels {
-			levels[d] = cs.Cuboid.Level(d)
-		}
-		c.cuboids = append(c.cuboids, cuboidSummaryJSON{
-			Levels:      levels,
-			Name:        cs.Cuboid.Describe(s.schema),
-			Exceptions:  cs.Exceptions,
-			MaxAbsSlope: cs.MaxAbsSlope,
-		})
-	}
-	// CompareAndSwap instead of Store: a laggard request that built a
-	// cache for an older snapshot must not evict a newer entry another
+	// CompareAndSwap instead of Store: a laggard request that built an
+	// executor for an older snapshot must not evict a newer entry another
 	// request installed meanwhile. On failure this request just serves
 	// from its locally built state.
-	s.view.CompareAndSwap(old, c)
-	return snap, c, nil
+	s.exec.CompareAndSwap(old, ex)
+	return ex, nil
+}
+
+// run is the shared shim tail: validate the typed request (so bad
+// requests 400 even before a snapshot exists), execute it against the
+// cached dispatcher, and write the typed response.
+func (s *Server) run(w http.ResponseWriter, req query.Request) error {
+	if err := req.Validate(s.schema); err != nil {
+		return err
+	}
+	ex, err := s.executor()
+	if err != nil {
+		return err
+	}
+	resp, err := ex.Execute(req)
+	if err != nil {
+		return err
+	}
+	return s.writeJSON(w, http.StatusOK, resp)
 }
 
 // intParam parses an integer query parameter with a default. Explicitly
 // supplied values below min are rejected with a uniform 400, so every
 // endpoint shares one lower-bound rule instead of ad-hoc per-handler
 // checks; the default is exempt (sentinels like -1 stay expressible) and
-// is range-checked by the handler where it matters.
+// is range-checked by query.Request validation where it matters.
 func intParam(r *http.Request, name string, def, min int) (int, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
@@ -227,31 +263,25 @@ func intParam(r *http.Request, name string, def, min int) (int, error) {
 	return v, nil
 }
 
-// cellParam decodes ?levels=&members= into a validated cell key. Levels
-// default to the o-layer, so plain o-cell queries only pass members.
-func (s *Server) cellParam(r *http.Request) (cube.CellKey, error) {
+// cellRefParam decodes ?levels=&members= into a cell reference. Levels
+// stay nil when absent — query.CellRef defaults them to the o-layer — so
+// plain o-cell queries only pass members.
+func cellRefParam(r *http.Request) (query.CellRef, error) {
 	q := r.URL.Query()
-	var levels []int
+	var ref query.CellRef
 	if raw := q.Get("levels"); raw != "" {
-		var err error
-		if levels, err = parseIntList(raw); err != nil {
-			return cube.CellKey{}, badRequest("parameter levels: %v", err)
+		levels, err := parseIntList(raw)
+		if err != nil {
+			return ref, badRequest("parameter levels: %v", err)
 		}
-	} else {
-		levels = make([]int, len(s.schema.Dims))
-		for d, dim := range s.schema.Dims {
-			levels[d] = dim.OLevel
-		}
+		ref.Levels = levels
 	}
 	members, err := parseInt32List(q.Get("members"))
 	if err != nil {
-		return cube.CellKey{}, badRequest("parameter members: %v", err)
+		return ref, badRequest("parameter members: %v", err)
 	}
-	key, err := query.MakeCellKey(s.schema, levels, members)
-	if err != nil {
-		return cube.CellKey{}, badRequest("%v", err)
-	}
-	return key, nil
+	ref.Members = members
+	return ref, nil
 }
 
 // --- /healthz -------------------------------------------------------------
@@ -273,8 +303,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		resp.Unit = snap.Unit
 		resp.UnitsDone = snap.UnitsDone
 	}
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	return s.writeJSON(w, http.StatusOK, resp)
 }
 
 // --- /metrics -------------------------------------------------------------
@@ -299,6 +328,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 			fmt.Fprintf(w, "regcube_snapshot_exceptions %d\n", len(snap.Result.Exceptions))
 		}
 	}
+	fmt.Fprintf(w, "regcube_http_encode_errors_total %d\n", s.encodeErrors.Load())
 	for ep := endpoint(0); ep < numEndpoints; ep++ {
 		st := &s.stats[ep]
 		name := endpointNames[ep]
@@ -309,81 +339,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
-// --- /v1/summary ----------------------------------------------------------
-
-type statsJSON struct {
-	Algorithm       string `json:"algorithm"`
-	Tuples          int    `json:"tuples"`
-	TreeNodes       int    `json:"treeNodes"`
-	CuboidsComputed int    `json:"cuboidsComputed"`
-	CellsComputed   int64  `json:"cellsComputed"`
-	CellsRetained   int64  `json:"cellsRetained"`
-	BytesRetained   int64  `json:"bytesRetained"`
-	BuildNanos      int64  `json:"buildNanos"`
-	CubeNanos       int64  `json:"cubeNanos"`
-}
-
-type cuboidSummaryJSON struct {
-	Levels      []int   `json:"levels"`
-	Name        string  `json:"name"`
-	Exceptions  int     `json:"exceptions"`
-	MaxAbsSlope float64 `json:"maxAbsSlope"`
-}
-
-type summaryResponse struct {
-	Unit       int64               `json:"unit"`
-	UnitsDone  int64               `json:"unitsDone"`
-	Interval   IntervalJSON        `json:"interval"`
-	Empty      bool                `json:"empty"`
-	OCells     int                 `json:"oCells"`
-	Exceptions int                 `json:"exceptions"`
-	Alerts     int                 `json:"alerts"`
-	Stats      *statsJSON          `json:"stats,omitempty"`
-	Cuboids    []cuboidSummaryJSON `json:"cuboids"`
-}
+// --- GET shims over the typed request model -------------------------------
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) error {
-	snap, c, err := s.current()
-	if err != nil {
-		return err
-	}
-	resp := summaryResponse{
-		Unit:      snap.Unit,
-		UnitsDone: snap.UnitsDone,
-		Interval:  encodeInterval(snap.Interval),
-		Empty:     snap.Result == nil,
-		Alerts:    len(snap.Alerts),
-		Cuboids:   []cuboidSummaryJSON{},
-	}
-	if c != nil {
-		res := snap.Result
-		resp.OCells = len(res.OLayer)
-		resp.Exceptions = len(res.Exceptions)
-		resp.Stats = &statsJSON{
-			Algorithm:       res.Stats.Algorithm,
-			Tuples:          res.Stats.Tuples,
-			TreeNodes:       res.Stats.TreeNodes,
-			CuboidsComputed: res.Stats.CuboidsComputed,
-			CellsComputed:   res.Stats.CellsComputed,
-			CellsRetained:   res.Stats.CellsRetained,
-			BytesRetained:   res.Stats.BytesRetained,
-			BuildNanos:      res.Stats.BuildTime.Nanoseconds(),
-			CubeNanos:       res.Stats.CubeTime.Nanoseconds(),
-		}
-		resp.Cuboids = c.cuboids
-	}
-	writeJSON(w, http.StatusOK, resp)
-	return nil
-}
-
-// --- /v1/exceptions -------------------------------------------------------
-
-type cellsResponse struct {
-	Unit     int64        `json:"unit"`
-	Interval IntervalJSON `json:"interval"`
-	// Count is the total number of matching cells before ?k= truncation.
-	Count int        `json:"count"`
-	Cells []CellJSON `json:"cells"`
+	return s.run(w, query.SummaryRequest{})
 }
 
 func (s *Server) handleExceptions(w http.ResponseWriter, r *http.Request) error {
@@ -391,173 +350,58 @@ func (s *Server) handleExceptions(w http.ResponseWriter, r *http.Request) error 
 	if err != nil {
 		return err
 	}
-	order := r.URL.Query().Get("order")
-	if order == "" {
-		order = "slope"
-	}
-	if order != "slope" && order != "key" {
-		// Validated before the snapshot is consulted so a bad request is
-		// 400 regardless of whether the current unit is empty.
-		return badRequest("parameter order: %q is not slope or key", order)
-	}
-	snap, c, err := s.current()
-	if err != nil {
-		return err
-	}
-	resp := cellsResponse{Unit: snap.Unit, Interval: encodeInterval(snap.Interval), Cells: []CellJSON{}}
-	if c != nil {
-		resp.Count = len(snap.Result.Exceptions)
-		cells := c.bySlope
-		if order == "key" {
-			cells = c.byKey
-		}
-		if k < len(cells) {
-			cells = cells[:k]
-		}
-		resp.Cells = encodeCells(s.schema, cells)
-	}
-	writeJSON(w, http.StatusOK, resp)
-	return nil
-}
-
-// --- /v1/alerts -----------------------------------------------------------
-
-type alertsResponse struct {
-	Unit     int64        `json:"unit"`
-	Interval IntervalJSON `json:"interval"`
-	Alerts   []AlertJSON  `json:"alerts"`
+	return s.run(w, query.ExceptionsRequest{K: k, Order: r.URL.Query().Get("order")})
 }
 
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) error {
-	snap, _, err := s.current()
-	if err != nil {
-		return err
-	}
-	resp := alertsResponse{Unit: snap.Unit, Interval: encodeInterval(snap.Interval), Alerts: []AlertJSON{}}
-	for _, a := range snap.Alerts {
-		resp.Alerts = append(resp.Alerts, encodeAlert(s.schema, a))
-	}
-	writeJSON(w, http.StatusOK, resp)
-	return nil
-}
-
-// --- /v1/supporters -------------------------------------------------------
-
-type supportersResponse struct {
-	Unit int64 `json:"unit"`
-	Cell struct {
-		Levels  []int    `json:"levels"`
-		Members []int32  `json:"members"`
-		Name    string   `json:"name"`
-		ISB     *ISBJSON `json:"isb,omitempty"`
-	} `json:"cell"`
-	Retained bool `json:"retained"`
-	// Count is the total number of supporters before ?k= truncation.
-	Count      int        `json:"count"`
-	Supporters []CellJSON `json:"supporters"`
+	return s.run(w, query.AlertsRequest{})
 }
 
 func (s *Server) handleSupporters(w http.ResponseWriter, r *http.Request) error {
-	key, err := s.cellParam(r)
+	ref, err := cellRefParam(r)
 	if err != nil {
 		return err
 	}
-	// -1 is the "no limit" default; explicit limits must be ≥ 1.
-	k, err := intParam(r, "k", -1, 1)
+	// 0 is the "no limit" default; explicit limits must be ≥ 1.
+	k, err := intParam(r, "k", 0, 1)
 	if err != nil {
 		return err
 	}
-	snap, c, err := s.current()
-	if err != nil {
-		return err
-	}
-	resp := supportersResponse{Unit: snap.Unit, Supporters: []CellJSON{}}
-	resp.Cell.Levels, resp.Cell.Members = encodeKey(key)
-	resp.Cell.Name = key.Describe(s.schema)
-	if c != nil {
-		if isb, ok := snap.Result.OLayer[key]; ok {
-			resp.Retained = true
-			j := encodeISB(isb)
-			resp.Cell.ISB = &j
-		} else if isb, ok := snap.Result.Exceptions[key]; ok {
-			resp.Retained = true
-			j := encodeISB(isb)
-			resp.Cell.ISB = &j
-		}
-		sup := c.view.Supporters(key)
-		resp.Count = len(sup)
-		if k >= 0 && k < len(sup) {
-			sup = sup[:k]
-		}
-		resp.Supporters = encodeCells(s.schema, sup)
-	}
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	return s.run(w, query.SupportersRequest{CellRef: ref, K: k})
 }
-
-// --- /v1/slice ------------------------------------------------------------
 
 func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) error {
 	dim, err := intParam(r, "dim", -1, 0)
 	if err != nil {
 		return err
 	}
-	if dim < 0 || dim >= len(s.schema.Dims) {
-		return badRequest("parameter dim: %d outside [0,%d)", dim, len(s.schema.Dims))
+	// The level default is the sliced dimension's o-level; when dim is
+	// itself invalid, request validation rejects it before level matters.
+	levelDef := 0
+	if dim >= 0 && dim < len(s.schema.Dims) {
+		levelDef = s.schema.Dims[dim].OLevel
 	}
-	d := s.schema.Dims[dim]
-	level, err := intParam(r, "level", d.OLevel, 0)
+	level, err := intParam(r, "level", levelDef, 0)
 	if err != nil {
 		return err
-	}
-	if level < 0 || level > d.MLevel {
-		return badRequest("parameter level: %d outside [0,%d]", level, d.MLevel)
 	}
 	member, err := intParam(r, "member", -1, 0)
 	if err != nil {
 		return err
 	}
-	if card := d.Hierarchy.Cardinality(level); member < 0 || member >= card {
-		return badRequest("parameter member: %d outside [0,%d) at level %d", member, card, level)
+	if member > math.MaxInt32 {
+		return badRequest("parameter member: %d overflows int32", member)
 	}
-	// -1 is the "no limit" default; explicit limits must be ≥ 1.
-	k, err := intParam(r, "k", -1, 1)
+	// 0 is the "no limit" default; explicit limits must be ≥ 1.
+	k, err := intParam(r, "k", 0, 1)
 	if err != nil {
 		return err
 	}
-	snap, c, err := s.current()
-	if err != nil {
-		return err
-	}
-	resp := cellsResponse{Unit: snap.Unit, Interval: encodeInterval(snap.Interval), Cells: []CellJSON{}}
-	if c != nil {
-		cells := c.view.Slice(dim, level, int32(member))
-		resp.Count = len(cells)
-		if k >= 0 && k < len(cells) {
-			cells = cells[:k]
-		}
-		resp.Cells = encodeCells(s.schema, cells)
-	}
-	writeJSON(w, http.StatusOK, resp)
-	return nil
-}
-
-// --- /v1/trend ------------------------------------------------------------
-
-type trendResponse struct {
-	Unit int64    `json:"unit"`
-	Cell CellJSON `json:"cell"`
-	K    int      `json:"k"`
-	// Level is the tilt granularity the trend was answered at (0 =
-	// finest; coarser levels need an engine with tilt levels configured).
-	Level string `json:"level,omitempty"`
-	// History counts the retained units at the queried level.
-	History int                `json:"history"`
-	Points  []HistoryPointJSON `json:"points"`
+	return s.run(w, query.SliceRequest{Dim: dim, Level: level, Member: int32(member), K: k})
 }
 
 func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) error {
-	key, err := s.cellParam(r)
+	ref, err := cellRefParam(r)
 	if err != nil {
 		return err
 	}
@@ -569,145 +413,46 @@ func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	snap, _, err := s.current()
-	if err != nil {
-		return err
-	}
-	resp := trendResponse{Unit: snap.Unit, K: k, Points: []HistoryPointJSON{}}
-	if level == 0 {
-		have := snap.HistoryLen(key)
-		if k > have {
-			return notFound("trend for %s: %d units requested, %d recorded", key.Describe(s.schema), k, have)
-		}
-		isb, terr := snap.TrendQuery(key, k)
-		if terr != nil {
-			// The remaining failure is a history gap; surface the real cause.
-			return notFound("trend for %s: %v", key.Describe(s.schema), terr)
-		}
-		resp.Cell = encodeCell(s.schema, core.Cell{Key: key, ISB: isb})
-		resp.History = have
-		tail := snap.HistoryOf(key)
-		tail = tail[len(tail)-k:]
-		for _, pt := range tail {
-			resp.Points = append(resp.Points, HistoryPointJSON{Unit: pt.Unit, ISB: encodeISB(pt.ISB)})
-		}
-		writeJSON(w, http.StatusOK, resp)
-		return nil
-	}
-	// Coarser levels are answered from the published tilt frames.
-	if snap.Frames == nil {
-		return badRequest("parameter level: %d, but the engine keeps flat history (no tilt levels)", level)
-	}
-	v := snap.FrameOf(key)
-	if v == nil {
-		return notFound("trend for %s: no history", key.Describe(s.schema))
-	}
-	if level >= len(v.Levels) {
-		return badRequest("parameter level: %d outside [0,%d)", level, len(v.Levels))
-	}
-	lv := v.Levels[level]
-	if k > len(lv.Slots) {
-		return notFound("trend for %s: %d %s units requested, %d retained",
-			key.Describe(s.schema), k, lv.Name, len(lv.Slots))
-	}
-	isb, terr := v.Query(level, k)
-	if terr != nil {
-		return notFound("trend for %s: %v", key.Describe(s.schema), terr)
-	}
-	resp.Cell = encodeCell(s.schema, core.Cell{Key: key, ISB: isb})
-	resp.Level = lv.Name
-	resp.History = len(lv.Slots)
-	for _, sl := range lv.Slots[len(lv.Slots)-k:] {
-		resp.Points = append(resp.Points, HistoryPointJSON{Unit: sl.Unit, ISB: encodeISB(sl.ISB)})
-	}
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	return s.run(w, query.TrendRequest{CellRef: ref, K: k, Level: level})
 }
 
-// --- /v1/frame ------------------------------------------------------------
-
-type frameLevelJSON struct {
-	Level int    `json:"level"`
-	Name  string `json:"name"`
-	// UnitTicks is the raw-tick span of one slot at this level.
-	UnitTicks int64 `json:"unitTicks"`
-	// Capacity is the retention bound; 0 on flat engines (unbounded by
-	// the frame — the engine's HistoryUnits applies instead).
-	Capacity  int   `json:"capacity"`
-	Completed int64 `json:"completed"`
-	// Slots list the retained units oldest first. On tilted engines Unit
-	// is the frame-local ordinal at this level (add base for engine units
-	// at the finest level); on flat engines it is the engine unit.
-	Slots []HistoryPointJSON `json:"slots"`
-}
-
-type frameResponse struct {
-	Unit int64 `json:"unit"`
-	Cell struct {
-		Levels  []int   `json:"levels"`
-		Members []int32 `json:"members"`
-		Name    string  `json:"name"`
-	} `json:"cell"`
-	// Tilted reports whether the engine promotes history through a tilt
-	// level chain; flat engines render their history as one pseudo-level.
-	Tilted bool `json:"tilted"`
-	// Base is the engine unit the frame started at (tilted only).
-	Base       int64            `json:"base"`
-	SlotsInUse int              `json:"slotsInUse"`
-	Levels     []frameLevelJSON `json:"levels"`
-}
-
-// handleFrame lists an o-cell's per-level retained slots — the analyst's
-// view of the tilt time frame of §4.1 (Figure 4). It answers on flat
-// engines too, presenting the flat history as a single finest level, so
-// dashboards need no mode switch.
 func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) error {
-	key, err := s.cellParam(r)
+	ref, err := cellRefParam(r)
 	if err != nil {
 		return err
 	}
-	snap, _, err := s.current()
+	return s.run(w, query.FrameRequest{CellRef: ref})
+}
+
+// --- POST /v1/query -------------------------------------------------------
+
+// handleQuery answers a JSON batch of typed requests from one snapshot:
+// every sub-result is unit-consistent with every other, and per-request
+// errors land in the matching result slot without failing the batch. The
+// body is size-limited; an over-long or undecodable batch (including an
+// unknown request kind) fails as a whole.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBodyBytes)
+	var batch query.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &apiError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+			}
+		}
+		return badRequest("decoding batch: %v", err)
+	}
+	if len(batch.Queries) == 0 {
+		return badRequest("batch has no queries")
+	}
+	if len(batch.Queries) > maxBatchQueries {
+		return badRequest("batch of %d queries exceeds limit %d", len(batch.Queries), maxBatchQueries)
+	}
+	ex, err := s.executor()
 	if err != nil {
 		return err
 	}
-	resp := frameResponse{Unit: snap.Unit, Levels: []frameLevelJSON{}}
-	resp.Cell.Levels, resp.Cell.Members = encodeKey(key)
-	resp.Cell.Name = key.Describe(s.schema)
-	if snap.Frames == nil {
-		hist := snap.HistoryOf(key)
-		lv := frameLevelJSON{Name: "unit", UnitTicks: snap.Interval.Te - snap.Interval.Tb + 1, Slots: []HistoryPointJSON{}}
-		for _, pt := range hist {
-			lv.Slots = append(lv.Slots, HistoryPointJSON{Unit: pt.Unit, ISB: encodeISB(pt.ISB)})
-		}
-		if n := len(hist); n > 0 {
-			lv.Completed = hist[n-1].Unit + 1
-		}
-		resp.SlotsInUse = len(hist)
-		resp.Levels = append(resp.Levels, lv)
-		writeJSON(w, http.StatusOK, resp)
-		return nil
-	}
-	resp.Tilted = true
-	v := snap.FrameOf(key)
-	if v == nil {
-		return notFound("frame for %s: no history", key.Describe(s.schema))
-	}
-	resp.Base = v.Base
-	for i, lv := range v.Levels {
-		lj := frameLevelJSON{
-			Level:     i,
-			Name:      lv.Name,
-			UnitTicks: lv.UnitTicks,
-			Capacity:  lv.Capacity,
-			Completed: lv.Completed,
-			Slots:     []HistoryPointJSON{},
-		}
-		for _, sl := range lv.Slots {
-			lj.Slots = append(lj.Slots, HistoryPointJSON{Unit: sl.Unit, ISB: encodeISB(sl.ISB)})
-		}
-		resp.SlotsInUse += len(lv.Slots)
-		resp.Levels = append(resp.Levels, lj)
-	}
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	return s.writeJSON(w, http.StatusOK, ex.ExecuteBatch(batch.Queries))
 }

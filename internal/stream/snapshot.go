@@ -53,6 +53,12 @@ type Snapshot struct {
 	Frames map[cube.CellKey]*FrameView
 }
 
+// Empty reports whether this snapshot's unit closed with no data: Result
+// is nil while History (and Frames) still reflect earlier units. Query
+// consumers use it to answer structurally-empty responses instead of
+// erroring.
+func (s *Snapshot) Empty() bool { return s.Result == nil }
+
 // FrameOf returns an o-cell's tilted frame view (shared, do not mutate),
 // or nil when the cell is unknown or the engine keeps flat history.
 func (s *Snapshot) FrameOf(cell cube.CellKey) *FrameView {

@@ -320,15 +320,95 @@ type StreamCellFrame = stream.CellFrame
 type SnapshotSource = serve.Source
 
 // QueryServer is the HTTP/JSON analyst query API over published engine
-// snapshots: /v1/exceptions, /v1/supporters, /v1/slice, /v1/trend
-// (?level= for tilted granularities), /v1/frame, /v1/alerts, /v1/summary,
-// /healthz, /metrics. It is an http.Handler; see DESIGN.md §7 for the
-// snapshot-publication protocol behind it and §8 for the tilted history.
+// snapshots: the GET endpoints (/v1/exceptions, /v1/supporters,
+// /v1/slice, /v1/trend with ?level= for tilted granularities, /v1/frame,
+// /v1/alerts, /v1/summary, /healthz, /metrics) plus POST /v1/query, the
+// typed batch endpoint of the query API v2. It is an http.Handler; see
+// DESIGN.md §7 for the snapshot-publication protocol behind it, §8 for
+// the tilted history, and §9 for the typed request model. The Go client
+// SDK for the API lives in the repro/client package.
 type QueryServer = serve.Server
 
 // NewQueryServer builds the analyst query API over a snapshot source.
 func NewQueryServer(src SnapshotSource, schema *Schema) *QueryServer {
 	return serve.New(src, schema)
+}
+
+// Typed query API v2 (DESIGN.md §9): transport-independent request and
+// response models. Build requests, execute them in-process against a
+// snapshot with a QueryExecutor, or send them over HTTP with
+// repro/client.
+type (
+	// QueryRequest is the typed request union: summary / exceptions /
+	// alerts / supporters / slice / trend / frame.
+	QueryRequest = query.Request
+	// QueryKind discriminates requests on the wire.
+	QueryKind = query.Kind
+	// QueryCellRef names one cell by levels and members (nil levels =
+	// o-layer).
+	QueryCellRef = query.CellRef
+	// QuerySummaryRequest asks for the unit header and cuboid rollup.
+	QuerySummaryRequest = query.SummaryRequest
+	// QueryExceptionsRequest asks for ranked exception cells.
+	QueryExceptionsRequest = query.ExceptionsRequest
+	// QueryAlertsRequest asks for the unit's o-layer alerts.
+	QueryAlertsRequest = query.AlertsRequest
+	// QuerySupportersRequest asks for a cell's exception descendants.
+	QuerySupportersRequest = query.SupportersRequest
+	// QuerySliceRequest asks for the exceptions under one member.
+	QuerySliceRequest = query.SliceRequest
+	// QueryTrendRequest asks for a k-unit trend regression of an o-cell.
+	QueryTrendRequest = query.TrendRequest
+	// QueryFrameRequest asks for an o-cell's tilt frame listing.
+	QueryFrameRequest = query.FrameRequest
+	// QueryResponse is the typed response union.
+	QueryResponse = query.Response
+	// QuerySummaryResponse answers QuerySummaryRequest.
+	QuerySummaryResponse = query.SummaryResponse
+	// QueryCellsResponse answers exceptions and slice requests.
+	QueryCellsResponse = query.CellsResponse
+	// QueryAlertsResponse answers QueryAlertsRequest.
+	QueryAlertsResponse = query.AlertsResponse
+	// QuerySupportersResponse answers QuerySupportersRequest.
+	QuerySupportersResponse = query.SupportersResponse
+	// QueryTrendResponse answers QueryTrendRequest.
+	QueryTrendResponse = query.TrendResponse
+	// QueryFrameResponse answers QueryFrameRequest.
+	QueryFrameResponse = query.FrameResponse
+	// QueryBatchRequest is the POST /v1/query body: many requests, one
+	// unit-consistent reply.
+	QueryBatchRequest = query.BatchRequest
+	// QueryBatchResponse is the batch reply with per-request results.
+	QueryBatchResponse = query.BatchResponse
+	// QueryExecutor validates and runs typed requests against one
+	// published snapshot.
+	QueryExecutor = query.Executor
+)
+
+// Query API sentinel errors; test with errors.Is (the client SDK maps
+// HTTP statuses back onto them).
+var (
+	// ErrQueryInvalid marks requests that can never succeed (HTTP 400).
+	ErrQueryInvalid = query.ErrInvalid
+	// ErrQueryNotFound marks targets absent from the unit (HTTP 404).
+	ErrQueryNotFound = query.ErrNotFound
+	// ErrQueryUnavailable means no unit has completed yet (HTTP 503).
+	ErrQueryUnavailable = query.ErrUnavailable
+)
+
+// NewQueryExecutor builds the typed-request dispatcher over one published
+// snapshot — the in-process path the HTTP server and the client SDK both
+// run through.
+func NewQueryExecutor(schema *Schema, snap *StreamSnapshot) (*QueryExecutor, error) {
+	return query.NewExecutor(schema, snap)
+}
+
+// QueryOCell references an o-layer cell by its members.
+func QueryOCell(members ...int32) QueryCellRef { return query.OCell(members...) }
+
+// QueryCell references a cell at explicit levels.
+func QueryCell(levels []int, members []int32) QueryCellRef {
+	return query.Cell(levels, members)
 }
 
 // FitMLRRaw fits a multiple regression by Householder QR on the raw

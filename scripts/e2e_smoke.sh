@@ -18,7 +18,7 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== build"
-go build -o "$workdir" ./cmd/datagen ./cmd/streamd
+go build -o "$workdir" ./cmd/datagen ./cmd/streamd ./cmd/queryprobe
 
 fifo="$workdir/stream.fifo"
 mkfifo "$fifo"
@@ -105,6 +105,37 @@ echo "   OK bad requests rejected as JSON errors"
 fetch /metrics | grep -q 'regcube_http_requests_total' \
   || { echo "FAIL: /metrics missing counters" >&2; exit 1; }
 echo "   OK GET /metrics"
+
+echo "== POST /v1/query: one batch, four kinds plus a bad sub-request"
+batch='{"queries":[{"kind":"summary"},{"kind":"exceptions","k":3},{"kind":"alerts"},{"kind":"frame","members":[0,0]},{"kind":"slice","dim":99,"member":0}]}'
+body=""
+for _ in $(seq 1 10); do
+  if body=$(curl -fsS --max-time 5 -X POST -H 'Content-Type: application/json' \
+      -d "$batch" "http://$ADDR/v1/query" 2>/dev/null) && [ -n "$body" ]; then
+    break
+  fi
+  sleep 0.5
+done
+grep -q '"results":\[' <<<"$body" || { echo "FAIL: batch returned no results: $body" >&2; exit 1; }
+# `|| true` keeps a zero-match grep from tripping set -e before the
+# FAIL diagnostic below can report.
+oks=$(grep -o '"ok":true' <<<"$body" | wc -l || true)
+[ "$oks" -eq 4 ] || { echo "FAIL: batch had $oks ok results, want 4: $body" >&2; exit 1; }
+grep -q '"status":400' <<<"$body" || { echo "FAIL: bad sub-request not 400 in batch: $body" >&2; exit 1; }
+echo "   OK POST /v1/query ($oks ok + 1 typed error, ${#body} bytes)"
+# Method discipline: GET on the batch endpoint (and POST on a read
+# endpoint) must 405 with an Allow header.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/query")
+[ "$code" = "405" ] || { echo "FAIL: GET /v1/query = $code, want 405" >&2; exit 1; }
+allow=$(curl -s -o /dev/null -D - "http://$ADDR/v1/query" | grep -i '^allow:' || true)
+grep -q 'POST' <<<"$allow" || { echo "FAIL: GET /v1/query Allow header: $allow" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/summary")
+[ "$code" = "405" ] || { echo "FAIL: POST /v1/summary = $code, want 405" >&2; exit 1; }
+echo "   OK method discipline (405 + Allow)"
+
+echo "== client SDK smoke probe (cmd/queryprobe)"
+"$workdir/queryprobe" -addr "http://$ADDR" -cell 0,0 -timeout 60s \
+  || { echo "FAIL: queryprobe failed" >&2; exit 1; }
 
 echo "== SIGINT mid-stream: graceful flush + checkpoint + shutdown"
 kill -INT "$spid"
