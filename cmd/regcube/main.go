@@ -10,6 +10,12 @@
 //
 // Either -rate (calibrated exception percentage) or -threshold (explicit
 // slope threshold) selects the exception level.
+//
+// The replay subcommand re-runs a streamd write-ahead log through a fresh
+// stream engine under any configuration — shard count, tilt chain,
+// exception threshold — for what-if analysis (see replay.go):
+//
+//	regcube replay -wal-dir wal/ -spec D2L2C4 -unit 15 -shards 8 -tilt calendar
 package main
 
 import (
@@ -27,6 +33,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		if err := runReplay(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "regcube replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	specStr := flag.String("spec", "D3L3C10T10K", "dataset spec (D/L/C/T convention)")
 	seed := flag.Int64("seed", 2002, "generator seed")
 	rate := flag.Float64("rate", 1, "target exception percentage (calibrated); ignored when -threshold is set")

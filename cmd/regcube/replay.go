@@ -1,0 +1,160 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/exception"
+	"repro/internal/gen"
+	"repro/internal/persist"
+	"repro/internal/stream"
+	"repro/internal/tilt"
+	"repro/internal/wal"
+)
+
+// runReplay is the `regcube replay` subcommand: re-run a streamd
+// write-ahead log through a fresh engine under whatever configuration the
+// flags name. Ingest is deterministic, so the result is exactly what a
+// live run with this configuration would have produced — shard count, tilt
+// chain, and threshold become what-if knobs over recorded history.
+func runReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("regcube replay", flag.ContinueOnError)
+	walDir := fs.String("wal-dir", "", "write-ahead log directory to replay (required)")
+	specStr := fs.String("spec", "D2L2C4", "schema spec D<dims>L<levels>C<fanout> (no T component); must match the recording schema's shape")
+	unit := fs.Int("unit", 15, "ticks per unit")
+	threshold := fs.Float64("threshold", 1, "slope exception threshold")
+	alg := fs.String("alg", "mo", "cubing algorithm: mo | popular-path")
+	shards := fs.Int("shards", 1, "engine shards; 1 = single-threaded engine")
+	tiltStr := fs.String("tilt", "", "tilted trend history chain (same syntax as streamd -tilt)")
+	from := fs.Int64("from", 0, "replay from this record sequence (skip earlier records)")
+	checkpoint := fs.String("checkpoint", "", "write the post-replay checkpoint to this file")
+	quiet := fs.Bool("quiet", false, "suppress per-unit reports; print only the final summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *walDir == "" {
+		return fmt.Errorf("-wal-dir is required")
+	}
+	spec, err := gen.ParseSpec(*specStr + "T1") // reuse the D/L/C parser
+	if err != nil {
+		return fmt.Errorf("bad -spec: %w", err)
+	}
+	schema, err := spec.StreamSchema()
+	if err != nil {
+		return err
+	}
+	algorithm := stream.MOCubing
+	if *alg == "popular-path" {
+		algorithm = stream.PopularPath
+	} else if *alg != "mo" {
+		return fmt.Errorf("unknown -alg %q", *alg)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d: need at least 1", *shards)
+	}
+	tiltLevels, err := tilt.ParseLevels(*tiltStr)
+	if err != nil {
+		return fmt.Errorf("bad -tilt: %w", err)
+	}
+	cfg := stream.Config{
+		Schema:       schema,
+		TicksPerUnit: *unit,
+		Threshold:    exception.Global(*threshold),
+		Algorithm:    algorithm,
+		TiltLevels:   tiltLevels,
+	}
+
+	report := func(urs []*stream.UnitResult) {
+		if *quiet {
+			return
+		}
+		for _, ur := range urs {
+			if ur.Result == nil {
+				fmt.Fprintf(out, "[unit %d] no data\n", ur.Unit)
+				continue
+			}
+			fmt.Fprintf(out, "[unit %d] %s: %d o-cells, %d exceptions, %d alerts\n",
+				ur.Unit, ur.Result.Stats.Algorithm, len(ur.Result.OLayer),
+				len(ur.Result.Exceptions), len(ur.Alerts))
+			for _, al := range ur.Alerts {
+				fmt.Fprintf(out, "  ALERT %s %s slope=%+.3f\n", al.Kind, al.Cell.Describe(schema), al.ISB.Slope)
+			}
+		}
+	}
+
+	var (
+		ingest    func(members []int32, tick int64, value float64) ([]*stream.UnitResult, error)
+		flush     func() (*stream.UnitResult, error)
+		unitsDone func() int64
+		setSeq    func(int64) error
+		writeCP   func(io.Writer) error
+	)
+	if *shards > 1 {
+		seng, err := stream.NewShardedEngine(cfg, *shards)
+		if err != nil {
+			return err
+		}
+		defer seng.Close()
+		ingest, flush, unitsDone, setSeq = seng.Ingest, seng.Flush, seng.UnitsDone, seng.SetWALSeq
+		writeCP = func(w io.Writer) error {
+			scp, err := seng.Checkpoint()
+			if err != nil {
+				return err
+			}
+			return persist.WriteShardedCheckpoint(w, scp)
+		}
+	} else {
+		eng, err := stream.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		ingest, flush, unitsDone = eng.Ingest, eng.Flush, eng.UnitsDone
+		setSeq = func(seq int64) error { eng.SetWALSeq(seq); return nil }
+		writeCP = func(w io.Writer) error {
+			return persist.WriteCheckpoint(w, eng.Checkpoint())
+		}
+	}
+
+	var records int64
+	end, err := wal.Replay(*walDir, *from, func(seq int64, rec wal.Record) error {
+		closed, ingestErr := ingest(rec.Members, rec.Tick, rec.Value)
+		if len(closed) > 0 {
+			report(closed)
+		}
+		if ingestErr != nil {
+			return fmt.Errorf("wal record %d: %w", seq, ingestErr)
+		}
+		records++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ur, err := flush()
+	if err != nil {
+		return err
+	}
+	report([]*stream.UnitResult{ur})
+	if *checkpoint != "" {
+		// Stamp the log position so the what-if checkpoint is itself
+		// resumable: streamd -wal-dir picks up where this replay stopped.
+		if err := setSeq(end); err != nil {
+			return err
+		}
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			return err
+		}
+		if err := writeCP(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "# replayed %d records (log end %d), %d units\n", records, end, unitsDone())
+	return nil
+}

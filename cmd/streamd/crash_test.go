@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/exception"
+	"repro/internal/gen"
+	"repro/internal/persist"
+	"repro/internal/stream"
+	"repro/internal/tilt"
+	"repro/internal/wal"
+)
+
+// TestCrashRecoveryBitwise is the crash-injection harness: a real streamd
+// subprocess is kill -9'd mid-unit at randomized offsets while streaming
+// with a WAL, restarted, and its recovered checkpoint compared bitwise
+// against an uninterrupted engine run over the same durable record prefix.
+// Ingest is deterministic, so the two must be identical at any shard
+// count; the property is exercised at 1, 4, and 7 shards (7 also runs
+// tilted, covering the v3 checkpoint path).
+func TestCrashRecoveryBitwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash harness")
+	}
+	bin := filepath.Join(t.TempDir(), "streamd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building streamd: %v", err)
+	}
+
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("randomized kill offsets from seed %d", seed)
+
+	const (
+		specStr   = "D2L2C4"
+		unitTicks = 15
+		threshold = 0.3
+	)
+	var replayedTotal int64
+	for _, tc := range []struct {
+		shards int
+		tilt   string
+	}{{1, ""}, {4, ""}, {7, "log3x4"}} {
+		for round := 0; round < 2; round++ {
+			name := fmt.Sprintf("shards%d", tc.shards)
+			if tc.tilt != "" {
+				name += "-tilt"
+			}
+			t.Run(fmt.Sprintf("%s/kill%d", name, round), func(t *testing.T) {
+				dir := t.TempDir()
+				walDir := filepath.Join(dir, "wal")
+				cpPath := filepath.Join(dir, "state.json")
+				args := []string{
+					"-spec", specStr, "-unit", fmt.Sprint(unitTicks),
+					"-threshold", fmt.Sprint(threshold),
+					"-shards", fmt.Sprint(tc.shards),
+					"-wal-dir", walDir, "-wal-sync", "batch",
+					"-checkpoint", cpPath,
+				}
+				if tc.tilt != "" {
+					args = append(args, "-tilt", tc.tilt)
+				}
+
+				// Phase 1: stream paced records into streamd, then SIGKILL
+				// it mid-unit at a randomized offset.
+				cmd := exec.Command(bin, args...)
+				stdin, err := cmd.StdinPipe()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out bytes.Buffer
+				cmd.Stdout = &out
+				cmd.Stderr = &out
+				if err := cmd.Start(); err != nil {
+					t.Fatal(err)
+				}
+				stop := make(chan struct{})
+				go func() {
+					defer stdin.Close()
+					w := rand.New(rand.NewSource(int64(tc.shards)*100 + int64(round)))
+					for tick := 0; ; tick++ {
+						for i := 0; i < 3; i++ { // a few cells per tick
+							row := fmt.Sprintf("%d,%d,%d,%g\n", tick,
+								w.Intn(16), w.Intn(16), w.NormFloat64()*5)
+							if _, err := io.WriteString(stdin, row); err != nil {
+								return // pipe died with the process
+							}
+						}
+						select {
+						case <-stop:
+							return
+						case <-time.After(200 * time.Microsecond):
+						}
+					}
+				}()
+				// Long enough to close units and cut checkpoints, random
+				// enough to land anywhere within a unit.
+				time.Sleep(time.Duration(30+rng.Intn(90)) * time.Millisecond)
+				if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+					t.Fatal(err)
+				}
+				close(stop)
+				err = cmd.Wait()
+				if err == nil {
+					t.Fatalf("streamd survived SIGKILL? output:\n%s", out.String())
+				}
+
+				// Phase 2: restart on the crashed state with no new input.
+				// streamd replays the WAL past the checkpoint watermark,
+				// flushes the rebuilt partial unit, and checkpoints.
+				restart := exec.Command(bin, args...)
+				restart.Stdin = nil // /dev/null
+				var rout bytes.Buffer
+				restart.Stdout = &rout
+				restart.Stderr = &rout
+				if err := restart.Run(); err != nil {
+					t.Fatalf("restart failed: %v\n%s", err, rout.String())
+				}
+				got, err := os.ReadFile(cpPath)
+				if err != nil {
+					t.Fatalf("recovered checkpoint: %v", err)
+				}
+
+				// Phase 3: uninterrupted reference — a fresh engine fed the
+				// durable record prefix straight from the WAL.
+				recs := readWAL(t, walDir)
+				replayedTotal += int64(len(recs))
+				want := referenceCheckpoint(t, tc.shards, tc.tilt, unitTicks, threshold, recs)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("recovered checkpoint differs from uninterrupted run over %d durable records\nstream output:\n%s\nrestart output:\n%s",
+						len(recs), out.String(), rout.String())
+				}
+				if strings.Contains(rout.String(), "# wal: replayed") {
+					t.Logf("restart replayed a WAL suffix over %d durable records", len(recs))
+				}
+			})
+		}
+	}
+	// The harness is only meaningful if some run actually had durable
+	// records to recover; with batch fsync and ≥30ms of streaming this
+	// never rounds to zero across six runs.
+	if replayedTotal == 0 {
+		t.Fatal("no run left any durable WAL records; the harness tested nothing")
+	}
+}
+
+// readWAL returns every durable record in the log directory.
+func readWAL(t *testing.T, dir string) []wal.Record {
+	t.Helper()
+	var recs []wal.Record
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return nil
+	}
+	_, err := wal.Replay(dir, 0, func(seq int64, r wal.Record) error {
+		cp := r
+		cp.Members = append([]int32(nil), r.Members...)
+		recs = append(recs, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reading WAL: %v", err)
+	}
+	return recs
+}
+
+// referenceCheckpoint runs a fresh engine over recs exactly as streamd
+// would (ingest, final flush, watermark stamp) and serializes its
+// checkpoint with the same persist envelope streamd writes.
+func referenceCheckpoint(t *testing.T, shards int, tiltStr string, unitTicks int, threshold float64, recs []wal.Record) []byte {
+	t.Helper()
+	spec, err := gen.ParseSpec("D2L2C4T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := spec.StreamSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiltLevels, err := tilt.ParseLevels(tiltStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stream.Config{
+		Schema:       schema,
+		TicksPerUnit: unitTicks,
+		Threshold:    exception.Global(threshold),
+		TiltLevels:   tiltLevels,
+	}
+	var buf bytes.Buffer
+	if shards > 1 {
+		seng, err := stream.NewShardedEngine(cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seng.Close()
+		for _, r := range recs {
+			if _, err := seng.Ingest(r.Members, r.Tick, r.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := seng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := seng.SetWALSeq(int64(len(recs))); err != nil {
+			t.Fatal(err)
+		}
+		scp, err := seng.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := persist.WriteShardedCheckpoint(&buf, scp); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		eng, err := stream.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if _, err := eng.Ingest(r.Members, r.Tick, r.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		eng.SetWALSeq(int64(len(recs)))
+		if err := persist.WriteCheckpoint(&buf, eng.Checkpoint()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}

@@ -25,6 +25,14 @@
 // far into the past at coarser granularity while per-cell state stays
 // bounded by the chain's slot capacity.
 //
+// With -wal-dir streamd appends every record to a segmented, CRC32C-framed
+// write-ahead log before ingesting it (see internal/wal). Checkpoints then
+// carry the log watermark, and a restart — graceful or kill -9 — replays
+// the durable records past the watermark to rebuild the open unit exactly;
+// -wal-sync picks the fsync policy (batch / interval[=dur] / off). The
+// same log feeds `regcube replay` for what-if reprocessing under a
+// different shard count, tilt chain, or threshold.
+//
 // Checkpoint files are versioned: a single engine writes version 1 (one
 // checkpoint), a sharded engine writes version 2 (one checkpoint per
 // shard), and -tilt engines write version 3 (either layout plus the
@@ -56,29 +64,36 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/cube"
 	"repro/internal/exception"
 	"repro/internal/gen"
 	"repro/internal/persist"
 	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/tilt"
+	"repro/internal/wal"
 )
+
+// walBatchRecords is how many records accumulate before a WAL frame is
+// written. Small enough that a SyncInterval/SyncOff crash loses little,
+// large enough that SyncBatch doesn't fsync per record.
+const walBatchRecords = 64
 
 // options collects the flag values so tests drive run directly.
 type options struct {
-	spec       string
-	unit       int
-	threshold  float64
-	alg        string
-	checkpoint string
-	shards     int
-	listen     string
-	tilt       string
+	spec        string
+	unit        int
+	threshold   float64
+	alg         string
+	checkpoint  string
+	shards      int
+	listen      string
+	tilt        string
+	walDir      string
+	walSync     string
+	walSegBytes int64
 }
 
 func main() {
@@ -94,6 +109,11 @@ func main() {
 	flag.StringVar(&opt.listen, "listen", "", "serve the HTTP/JSON query API on this address (e.g. :8080); empty disables")
 	flag.StringVar(&opt.tilt, "tilt", "", "tilted multi-granularity trend history: 'calendar' (4 quarters/24 hours/31 days/12 months of units), "+
 		"'log<N>x<S>' (N doubling levels of S slots), or 'name:multiple:slots,...' finest first; empty keeps the flat per-o-cell history")
+	flag.StringVar(&opt.walDir, "wal-dir", "", "write-ahead record log directory (created if absent); every record is logged before ingest, "+
+		"and on restart the log replays past the checkpoint's watermark to rebuild the open unit exactly")
+	flag.StringVar(&opt.walSync, "wal-sync", "batch", "WAL fsync policy: 'batch' (every append), 'interval[=dur]' (at most once per period, default 100ms), "+
+		"or 'off' (only before checkpoints)")
+	flag.Int64Var(&opt.walSegBytes, "wal-segment-bytes", 0, "rotate WAL segments at this size (0 = 64 MiB default)")
 	flag.Parse()
 
 	// A signal stops the record loop; the final flush, checkpoint, and
@@ -127,16 +147,7 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bad -spec: %w", err)
 	}
-	dims := make([]cube.Dimension, spec.Dims)
-	for d := 0; d < spec.Dims; d++ {
-		name := fmt.Sprintf("D%d", d)
-		h, err := cube.NewFanoutHierarchy(name, spec.Fanout, spec.Levels)
-		if err != nil {
-			return err
-		}
-		dims[d] = cube.Dimension{Name: name, Hierarchy: h, MLevel: spec.Levels, OLevel: 1}
-	}
-	schema, err := cube.NewSchema(dims...)
+	schema, err := spec.StreamSchema()
 	if err != nil {
 		return err
 	}
@@ -168,6 +179,8 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 	var eng engine
 	var loadCheckpoint func(io.Reader) error
 	var writeCheckpoint func(io.Writer) error
+	var setWALSeq func(int64) error
+	var walSeqOf func() (int64, error)
 	if opt.shards > 1 {
 		seng, err := stream.NewShardedEngine(cfg, opt.shards)
 		if err != nil {
@@ -189,6 +202,8 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 			}
 			return persist.WriteShardedCheckpoint(w, scp)
 		}
+		setWALSeq = seng.SetWALSeq
+		walSeqOf = seng.WALSeq
 	} else {
 		single, err := stream.NewEngine(cfg)
 		if err != nil {
@@ -205,6 +220,8 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 		writeCheckpoint = func(w io.Writer) error {
 			return persist.WriteCheckpoint(w, single.Checkpoint())
 		}
+		setWALSeq = func(seq int64) error { single.SetWALSeq(seq); return nil }
+		walSeqOf = func() (int64, error) { return single.WALSeq(), nil }
 	}
 
 	if opt.checkpoint != "" {
@@ -215,6 +232,115 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 				return fmt.Errorf("restoring checkpoint: %w", err)
 			}
 			fmt.Fprintf(out, "# resumed at unit %d (%d units done)\n", eng.Unit(), eng.UnitsDone())
+		}
+	}
+
+	report := func(urs []*stream.UnitResult) {
+		for _, ur := range urs {
+			if ur.Result == nil {
+				fmt.Fprintf(out, "[unit %d] no data\n", ur.Unit)
+				continue
+			}
+			fmt.Fprintf(out, "[unit %d] %s: %d o-cells, %d exceptions, %d alerts\n",
+				ur.Unit, ur.Result.Stats.Algorithm, len(ur.Result.OLayer),
+				len(ur.Result.Exceptions), len(ur.Alerts))
+			for _, al := range ur.Alerts {
+				fmt.Fprintf(out, "  ALERT %s %s slope=%+.3f\n", al.Kind, al.Cell.Describe(schema), al.ISB.Slope)
+				for _, c := range al.Drill {
+					fmt.Fprintf(out, "    supporter %s %s slope=%+.3f\n",
+						c.Key.Describe(schema), c.Key.Cuboid.Describe(schema), c.ISB.Slope)
+				}
+			}
+		}
+	}
+
+	// WAL plumbing. Every record is appended (buffered) to the log before
+	// ingest; ingestedSeq counts records the engine has consumed, and is
+	// the watermark checkpoints carry. saveCheckpoint flushes and fsyncs
+	// the log before stamping it, so a checkpoint's watermark never points
+	// past the durable log regardless of the -wal-sync policy.
+	var wlog *wal.Log
+	var pendingWAL []wal.Record
+	var ingestedSeq int64
+
+	saveCheckpoint := func() error {
+		if wlog != nil {
+			if err := wlog.Append(pendingWAL); err != nil {
+				return fmt.Errorf("wal append: %w", err)
+			}
+			pendingWAL = pendingWAL[:0]
+			if err := wlog.Sync(); err != nil {
+				return fmt.Errorf("wal sync: %w", err)
+			}
+			if err := setWALSeq(ingestedSeq); err != nil {
+				return err
+			}
+		}
+		if opt.checkpoint == "" {
+			return nil
+		}
+		tmp := opt.checkpoint + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := writeCheckpoint(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp, opt.checkpoint)
+	}
+
+	if opt.walDir != "" {
+		policy, every, err := wal.ParseSyncPolicy(opt.walSync)
+		if err != nil {
+			return fmt.Errorf("bad -wal-sync: %w", err)
+		}
+		wlog, err = wal.Open(wal.Options{
+			Dir:          opt.walDir,
+			SegmentBytes: opt.walSegBytes,
+			Sync:         policy,
+			SyncEvery:    every,
+		})
+		if err != nil {
+			return fmt.Errorf("-wal-dir: %w", err)
+		}
+		defer wlog.Close()
+		mark, err := walSeqOf()
+		if err != nil {
+			return err
+		}
+		if wlog.Seq() < mark {
+			return fmt.Errorf("checkpoint WAL watermark %d exceeds the %d-record log in %s (wrong -wal-dir?)",
+				mark, wlog.Seq(), opt.walDir)
+		}
+		ingestedSeq = mark
+		if wlog.Seq() > mark {
+			// The crash window: records durably logged after the last
+			// checkpoint was cut. Re-ingesting them rebuilds the open unit
+			// exactly — ingest is deterministic — and may close units whose
+			// reports were lost with the crashed process.
+			n, err := wal.Replay(opt.walDir, mark, func(seq int64, rec wal.Record) error {
+				closed, ingestErr := eng.Ingest(rec.Members, rec.Tick, rec.Value)
+				if len(closed) > 0 {
+					report(closed)
+				}
+				if ingestErr != nil {
+					return fmt.Errorf("wal record %d: %w", seq, ingestErr)
+				}
+				ingestedSeq++
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("replaying wal: %w", err)
+			}
+			fmt.Fprintf(out, "# wal: replayed %d records (watermark %d -> %d)\n", n-mark, mark, n)
+			if err := saveCheckpoint(); err != nil {
+				return fmt.Errorf("saving checkpoint: %w", err)
+			}
 		}
 	}
 
@@ -251,44 +377,6 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 				fmt.Fprintf(os.Stderr, "streamd: http shutdown: %v\n", err)
 			}
 		}()
-	}
-
-	saveCheckpoint := func() error {
-		if opt.checkpoint == "" {
-			return nil
-		}
-		tmp := opt.checkpoint + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
-			return err
-		}
-		if err := writeCheckpoint(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		return os.Rename(tmp, opt.checkpoint)
-	}
-
-	report := func(urs []*stream.UnitResult) {
-		for _, ur := range urs {
-			if ur.Result == nil {
-				fmt.Fprintf(out, "[unit %d] no data\n", ur.Unit)
-				continue
-			}
-			fmt.Fprintf(out, "[unit %d] %s: %d o-cells, %d exceptions, %d alerts\n",
-				ur.Unit, ur.Result.Stats.Algorithm, len(ur.Result.OLayer),
-				len(ur.Result.Exceptions), len(ur.Alerts))
-			for _, al := range ur.Alerts {
-				fmt.Fprintf(out, "  ALERT %s %s slope=%+.3f\n", al.Kind, al.Cell.Describe(schema), al.ISB.Slope)
-				for _, c := range al.Drill {
-					fmt.Fprintf(out, "    supporter %s %s slope=%+.3f\n",
-						c.Key.Describe(schema), c.Key.Cuboid.Describe(schema), c.ISB.Slope)
-				}
-			}
-		}
 	}
 
 	// Records are parsed in their own goroutine so a signal interrupts the
@@ -335,7 +423,22 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 
 	var records int64
 	ingestRow := func(r row) error {
+		if wlog != nil {
+			// Write-ahead: the record reaches the log (buffered; durable per
+			// the sync policy) before the engine sees it, in batches of
+			// walBatchRecords frames.
+			pendingWAL = append(pendingWAL, wal.Record{Tick: r.tick, Value: r.value, Members: r.members})
+			if len(pendingWAL) >= walBatchRecords {
+				if err := wlog.Append(pendingWAL); err != nil {
+					return fmt.Errorf("wal append: %w", err)
+				}
+				pendingWAL = pendingWAL[:0]
+			}
+		}
 		closed, ingestErr := eng.Ingest(r.members, r.tick, r.value)
+		if ingestErr == nil {
+			ingestedSeq++
+		}
 		// Units can close even when the record itself is rejected (the
 		// boundary crossing happens first); report and checkpoint them
 		// before surfacing the error, or their state would be lost.
@@ -407,45 +510,10 @@ loop:
 	return nil
 }
 
-// parseTiltLevels decodes the -tilt flag. "" keeps the flat history;
-// "calendar" is the paper's quarter/hour/day/month chain (each engine unit
-// plays the quarter); "log<N>x<S>" is N doubling-coverage levels of S
-// slots each; anything else is an explicit "name:multiple:slots,..."
-// chain, finest level first (its multiple is implied 1 — one engine unit).
+// parseTiltLevels decodes the -tilt flag; the syntax lives in
+// tilt.ParseLevels, shared with regcube replay.
 func parseTiltLevels(s string) ([]tilt.Level, error) {
-	if s == "" {
-		return nil, nil
-	}
-	if s == "calendar" {
-		return tilt.CalendarLevels(), nil
-	}
-	var n, slots int
-	if c, err := fmt.Sscanf(s, "log%dx%d", &n, &slots); c == 2 && err == nil {
-		// Sscanf accepts signs and ignores trailing text; require an exact
-		// round trip so log0x4, log-1x4, and log3x4junk all fail loudly
-		// instead of panicking or silently disabling tilt.
-		if n < 1 || slots < 1 || fmt.Sprintf("log%dx%d", n, slots) != s {
-			return nil, fmt.Errorf("%q: want log<levels>x<slots> with both ≥ 1", s)
-		}
-		return tilt.LogarithmicLevels(n, 1, slots), nil
-	}
-	var levels []tilt.Level
-	for _, part := range strings.Split(s, ",") {
-		fields := strings.Split(part, ":")
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("level %q: want name:multiple:slots", part)
-		}
-		mult, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("level %q multiple: %w", part, err)
-		}
-		sl, err := strconv.Atoi(fields[2])
-		if err != nil {
-			return nil, fmt.Errorf("level %q slots: %w", part, err)
-		}
-		levels = append(levels, tilt.Level{Name: fields[0], Multiple: mult, Slots: sl})
-	}
-	return levels, nil
+	return tilt.ParseLevels(s)
 }
 
 // parseRow decodes one CSV record: tick,dim0,...,dimN,value.

@@ -115,6 +115,26 @@ func (sp Spec) String() string {
 	return fmt.Sprintf("D%dL%dC%d%s", sp.Dims, sp.Levels, sp.Fanout, t)
 }
 
+// StreamSchema builds the streaming schema the spec's D/L/C shape implies:
+// one fanout hierarchy per dimension, the m-layer at the leaf level and
+// the o-layer at level 1. streamd and regcube replay share it, so a WAL
+// recorded under one command replays under the other.
+func (sp Spec) StreamSchema() (*cube.Schema, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	dims := make([]cube.Dimension, sp.Dims)
+	for d := 0; d < sp.Dims; d++ {
+		name := fmt.Sprintf("D%d", d)
+		h, err := cube.NewFanoutHierarchy(name, sp.Fanout, sp.Levels)
+		if err != nil {
+			return nil, err
+		}
+		dims[d] = cube.Dimension{Name: name, Hierarchy: h, MLevel: sp.Levels, OLevel: 1}
+	}
+	return cube.NewSchema(dims...)
+}
+
 // Config controls generation.
 type Config struct {
 	Spec Spec

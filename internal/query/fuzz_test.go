@@ -1,0 +1,64 @@
+package query
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzEnvelopeJSON drives the wire-format union decoder with arbitrary
+// JSON: every input must either fail decoding cleanly or produce an
+// envelope that re-marshals and decodes to the same request — no panics,
+// and no half-decoded envelopes with a nil Request escaping a nil error.
+func FuzzEnvelopeJSON(f *testing.F) {
+	// Seeds: every kind, flattened-field forms, and the classic failure
+	// shapes (missing kind, unknown kind, wrong field types, non-objects).
+	for _, s := range []string{
+		`{"kind":"summary"}`,
+		`{"kind":"exceptions","k":3,"order":"key"}`,
+		`{"kind":"alerts"}`,
+		`{"kind":"supporters","members":[0,1]}`,
+		`{"kind":"slice","dim":1,"level":1,"member":2}`,
+		`{"kind":"trend","members":[2,0],"k":4,"level":1}`,
+		`{"kind":"frame","members":[0,0]}`,
+		`{"kind":"frame","levels":[1,1],"members":[0,0]}`,
+		`{}`,
+		`{"kind":"bogus"}`,
+		`{"kind":42}`,
+		`{"kind":"trend","members":"zero"}`,
+		`[]`,
+		`null`,
+		`"summary"`,
+		`{"kind":"exceptions","k":99999999999999999999}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var env Envelope
+		if err := json.Unmarshal(b, &env); err != nil {
+			return // clean rejection is a correct outcome
+		}
+		if env.Request == nil {
+			t.Fatalf("decode of %q succeeded with nil Request", b)
+		}
+		// A successfully decoded envelope must survive a marshal/unmarshal
+		// round trip unchanged — the wire format is self-consistent.
+		out, err := json.Marshal(env)
+		if err != nil {
+			t.Fatalf("re-marshal of %q failed: %v", b, err)
+		}
+		var env2 Envelope
+		if err := json.Unmarshal(out, &env2); err != nil {
+			t.Fatalf("re-decode of %s (from %q) failed: %v", out, b, err)
+		}
+		if env2.Request.Kind() != env.Request.Kind() {
+			t.Fatalf("round trip changed kind %q -> %q", env.Request.Kind(), env2.Request.Kind())
+		}
+		out2, err := json.Marshal(env2)
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("marshal not stable: %s vs %s", out, out2)
+		}
+	})
+}

@@ -2,6 +2,8 @@ package stream
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 
 	"repro/internal/cube"
 	"repro/internal/regression"
@@ -18,6 +20,14 @@ type Checkpoint struct {
 	UnitsDone int64         `json:"unitsDone"`
 	Cells     []CellState   `json:"cells"`
 	History   []CellHistory `json:"history"`
+	// WALSeq is the write-ahead-log watermark: how many log records the
+	// checkpointed state reflects. Recovery replays log records
+	// [WALSeq, end) on top of the restored state — sequence-based, not
+	// unit-based, because the record that crosses a unit boundary has
+	// already been folded into the new open unit's cells by the time a
+	// checkpoint is cut, and a unit-granular watermark would replay it
+	// twice. Zero (and omitted) when no WAL is in use.
+	WALSeq int64 `json:"walSeq,omitempty"`
 	// Tilt holds the per-o-cell tilt frames of a Config.TiltLevels engine
 	// (the persist layer's version-3 envelope). In tilt mode History is
 	// still written — derived from each frame's finest level — so the file
@@ -75,13 +85,19 @@ func shapeOf(s *cube.Schema) []DimensionShape {
 	return out
 }
 
-// Checkpoint exports the engine's full dynamic state.
+// Checkpoint exports the engine's full dynamic state in canonical form:
+// cells, history, and tilt frames are sorted by coordinate, so two engines
+// in identical states serialize to byte-identical checkpoints. The replay-
+// equivalence tests lean on that — "recovered state equals uninterrupted
+// state" is checked bit for bit on the encoded checkpoint.
 func (e *Engine) Checkpoint() *Checkpoint {
 	cp := &Checkpoint{
 		Unit:      e.unit,
 		UnitsDone: e.unitsDone,
+		WALSeq:    e.walSeq,
 		Schema:    shapeOf(e.cfg.Schema),
 	}
+	defer cp.normalize()
 	nd := len(e.cfg.Schema.Dims)
 	for key, acc := range e.cells {
 		cp.Cells = append(cp.Cells, CellState{
@@ -118,6 +134,27 @@ func (e *Engine) Checkpoint() *Checkpoint {
 	return cp
 }
 
+// normalize sorts the checkpoint's collections into canonical coordinate
+// order. Map iteration makes the raw append order nondeterministic;
+// sorting makes the serialized form a pure function of engine state.
+func (cp *Checkpoint) normalize() {
+	sort.Slice(cp.Cells, func(i, j int) bool {
+		return slices.Compare(cp.Cells[i].Members, cp.Cells[j].Members) < 0
+	})
+	sort.Slice(cp.History, func(i, j int) bool {
+		if c := slices.Compare(cp.History[i].Levels, cp.History[j].Levels); c != 0 {
+			return c < 0
+		}
+		return slices.Compare(cp.History[i].Members, cp.History[j].Members) < 0
+	})
+	sort.Slice(cp.Tilt, func(i, j int) bool {
+		if c := slices.Compare(cp.Tilt[i].Levels, cp.Tilt[j].Levels); c != 0 {
+			return c < 0
+		}
+		return slices.Compare(cp.Tilt[i].Members, cp.Tilt[j].Members) < 0
+	})
+}
+
 // cellKeyRec flattens a cell key into the checkpoint coordinate form.
 func cellKeyRec(key cube.CellKey) CellHistory {
 	ch := CellHistory{}
@@ -144,10 +181,14 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 				ErrConfig, i, shape[i], cp.Schema[i])
 		}
 	}
+	if cp.WALSeq < 0 {
+		return fmt.Errorf("%w: negative WAL watermark %d", ErrConfig, cp.WALSeq)
+	}
 	e.unit = cp.Unit
 	e.openStart = e.unitStart(cp.Unit)
 	e.openEnd = e.unitStart(cp.Unit + 1)
 	e.unitsDone = cp.UnitsDone
+	e.walSeq = cp.WALSeq
 	// The delta base is not checkpointed; restoring always starts a fresh
 	// base (the first restored unit carries no delta cube).
 	e.prevInputs = nil

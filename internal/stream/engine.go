@@ -194,6 +194,12 @@ type Engine struct {
 	// load it without locks, so it must only ever hold fully built,
 	// never-again-mutated values.
 	snap atomic.Pointer[Snapshot]
+	// walSeq is the WAL watermark the owner stamps before checkpointing:
+	// how many log records this engine's state reflects. The engine never
+	// advances it itself — counting durable records is the log owner's job
+	// (replayed records and live records both count, appended-but-not-yet-
+	// ingested ones don't).
+	walSeq int64
 }
 
 // NewEngine validates the config and returns an engine expecting its first
@@ -246,6 +252,16 @@ func (e *Engine) UnitsDone() int64 { return e.unitsDone }
 // ActiveCells returns the number of m-layer cells with data in the open
 // unit.
 func (e *Engine) ActiveCells() int { return len(e.cells) }
+
+// WALSeq returns the WAL watermark: the count of write-ahead-log records
+// this engine's state reflects (zero when no WAL is in use).
+func (e *Engine) WALSeq() int64 { return e.walSeq }
+
+// SetWALSeq stamps the WAL watermark. The log owner calls it after
+// ingesting records it has durably appended, so the next Checkpoint
+// records exactly which log prefix the state covers; recovery then
+// replays records [WALSeq, end) and nothing else.
+func (e *Engine) SetWALSeq(seq int64) { e.walSeq = seq }
 
 func (e *Engine) unitStart(u int64) int64 {
 	return e.cfg.StartTick + u*int64(e.cfg.TicksPerUnit)

@@ -695,6 +695,13 @@ func (scp *ShardedCheckpoint) validate() (unit, done int64, err error) {
 			return 0, 0, fmt.Errorf("%w: shard %d at unit %d/%d, shard 0 at %d/%d",
 				ErrConfig, i, cp.Unit, cp.UnitsDone, scp.Shards[0].Unit, scp.Shards[0].UnitsDone)
 		}
+		// The WAL watermark is a whole-log position, stamped identically on
+		// every shard; disagreement means the shards were checkpointed at
+		// different points in the stream.
+		if cp.WALSeq != scp.Shards[0].WALSeq {
+			return 0, 0, fmt.Errorf("%w: shard %d at WAL watermark %d, shard 0 at %d",
+				ErrConfig, i, cp.WALSeq, scp.Shards[0].WALSeq)
+		}
 	}
 	return scp.Shards[0].Unit, scp.Shards[0].UnitsDone, nil
 }
@@ -707,13 +714,44 @@ func (scp *ShardedCheckpoint) Merge() (*Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Checkpoint{Unit: unit, UnitsDone: done, Schema: scp.Shards[0].Schema}
+	out := &Checkpoint{Unit: unit, UnitsDone: done, WALSeq: scp.Shards[0].WALSeq, Schema: scp.Shards[0].Schema}
 	for _, cp := range scp.Shards {
 		out.Cells = append(out.Cells, cp.Cells...)
 		out.History = append(out.History, cp.History...)
 		out.Tilt = append(out.Tilt, cp.Tilt...)
 	}
+	// Concatenation order depends on the shard count; re-canonicalize so a
+	// merged checkpoint is byte-comparable to a single engine's.
+	out.normalize()
 	return out, nil
+}
+
+// WALSeq returns the WAL watermark common to every shard (zero when no
+// WAL is in use).
+func (s *ShardedEngine) WALSeq() (int64, error) {
+	if err := s.ready(); err != nil {
+		return 0, err
+	}
+	v, err := s.ask(0, func(e *Engine) (any, error) { return e.WALSeq(), nil })
+	if err != nil {
+		return 0, err
+	}
+	return v.(int64), nil
+}
+
+// SetWALSeq stamps the WAL watermark on every shard. The watermark is a
+// whole-log position — how many records the log owner has both appended
+// and ingested — so all shards carry the same value and checkpoint
+// validation can demand they agree.
+func (s *ShardedEngine) SetWALSeq(seq int64) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
+	_, err := s.broadcast(func(e *Engine) (any, error) {
+		e.SetWALSeq(seq)
+		return nil, nil
+	})
+	return err
 }
 
 // Checkpoint drains ingest buffers and exports every shard's state.
@@ -747,7 +785,7 @@ func (s *ShardedEngine) Restore(scp *ShardedCheckpoint) error {
 	}
 	parts := make([]*Checkpoint, len(s.shards))
 	for i := range parts {
-		parts[i] = &Checkpoint{Unit: unit, UnitsDone: done, Schema: scp.Shards[0].Schema}
+		parts[i] = &Checkpoint{Unit: unit, UnitsDone: done, WALSeq: scp.Shards[0].WALSeq, Schema: scp.Shards[0].Schema}
 	}
 	for _, cp := range scp.Shards {
 		for _, cs := range cp.Cells {

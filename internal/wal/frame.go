@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Frame layout, little-endian:
+//
+//	uint32 payload length | uint32 CRC32C(payload) | payload
+//
+// A frame carries one encoded record batch. The length prefix makes the
+// log self-delimiting; the CRC (Castagnoli polynomial) detects bit rot and
+// torn writes. A zero length is never written — a tail of zero-filled
+// blocks (the classic post-crash state on extent-allocating filesystems)
+// must read as corruption, not as an endless run of valid empty frames.
+//
+// Batch payload layout:
+//
+//	uvarint record count
+//	per record: uvarint member count, varint members..., varint tick,
+//	            8-byte IEEE-754 value bits
+const (
+	// frameHeaderSize is the fixed prefix before each frame's payload.
+	frameHeaderSize = 8
+	// MaxFramePayload bounds a single frame's payload. Lengths beyond it
+	// are corruption by definition, so a flipped length byte cannot make a
+	// reader attempt a multi-gigabyte allocation.
+	MaxFramePayload = 16 << 20
+	// maxRecordMembers bounds the per-record member count the codec
+	// accepts; streams have at most a handful of dimensions.
+	maxRecordMembers = 64
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeFrame appends the framed payload to dst and returns the extended
+// slice.
+func EncodeFrame(dst []byte, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// DecodeFrame decodes the first frame in b. It returns the payload (a
+// sub-slice of b), the total number of bytes the frame occupies, and one
+// of:
+//
+//   - nil — a complete, checksummed frame;
+//   - io.EOF — b is empty (clean end of the log);
+//   - ErrTorn — b ends mid-frame (a torn tail; recovery truncates here);
+//   - ErrCorrupt — the length or checksum is invalid (bit rot, zero fill).
+//
+// It never panics on arbitrary input.
+func DecodeFrame(b []byte) (payload []byte, n int, err error) {
+	if len(b) == 0 {
+		return nil, 0, io.EOF
+	}
+	if len(b) < frameHeaderSize {
+		return nil, 0, fmt.Errorf("%w: %d-byte tail shorter than the frame header", ErrTorn, len(b))
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	if length == 0 || length > MaxFramePayload {
+		return nil, 0, fmt.Errorf("%w: frame length %d outside (0,%d]", ErrCorrupt, length, MaxFramePayload)
+	}
+	total := frameHeaderSize + int(length)
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("%w: frame wants %d bytes, %d remain", ErrTorn, total, len(b))
+	}
+	payload = b[frameHeaderSize:total]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return nil, 0, fmt.Errorf("%w: frame checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return payload, total, nil
+}
+
+// EncodeBatch appends the batch encoding of recs to dst and returns the
+// extended slice.
+func EncodeBatch(dst []byte, recs []Record) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	for _, r := range recs {
+		dst = binary.AppendUvarint(dst, uint64(len(r.Members)))
+		for _, m := range r.Members {
+			dst = binary.AppendVarint(dst, int64(m))
+		}
+		dst = binary.AppendVarint(dst, r.Tick)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Value))
+	}
+	return dst
+}
+
+// DecodeBatch decodes one frame payload, invoking fn for each record in
+// order, and returns the record count. The Record passed to fn aliases
+// scratch storage reused across calls — copy Members to retain it. A nil
+// fn just validates and counts. Malformed payloads (bad varints, oversized
+// member counts, trailing garbage) return ErrCorrupt; DecodeBatch never
+// panics on arbitrary input.
+func DecodeBatch(payload []byte, fn func(Record) error) (int, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: batch count varint", ErrCorrupt)
+	}
+	// Every record takes at least 1 (member count) + 1 (tick) + 8 (value)
+	// bytes, so a huge count in a small payload fails up front.
+	if count > uint64(len(payload)) {
+		return 0, fmt.Errorf("%w: batch claims %d records in %d bytes", ErrCorrupt, count, len(payload))
+	}
+	b := payload[n:]
+	var members []int32
+	for i := uint64(0); i < count; i++ {
+		nm, n := binary.Uvarint(b)
+		if n <= 0 || nm > maxRecordMembers {
+			return 0, fmt.Errorf("%w: record %d member count", ErrCorrupt, i)
+		}
+		b = b[n:]
+		members = members[:0]
+		for j := uint64(0); j < nm; j++ {
+			v, n := binary.Varint(b)
+			if n <= 0 || v < math.MinInt32 || v > math.MaxInt32 {
+				return 0, fmt.Errorf("%w: record %d member %d", ErrCorrupt, i, j)
+			}
+			members = append(members, int32(v))
+			b = b[n:]
+		}
+		tick, n := binary.Varint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: record %d tick", ErrCorrupt, i)
+		}
+		b = b[n:]
+		if len(b) < 8 {
+			return 0, fmt.Errorf("%w: record %d value", ErrCorrupt, i)
+		}
+		value := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		if fn != nil {
+			if err := fn(Record{Tick: tick, Value: value, Members: members}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if len(b) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes after %d records", ErrCorrupt, len(b), count)
+	}
+	return int(count), nil
+}

@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Replay reads the log in dir and invokes fn for every record whose
+// sequence is >= from, in order, returning the sequence one past the last
+// record delivered (equally: the count of records the durable log holds).
+// Segments wholly below the watermark are skipped by their manifest
+// bounds without being read.
+//
+// Replay never mutates the directory, so it also serves crashed logs that
+// Open has not repaired yet: a torn or corrupt tail in the *last* segment
+// ends the replay cleanly at the valid prefix — exactly where Open would
+// truncate — while damage in a sealed segment, whose frames were all
+// durably acknowledged, is a hard ErrCorrupt.
+//
+// The Record passed to fn aliases scratch storage reused across calls;
+// copy Members to retain it. A non-nil error from fn aborts the replay
+// and is returned verbatim.
+func Replay(dir string, from int64, fn func(seq int64, rec Record) error) (int64, error) {
+	if from < 0 {
+		return 0, fmt.Errorf("%w: negative replay watermark %d", ErrCorrupt, from)
+	}
+	segs, err := loadSegments(dir, false)
+	if err != nil {
+		return 0, err
+	}
+	seq := int64(0)
+	for i, s := range segs {
+		last := i == len(segs)-1
+		// A sealed segment's record span is bounded by its successor's
+		// first sequence; skip it unread when the watermark clears it.
+		if !last && segs[i+1].FirstSeq <= from {
+			seq = segs[i+1].FirstSeq
+			continue
+		}
+		if s.FirstSeq != seq {
+			return 0, fmt.Errorf("%w: segment %s starts at %d, expected %d", ErrCorrupt, s.Name, s.FirstSeq, seq)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, s.Name))
+		if err != nil {
+			return 0, err
+		}
+		if len(b) < segmentHdrLen {
+			if last {
+				break
+			}
+			return 0, fmt.Errorf("%w: sealed segment %s truncated", ErrCorrupt, s.Name)
+		}
+		rest := b[segmentHdrLen:]
+		for {
+			payload, n, err := DecodeFrame(rest)
+			if err != nil {
+				if errors.Is(err, ErrTorn) || errors.Is(err, ErrCorrupt) {
+					if last {
+						// The unrepaired tail of a crashed log: stop at
+						// the valid prefix, where Open would truncate.
+						return seq, nil
+					}
+					return 0, fmt.Errorf("%w: sealed segment %s: %v", ErrCorrupt, s.Name, err)
+				}
+				break // io.EOF: clean end of this segment
+			}
+			// Validate the whole batch before delivering any of it, so a
+			// CRC-colliding-but-malformed payload can't hand fn a partial
+			// batch: frames are all-or-nothing.
+			if _, err := DecodeBatch(payload, nil); err != nil {
+				if last {
+					return seq, nil
+				}
+				return 0, fmt.Errorf("%w: sealed segment %s: %v", ErrCorrupt, s.Name, err)
+			}
+			if _, err := DecodeBatch(payload, func(rec Record) error {
+				if seq >= from {
+					if err := fn(seq, rec); err != nil {
+						return err
+					}
+				}
+				seq++
+				return nil
+			}); err != nil {
+				return seq, err
+			}
+			rest = rest[n:]
+		}
+	}
+	return seq, nil
+}

@@ -23,6 +23,7 @@ package regcube
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/tilt"
 	"repro/internal/timeseries"
+	"repro/internal/wal"
 )
 
 // Time-series substrate (paper §2.2).
@@ -512,6 +514,61 @@ func WriteShardedCheckpoint(w io.Writer, scp *ShardedStreamCheckpoint) error {
 func ReadShardedCheckpoint(r io.Reader) (*ShardedStreamCheckpoint, error) {
 	return persist.ReadShardedCheckpoint(r)
 }
+
+// Durable ingest (DESIGN.md §10): a segmented, CRC32C-framed write-ahead
+// record log. streamd appends every record before ingest; recovery replays
+// the durable suffix past a checkpoint's watermark, and `regcube replay`
+// re-runs a whole log under a different configuration.
+type (
+	// WALRecord is one logged stream record: (members, tick, value).
+	WALRecord = wal.Record
+	// WALOptions configures OpenWAL: directory, segment size, sync policy.
+	WALOptions = wal.Options
+	// WALLog is an open, appendable write-ahead log.
+	WALLog = wal.Log
+	// WALSyncPolicy selects when appends are fsynced.
+	WALSyncPolicy = wal.SyncPolicy
+	// WALSegmentInfo describes one log segment.
+	WALSegmentInfo = wal.SegmentInfo
+)
+
+// WAL sync policies.
+const (
+	WALSyncBatch    = wal.SyncBatch
+	WALSyncInterval = wal.SyncInterval
+	WALSyncOff      = wal.SyncOff
+)
+
+// WAL failure classes; test with errors.Is.
+var (
+	// ErrWALTorn marks an incomplete tail write (truncated on recovery).
+	ErrWALTorn = wal.ErrTorn
+	// ErrWALCorrupt marks damaged durable data or an inconsistent log
+	// directory.
+	ErrWALCorrupt = wal.ErrCorrupt
+)
+
+// OpenWAL opens (or initializes) a write-ahead log for appending,
+// truncating any torn or corrupt tail left by a crash.
+func OpenWAL(opts WALOptions) (*WALLog, error) { return wal.Open(opts) }
+
+// ReplayWAL reads a log read-only, invoking fn for every record at
+// sequence ≥ from, and returns the durable record count. Pair it with a
+// checkpoint's WALSeq to rebuild an engine's open unit, or replay from 0
+// into a differently configured engine for what-if analysis.
+func ReplayWAL(dir string, from int64, fn func(seq int64, rec WALRecord) error) (int64, error) {
+	return wal.Replay(dir, from, fn)
+}
+
+// ParseWALSyncPolicy decodes the -wal-sync flag syntax: "batch", "off",
+// "interval", or "interval=250ms".
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, time.Duration, error) {
+	return wal.ParseSyncPolicy(s)
+}
+
+// ParseFrameLevels decodes the -tilt flag syntax shared by streamd and
+// regcube replay: "calendar", "log<N>x<S>", or "name:multiple:slots,...".
+func ParseFrameLevels(s string) ([]FrameLevel, error) { return tilt.ParseLevels(s) }
 
 // WriteDatasetCSV emits a dataset in the cmd/datagen CSV format.
 func WriteDatasetCSV(w io.Writer, ds *Dataset) error { return gen.WriteCSV(w, ds) }

@@ -2,7 +2,9 @@
 # End-to-end smoke test for the serving pipeline: pipe `datagen -stream`
 # into `streamd -listen`, query every HTTP endpoint mid-stream, then send
 # SIGINT and assert the graceful flush — the full binary path the unit
-# tests skip. Run from anywhere; needs go and curl.
+# tests skip. A second leg kill -9s a WAL-backed streamd mid-stream,
+# restarts it, queries the recovered state, and runs a `regcube replay`
+# what-if over the captured log. Run from anywhere; needs go and curl.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +20,7 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== build"
-go build -o "$workdir" ./cmd/datagen ./cmd/streamd ./cmd/queryprobe
+go build -o "$workdir" ./cmd/datagen ./cmd/streamd ./cmd/queryprobe ./cmd/regcube
 
 fifo="$workdir/stream.fifo"
 mkfifo "$fifo"
@@ -165,5 +167,83 @@ grep -q '# resumed at unit' "$workdir/resume.log" \
   -checkpoint "$workdir/state.json" < /dev/null > "$workdir/resume-flat.log" 2>&1
 grep -q '# resumed at unit' "$workdir/resume-flat.log" \
   || { echo "FAIL: no flat resume banner" >&2; cat "$workdir/resume-flat.log" >&2; exit 1; }
+
+echo "== WAL crash leg: kill -9 mid-stream, restart, replay, query"
+ADDR=127.0.0.1:18081
+waldir="$workdir/wal"
+walcp="$workdir/wal-state.json"
+fifo2="$workdir/wal.fifo"
+mkfifo "$fifo2"
+"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 60000 -pace 1ms \
+  > "$fifo2" 2>/dev/null &
+dpid=$!
+"$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 4 \
+  -wal-dir "$waldir" -wal-sync batch -checkpoint "$walcp" \
+  < "$fifo2" > "$workdir/wal-crash.log" 2>&1 &
+spid=$!
+sleep 2.5
+kill -9 "$spid"
+wait "$spid" 2>/dev/null || true
+spid=""
+kill "$dpid" 2>/dev/null || true
+wait "$dpid" 2>/dev/null || true
+dpid=""
+ls "$waldir"/wal-*.seg >/dev/null 2>&1 \
+  || { echo "FAIL: no WAL segments written before the crash" >&2; exit 1; }
+
+echo "== restart on the crashed WAL, keep streaming, query recovered state"
+fifo3="$workdir/wal2.fifo"
+mkfifo "$fifo3"
+# The fresh generator restarts ticks at 0, which the recovered engine is
+# long past; shift them far beyond anything the crashed run can have
+# reached (<= 2.5s / 1ms pace ≈ 2500 ticks, with generous slop). The
+# engine zero-fills the empty units in between, as for any quiet stream.
+"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 60000 -pace 5ms 2>/dev/null \
+  | awk -F, -v OFS=, '{ $1 += 50000; print }' > "$fifo3" &
+dpid=$!
+"$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 4 \
+  -wal-dir "$waldir" -wal-sync batch -checkpoint "$walcp" \
+  -listen "$ADDR" \
+  < "$fifo3" > "$workdir/wal-restart.log" 2>&1 &
+spid=$!
+ready=""
+for _ in $(seq 1 150); do
+  if h=$(fetch /healthz 2>/dev/null) && grep -q '"unitsDone":[1-9]' <<<"$h"; then
+    ready=yes
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$ready" ]; then
+  echo "FAIL: restarted server never served a completed unit" >&2
+  cat "$workdir/wal-restart.log" >&2
+  exit 1
+fi
+grep -q '# wal: replayed' "$workdir/wal-restart.log" \
+  || { echo "FAIL: restart did not replay the WAL" >&2; cat "$workdir/wal-restart.log" >&2; exit 1; }
+echo "   $(grep '# wal: replayed' "$workdir/wal-restart.log")"
+assert_json '/v1/summary'        '"cuboids":\['
+assert_json '/v1/exceptions?k=3' '"cells":\['
+kill -INT "$spid"
+wait "$spid" || { echo "FAIL: restarted streamd exited non-zero" >&2; cat "$workdir/wal-restart.log" >&2; exit 1; }
+spid=""
+kill "$dpid" 2>/dev/null || true
+wait "$dpid" 2>/dev/null || true
+dpid=""
+
+echo "== regcube replay: what-if the same log through 2 shards"
+"$workdir/regcube" replay -wal-dir "$waldir" -spec D2L2C4 -unit 15 \
+  -threshold 0.2 -shards 2 -quiet -checkpoint "$workdir/whatif.json" \
+  > "$workdir/whatif.log" 2>&1 \
+  || { echo "FAIL: regcube replay failed" >&2; cat "$workdir/whatif.log" >&2; exit 1; }
+grep -q '# replayed [1-9][0-9]* records' "$workdir/whatif.log" \
+  || { echo "FAIL: replay summary missing" >&2; cat "$workdir/whatif.log" >&2; exit 1; }
+echo "   $(grep '# replayed' "$workdir/whatif.log")"
+[ -s "$workdir/whatif.json" ] || { echo "FAIL: what-if checkpoint not written" >&2; exit 1; }
+# The what-if checkpoint is a real checkpoint: streamd resumes from it.
+"$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 2 \
+  -checkpoint "$workdir/whatif.json" < /dev/null > "$workdir/whatif-resume.log" 2>&1
+grep -q '# resumed at unit' "$workdir/whatif-resume.log" \
+  || { echo "FAIL: no resume banner from what-if checkpoint" >&2; cat "$workdir/whatif-resume.log" >&2; exit 1; }
 
 echo "e2e smoke OK"
