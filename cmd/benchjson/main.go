@@ -45,15 +45,52 @@ type Section struct {
 	GoVersion  string             `json:"go_version,omitempty"`
 	CPU        string             `json:"cpu,omitempty"`
 	Benches    map[string]Metrics `json:"benches"`
+	// Speedups holds before/after ratios computed with -ratio: for each
+	// bench whose name contains the OLD fragment and has a NEW-fragment
+	// counterpart, old ns/op divided by new ns/op, keyed by the
+	// counterpart's name.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+// speedups pairs each bench whose name contains old with the bench named
+// by swapping old for new, and returns ns/op ratios (old/new — >1 means
+// the new path is faster).
+func speedups(benches map[string]Metrics, old, new string) map[string]float64 {
+	out := make(map[string]float64)
+	for name, m := range benches {
+		if !strings.Contains(name, old) {
+			continue
+		}
+		counter := strings.Replace(name, old, new, 1)
+		cm, ok := benches[counter]
+		if !ok || cm.NsPerOp == 0 {
+			continue
+		}
+		out[counter] = m.NsPerOp / cm.NsPerOp
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 func main() {
 	out := flag.String("o", "", "JSON file to merge into (required)")
 	label := flag.String("label", "", "section label, e.g. baseline or pr2 (required)")
+	ratio := flag.String("ratio", "", "OLD=NEW name fragments; record ns/op speedups between paired benches (e.g. /text/=/binary/)")
 	flag.Parse()
 	if *out == "" || *label == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -o and -label are required")
 		os.Exit(2)
+	}
+	var ratioOld, ratioNew string
+	if *ratio != "" {
+		var ok bool
+		ratioOld, ratioNew, ok = strings.Cut(*ratio, "=")
+		if !ok || ratioOld == "" || ratioNew == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -ratio wants OLD=NEW name fragments")
+			os.Exit(2)
+		}
 	}
 
 	sec, err := parse(bufio.NewScanner(os.Stdin))
@@ -64,6 +101,10 @@ func main() {
 	if len(sec.Benches) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if ratioOld != "" {
+		sec.Speedups = speedups(sec.Benches, ratioOld, ratioNew)
 	}
 
 	file := make(map[string]*Section)
@@ -90,6 +131,16 @@ func main() {
 	}
 	sort.Strings(names)
 	fmt.Printf("benchjson: wrote %d benches to %s section %q\n", len(names), *out, *label)
+	if len(sec.Speedups) > 0 {
+		pairs := make([]string, 0, len(sec.Speedups))
+		for n := range sec.Speedups {
+			pairs = append(pairs, n)
+		}
+		sort.Strings(pairs)
+		for _, n := range pairs {
+			fmt.Printf("benchjson: speedup %s: %.2fx\n", n, sec.Speedups[n])
+		}
+	}
 }
 
 // parse reads `go test -bench` output: env header lines, then one line per

@@ -7,7 +7,10 @@
 // tick in global tick order, synthesized from each cell's regression line
 // plus noise. `datagen -stream | streamd` is then a complete online
 // pipeline. -pace slows emission to one tick per interval, turning the
-// batch generator into a live stream source.
+// batch generator into a live stream source. -format binary switches the
+// record encoding to the framed columnar wire format (internal/wire),
+// which streamd auto-detects on the same stdin; the records are
+// identical, only the envelope changes.
 //
 // With -query URL (alongside -stream) datagen doubles as a load
 // generator: while records stream to stdout, worker goroutines hammer the
@@ -39,6 +42,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/regression"
 	"repro/internal/timeseries"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -48,13 +52,18 @@ func main() {
 	stream := flag.Bool("stream", false, "emit raw stream records (tick,dims...,value) for streamd")
 	ticks := flag.Int("ticks", 10, "regression interval length per tuple")
 	pace := flag.Duration("pace", 0, "with -stream: delay between ticks (0 = as fast as possible)")
+	format := flag.String("format", "text", "with -stream: record encoding, text or binary")
 	queryURL := flag.String("query", "", "with -stream: also load-generate GET queries against this streamd base URL")
 	qinterval := flag.Duration("qinterval", 20*time.Millisecond, "with -query: delay between queries per worker")
 	qworkers := flag.Int("qworkers", 2, "with -query: concurrent query workers")
 	flag.Parse()
 
-	if !*stream && (*queryURL != "" || *pace != 0) {
-		fmt.Fprintln(os.Stderr, "datagen: -query and -pace only apply with -stream")
+	if !*stream && (*queryURL != "" || *pace != 0 || *format != "text") {
+		fmt.Fprintln(os.Stderr, "datagen: -query, -pace and -format only apply with -stream")
+		os.Exit(2)
+	}
+	if *format != "text" && *format != "binary" {
+		fmt.Fprintf(os.Stderr, "datagen: -format %q: want text or binary\n", *format)
 		os.Exit(2)
 	}
 
@@ -82,7 +91,7 @@ func main() {
 		if *queryURL != "" {
 			stopLoad = startLoad(*queryURL, *qinterval, *qworkers)
 		}
-		err := writeStream(w, ds, *ticks, *seed, *pace)
+		err := writeStream(w, ds, *ticks, *seed, *pace, *format == "binary")
 		if stopLoad != nil {
 			w.Flush() // deliver the tail before tearing the load down
 			stopLoad()
@@ -113,8 +122,10 @@ func main() {
 // per tick), each cell synthesizes a noisy series around its regression
 // line, and rows stream out in global tick order. With pace > 0 each
 // tick's rows are flushed and emission sleeps between ticks, simulating a
-// live source.
-func writeStream(w *bufio.Writer, ds *gen.Dataset, ticks int, seed int64, pace time.Duration) error {
+// live source. With binary the same records go out as framed columnar
+// batches instead of text lines; the float bits are identical either way,
+// so a consumer's state is bitwise independent of the encoding.
+func writeStream(w *bufio.Writer, ds *gen.Dataset, ticks int, seed int64, pace time.Duration, binary bool) error {
 	type cell struct {
 		members []int32
 		isb     regression.ISB
@@ -146,24 +157,45 @@ func writeStream(w *bufio.Writer, ds *gen.Dataset, ticks int, seed int64, pace t
 	for i, c := range cells {
 		series[i] = g.Linear(0, ticks, c.isb.Base, c.isb.Slope, 0.5)
 	}
+	var bw *wire.Writer
+	if binary {
+		var err error
+		if bw, err = wire.NewWriter(w, ds.Schema.NumDims()); err != nil {
+			return err
+		}
+	}
 	var rows int64
+	var line []byte
 	for t := 0; t < ticks; t++ {
 		if pace > 0 && t > 0 {
+			if bw != nil {
+				// Ship the tick's batch now so a paced consumer sees it.
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+			}
 			if err := w.Flush(); err != nil {
 				return err
 			}
 			time.Sleep(pace)
 		}
 		for i, c := range cells {
-			w.WriteString(strconv.FormatInt(int64(t), 10))
-			for _, m := range c.members {
-				w.WriteByte(',')
-				w.WriteString(strconv.FormatInt(int64(m), 10))
+			if bw != nil {
+				if err := bw.Append(int64(t), c.members, series[i].Values[t]); err != nil {
+					return err
+				}
+			} else {
+				line = gen.AppendStreamRecord(line[:0], int64(t), c.members, series[i].Values[t])
+				if _, err := w.Write(line); err != nil {
+					return err
+				}
 			}
-			w.WriteByte(',')
-			w.WriteString(strconv.FormatFloat(series[i].Values[t], 'g', -1, 64))
-			w.WriteByte('\n')
 			rows++
+		}
+	}
+	if bw != nil {
+		if err := bw.Flush(); err != nil {
+			return err
 		}
 	}
 	fmt.Fprintf(os.Stderr, "datagen: wrote %d stream records over %d ticks, %d cells (seed %d)\n",

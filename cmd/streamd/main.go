@@ -1,7 +1,15 @@
-// Command streamd runs the online analyzer (§4.5) over a CSV record
-// stream from stdin and prints o-layer alerts with their exception
-// drill-down as units complete. It checkpoints its state so a restart
-// resumes mid-unit without data loss.
+// Command streamd runs the online analyzer (§4.5) over a record stream
+// from stdin and prints o-layer alerts with their exception drill-down as
+// units complete. It checkpoints its state so a restart resumes mid-unit
+// without data loss.
+//
+// The input format is auto-detected: a stream opening with the
+// "RGCWIRE1" magic is the binary columnar wire format (length-prefixed
+// CRC32C frames carrying record batches, see internal/wire and DESIGN.md
+// §11), decoded with zero per-record allocation; anything else is the
+// text format below. `datagen -stream -format=binary | streamd` is the
+// fast path — the sharded router partitions whole batches with one
+// ancestor-table pass per dimension.
 //
 // With -shards N > 1 the analyzer hash-partitions m-layer cells by their
 // o-layer ancestors across N per-shard engines that ingest and cube in
@@ -42,7 +50,7 @@
 // history, and v3 files load into flat engines through the derived
 // finest-level history — so both knobs can change freely between restarts.
 //
-// Record format (no header): tick,dim0,...,dimN,value
+// Text record format (no header): tick,dim0,...,dimN,value
 //
 // Usage:
 //
@@ -54,7 +62,6 @@ package main
 import (
 	"bufio"
 	"context"
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
@@ -63,7 +70,6 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
 	"syscall"
 	"time"
 
@@ -74,12 +80,14 @@ import (
 	"repro/internal/stream"
 	"repro/internal/tilt"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
-// walBatchRecords is how many records accumulate before a WAL frame is
-// written. Small enough that a SyncInterval/SyncOff crash loses little,
-// large enough that SyncBatch doesn't fsync per record.
-const walBatchRecords = 64
+// textBatchRecords is how many text records accumulate into one columnar
+// batch before hand-off to the ingest loop. The reader also cuts a batch
+// whenever its buffer runs dry, so a paced producer's records are never
+// held back waiting for a full batch.
+const textBatchRecords = 512
 
 // options collects the flag values so tests drive run directly.
 type options struct {
@@ -127,19 +135,15 @@ func main() {
 }
 
 // engine is the surface shared by the single and sharded analyzers.
+// Batches are the unit of flow on the ingest path; Ingest remains for WAL
+// replay, which walks the row-oriented log record by record.
 type engine interface {
 	Ingest(members []int32, tick int64, value float64) ([]*stream.UnitResult, error)
+	IngestBatch(b *wire.Batch) ([]*stream.UnitResult, error)
 	Flush() (*stream.UnitResult, error)
 	Unit() int64
 	UnitsDone() int64
 	Snapshot() *stream.Snapshot
-}
-
-// row is one parsed input record.
-type row struct {
-	members []int32
-	tick    int64
-	value   float64
 }
 
 func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
@@ -254,21 +258,16 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 		}
 	}
 
-	// WAL plumbing. Every record is appended (buffered) to the log before
-	// ingest; ingestedSeq counts records the engine has consumed, and is
-	// the watermark checkpoints carry. saveCheckpoint flushes and fsyncs
-	// the log before stamping it, so a checkpoint's watermark never points
-	// past the durable log regardless of the -wal-sync policy.
+	// WAL plumbing. Every batch is appended to the log before ingest;
+	// ingestedSeq counts records the engine has consumed, and is the
+	// watermark checkpoints carry. saveCheckpoint fsyncs the log before
+	// stamping it, so a checkpoint's watermark never points past the
+	// durable log regardless of the -wal-sync policy.
 	var wlog *wal.Log
-	var pendingWAL []wal.Record
 	var ingestedSeq int64
 
 	saveCheckpoint := func() error {
 		if wlog != nil {
-			if err := wlog.Append(pendingWAL); err != nil {
-				return fmt.Errorf("wal append: %w", err)
-			}
-			pendingWAL = pendingWAL[:0]
 			if err := wlog.Sync(); err != nil {
 				return fmt.Errorf("wal sync: %w", err)
 			}
@@ -344,6 +343,10 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 		}
 	}
 
+	// ingestStats counts the decode edge (records, frames, decode errors
+	// per format); /metrics renders it when the query API is up.
+	ingestStats := &wire.IngestStats{}
+
 	// The query API serves concurrently with the ingest loop below; its
 	// only contact with the engine is the atomic snapshot load.
 	var srv *http.Server
@@ -357,8 +360,10 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 		// the whole request — including a POST /v1/query body — within 30s,
 		// idle keep-alives reaped after 2 minutes, headers capped at 64 KiB
 		// (the serving layer separately caps query bodies at 1 MiB).
+		handler := serve.New(eng, schema)
+		handler.SetIngestStats(ingestStats)
 		srv = &http.Server{
-			Handler:           serve.New(eng, schema),
+			Handler:           handler,
 			ReadHeaderTimeout: 5 * time.Second,
 			ReadTimeout:       30 * time.Second,
 			IdleTimeout:       2 * time.Minute,
@@ -379,79 +384,74 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 		}()
 	}
 
-	// Records are parsed in their own goroutine so a signal interrupts the
+	// Records are decoded in their own goroutine so a signal interrupts the
 	// loop even while a read from stdin is blocked; the reader goroutine
-	// itself dies with the process.
-	rows := make(chan row, 256)
+	// itself dies with the process. Decoded batches flow over a channel and
+	// drained batches flow back through the free list, so steady-state
+	// ingest allocates nothing per record in either direction.
+	// A shallow decode-ahead keeps the reader from racing the whole stream
+	// into fresh batches before any come back through the free list — two
+	// full frames in flight is plenty of pipeline slack, and steady state
+	// then recycles the same handful of batches instead of allocating.
+	batches := make(chan *wire.Batch, 2)
+	freeBatches := make(chan *wire.Batch, 16)
 	readErr := make(chan error, 1)
+	getBatch := func() *wire.Batch {
+		b := &wire.Batch{}
+		select {
+		case b = <-freeBatches:
+		default:
+		}
+		b.Reset(spec.Dims)
+		return b
+	}
 	go func() {
-		defer close(rows)
-		cr := csv.NewReader(bufio.NewReader(in))
-		cr.FieldsPerRecord = spec.Dims + 2
-		var n int64
-		for {
-			// Stop parsing once the signal fires — the prefer-send below
-			// still delivers the row in flight, so shutdown drains a
-			// bounded backlog instead of racing a fast producer.
-			select {
-			case <-ctx.Done():
-				return
-			default:
-			}
-			rec, err := cr.Read()
-			if err == io.EOF {
-				return
-			}
-			if err != nil {
-				readErr <- fmt.Errorf("record %d: %w", n+1, err)
-				return
-			}
-			r, err := parseRow(rec, spec.Dims)
-			if err != nil {
-				readErr <- fmt.Errorf("record %d: %w", n+1, err)
-				return
-			}
-			n++
-			// Unconditional hand-off: a parsed row is never abandoned. If
-			// the channel is full during shutdown, the main loop's drain
-			// frees a slot; if the main loop exited on an ingest error the
-			// blocked send leaks this goroutine, which only lasts until the
-			// process exits anyway.
-			rows <- r
+		defer close(batches)
+		br := bufio.NewReaderSize(in, 1<<16)
+		// Format negotiation: the wire magic's first byte can never open a
+		// text record, so peeking the magic length decides the decoder. A
+		// stream shorter than the magic falls through to the text parser.
+		peek, _ := br.Peek(len(wire.Magic))
+		if string(peek) == wire.Magic {
+			readBinary(ctx, br, spec.Dims, getBatch, batches, readErr, ingestStats)
+		} else {
+			readText(ctx, br, spec.Dims, getBatch, batches, readErr, ingestStats)
 		}
 	}()
 
 	var records int64
-	ingestRow := func(r row) error {
+	ingestBatch := func(b *wire.Batch) error {
 		if wlog != nil {
-			// Write-ahead: the record reaches the log (buffered; durable per
-			// the sync policy) before the engine sees it, in batches of
-			// walBatchRecords frames.
-			pendingWAL = append(pendingWAL, wal.Record{Tick: r.tick, Value: r.value, Members: r.members})
-			if len(pendingWAL) >= walBatchRecords {
-				if err := wlog.Append(pendingWAL); err != nil {
-					return fmt.Errorf("wal append: %w", err)
-				}
-				pendingWAL = pendingWAL[:0]
+			// Write-ahead: the whole batch reaches the log (one frame;
+			// durable per the sync policy) before the engine sees it.
+			if err := wlog.AppendColumnar(b); err != nil {
+				return fmt.Errorf("wal append: %w", err)
 			}
 		}
-		closed, ingestErr := eng.Ingest(r.members, r.tick, r.value)
+		closed, ingestErr := eng.IngestBatch(b)
 		if ingestErr == nil {
-			ingestedSeq++
+			ingestedSeq += int64(b.Len())
+			records += int64(b.Len())
 		}
-		// Units can close even when the record itself is rejected (the
-		// boundary crossing happens first); report and checkpoint them
-		// before surfacing the error, or their state would be lost.
+		// Units can close even when a record is rejected (boundary
+		// crossings happen first); report them before surfacing the error,
+		// or their output would be lost. The checkpoint is only cut after
+		// fully ingested batches, so its watermark is always exact.
 		if len(closed) > 0 {
 			report(closed)
-			if err := saveCheckpoint(); err != nil {
-				return fmt.Errorf("saving checkpoint: %w", err)
+			if ingestErr == nil {
+				if err := saveCheckpoint(); err != nil {
+					return fmt.Errorf("saving checkpoint: %w", err)
+				}
 			}
 		}
 		if ingestErr != nil {
 			return fmt.Errorf("record %d: %w", records+1, ingestErr)
 		}
-		records++
+		select {
+		case freeBatches <- b:
+		default:
+		}
 		return nil
 	}
 loop:
@@ -459,19 +459,19 @@ loop:
 		select {
 		case <-ctx.Done():
 			fmt.Fprintln(out, "# signal: flushing final unit")
-			// Ingest every row the reader already parsed before flushing.
-			// The timed case (instead of a non-blocking default) gives the
-			// reader a grace window to deliver a row it parsed just before
-			// the signal; it fires only once, when the reader has stopped
-			// or is still blocked reading stdin.
+			// Ingest every batch the reader already decoded before
+			// flushing. The timed case (instead of a non-blocking default)
+			// gives the reader a grace window to deliver a batch it cut
+			// just before the signal; it fires only once, when the reader
+			// has stopped or is still blocked reading stdin.
 		drain:
 			for {
 				select {
-				case r, ok := <-rows:
+				case b, ok := <-batches:
 					if !ok {
 						break drain
 					}
-					if err := ingestRow(r); err != nil {
+					if err := ingestBatch(b); err != nil {
 						return err
 					}
 				case <-time.After(100 * time.Millisecond):
@@ -479,11 +479,11 @@ loop:
 				}
 			}
 			break loop
-		case r, ok := <-rows:
+		case b, ok := <-batches:
 			if !ok {
 				break loop
 			}
-			if err := ingestRow(r); err != nil {
+			if err := ingestBatch(b); err != nil {
 				return err
 			}
 		}
@@ -516,23 +516,88 @@ func parseTiltLevels(s string) ([]tilt.Level, error) {
 	return tilt.ParseLevels(s)
 }
 
-// parseRow decodes one CSV record: tick,dim0,...,dimN,value.
-func parseRow(rec []string, dims int) (row, error) {
-	tick, err := strconv.ParseInt(rec[0], 10, 64)
+// readBinary decodes framed columnar batches (internal/wire) into the
+// batch channel until EOF, a decode error, or the signal. Frames decode
+// straight into recycled Batch storage — no per-record allocation.
+func readBinary(ctx context.Context, br *bufio.Reader, dims int, getBatch func() *wire.Batch,
+	batches chan<- *wire.Batch, readErr chan<- error, stats *wire.IngestStats) {
+	wr, err := wire.NewReader(br)
 	if err != nil {
-		return row{}, fmt.Errorf("tick: %w", err)
+		stats.AddDecodeError(wire.FormatBinary)
+		readErr <- fmt.Errorf("binary stream: %w", err)
+		return
 	}
-	members := make([]int32, dims)
-	for d := 0; d < dims; d++ {
-		v, err := strconv.ParseInt(rec[1+d], 10, 32)
-		if err != nil {
-			return row{}, fmt.Errorf("dim %d: %w", d, err)
+	if wr.Dims() != dims {
+		stats.AddDecodeError(wire.FormatBinary)
+		readErr <- fmt.Errorf("binary stream carries %d dimensions, -spec has %d", wr.Dims(), dims)
+		return
+	}
+	for {
+		// Stop decoding once the signal fires — the unconditional send
+		// below still delivers the batch in flight, so shutdown drains a
+		// bounded backlog instead of racing a fast producer.
+		select {
+		case <-ctx.Done():
+			return
+		default:
 		}
-		members[d] = int32(v)
+		b := getBatch()
+		n, err := wr.Next(b)
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			stats.AddDecodeError(wire.FormatBinary)
+			readErr <- fmt.Errorf("binary stream: %w", err)
+			return
+		}
+		stats.AddFrame(wire.FormatBinary)
+		stats.AddRecords(wire.FormatBinary, n)
+		batches <- b
 	}
-	value, err := strconv.ParseFloat(rec[dims+1], 64)
-	if err != nil {
-		return row{}, fmt.Errorf("value: %w", err)
+}
+
+// readText parses text records (tick,dim0,...,dimN,value) into columnar
+// batches, cutting a batch at textBatchRecords or whenever the buffer runs
+// dry — a paced producer's records are delivered as they arrive, a bulk
+// pipe is consumed in full batches.
+func readText(ctx context.Context, br *bufio.Reader, dims int, getBatch func() *wire.Batch,
+	batches chan<- *wire.Batch, readErr chan<- error, stats *wire.IngestStats) {
+	rr := gen.NewRecordReader(br, dims)
+	b := getBatch()
+	flush := func() {
+		if b.Len() > 0 {
+			stats.AddFrame(wire.FormatText)
+			stats.AddRecords(wire.FormatText, b.Len())
+			batches <- b
+			b = getBatch()
+		}
 	}
-	return row{members: members, tick: tick, value: value}, nil
+	var n int64
+	for {
+		select {
+		case <-ctx.Done():
+			flush()
+			return
+		default:
+		}
+		tick, members, value, err := rr.Next()
+		if err == io.EOF {
+			flush()
+			return
+		}
+		if err != nil {
+			// Records decoded before the bad one are still delivered, then
+			// the error fails the run.
+			flush()
+			stats.AddDecodeError(wire.FormatText)
+			readErr <- fmt.Errorf("record %d: %w", n+1, err)
+			return
+		}
+		n++
+		b.Append(tick, members, value)
+		if b.Len() >= textBatchRecords || rr.Buffered() == 0 {
+			flush()
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -95,4 +96,155 @@ func ReadCSV(r io.Reader, schema *cube.Schema) ([]core.Input, error) {
 		inputs = append(inputs, core.Input{Members: members, Measure: isb})
 	}
 	return inputs, nil
+}
+
+// AppendStreamRecord appends one text stream record —
+// tick,dim0,...,dimN,value plus a newline — to dst and returns the
+// extended slice. This is the single encoder for streamd's text input
+// format; RecordReader is its inverse.
+func AppendStreamRecord(dst []byte, tick int64, members []int32, value float64) []byte {
+	dst = strconv.AppendInt(dst, tick, 10)
+	for _, m := range members {
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(m), 10)
+	}
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, value, 'g', -1, 64)
+	return append(dst, '\n')
+}
+
+// RecordReader parses the text stream record format
+// (tick,dim0,...,dimN,value, one record per line, blank lines skipped) for
+// a fixed dimension count. It is the one decoder for the format — streamd
+// and every test consume it — and it parses off the caller's bufio.Reader
+// without pulling more input than the records it returns, so a consumer
+// can batch by "what has already arrived" (Buffered) without adding
+// latency to a paced stream. Not safe for concurrent use.
+type RecordReader struct {
+	br      *bufio.Reader
+	dims    int
+	members []int32
+	line    []byte
+}
+
+// NewRecordReader returns a reader for records with dims dimension
+// members.
+func NewRecordReader(br *bufio.Reader, dims int) *RecordReader {
+	return &RecordReader{br: br, dims: dims, members: make([]int32, dims)}
+}
+
+// Buffered reports how many input bytes are already in memory — when it
+// is 0 the next Next will block on the underlying reader.
+func (r *RecordReader) Buffered() int { return r.br.Buffered() }
+
+// Next parses one record. The members slice aliases storage reused by the
+// following Next — copy it to retain it. A clean end of input is io.EOF.
+func (r *RecordReader) Next() (tick int64, members []int32, value float64, err error) {
+	line, err := r.readLine()
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	rest := line
+	i := indexComma(rest)
+	if i < 0 {
+		return 0, nil, 0, fmt.Errorf("gen: record has too few fields, want %d", r.dims+2)
+	}
+	tick, err = parseIntField(rest[:i], "tick")
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	rest = rest[i+1:]
+	for d := 0; d < r.dims; d++ {
+		i = indexComma(rest)
+		if i < 0 {
+			return 0, nil, 0, fmt.Errorf("gen: record has too few fields, want %d", r.dims+2)
+		}
+		v, err := parseIntField(rest[:i], "member")
+		if err != nil {
+			return 0, nil, 0, fmt.Errorf("gen: dim %d: %w", d, err)
+		}
+		if v < -1<<31 || v > 1<<31-1 {
+			return 0, nil, 0, fmt.Errorf("gen: dim %d: member %d outside int32", d, v)
+		}
+		r.members[d] = int32(v)
+		rest = rest[i+1:]
+	}
+	if indexComma(rest) >= 0 {
+		return 0, nil, 0, fmt.Errorf("gen: record has more than %d fields", r.dims+2)
+	}
+	value, err = strconv.ParseFloat(string(rest), 64)
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("gen: value: %w", err)
+	}
+	return tick, r.members, value, nil
+}
+
+// readLine returns the next non-blank line with its terminator stripped,
+// reusing internal storage. A final line without a newline still counts.
+func (r *RecordReader) readLine() ([]byte, error) {
+	for {
+		r.line = r.line[:0]
+		for {
+			frag, err := r.br.ReadSlice('\n')
+			r.line = append(r.line, frag...)
+			if err == bufio.ErrBufferFull {
+				continue
+			}
+			if err != nil && (err != io.EOF || len(r.line) == 0) {
+				return nil, err
+			}
+			break
+		}
+		line := r.line
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			line = line[:n-1]
+		}
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		if len(line) > 0 {
+			return line, nil
+		}
+	}
+}
+
+func indexComma(b []byte) int {
+	for i, c := range b {
+		if c == ',' {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseIntField is strconv.ParseInt(s, 10, 64) over bytes, avoiding the
+// per-field string allocation on the ingest hot path.
+func parseIntField(b []byte, what string) (int64, error) {
+	s := b
+	neg := false
+	if len(s) > 0 && (s[0] == '-' || s[0] == '+') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	// 19 digits bound any int64; longer inputs could wrap uint64 silently.
+	if len(s) == 0 || len(s) > 19 {
+		return 0, fmt.Errorf("gen: %s: bad number %q", what, b)
+	}
+	var n uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("gen: %s: bad number %q", what, b)
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, fmt.Errorf("gen: %s: number %q overflows", what, b)
+		}
+		return -int64(n), nil
+	}
+	if n >= 1<<63 {
+		return 0, fmt.Errorf("gen: %s: number %q overflows", what, b)
+	}
+	return int64(n), nil
 }

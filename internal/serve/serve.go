@@ -51,6 +51,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // Source supplies published engine snapshots. *stream.Engine and
@@ -115,7 +116,14 @@ type Server struct {
 	// gone, connection reset); they also land in the per-endpoint error
 	// counters.
 	encodeErrors atomic.Int64
+	// ingest, when set, is the daemon's ingest-edge counters (records,
+	// frames, decode errors per format), rendered on /metrics.
+	ingest *wire.IngestStats
 }
+
+// SetIngestStats attaches the ingest-edge counters rendered on /metrics.
+// Call before serving; the stats object itself is concurrency-safe.
+func (s *Server) SetIngestStats(st *wire.IngestStats) { s.ingest = st }
 
 // New builds a query server over a snapshot source. Method-mismatched
 // requests get 405 with an Allow header from the route patterns.
@@ -326,6 +334,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 		if snap.Result != nil {
 			fmt.Fprintf(w, "regcube_snapshot_ocells %d\n", len(snap.Result.OLayer))
 			fmt.Fprintf(w, "regcube_snapshot_exceptions %d\n", len(snap.Result.Exceptions))
+		}
+	}
+	if s.ingest != nil {
+		for _, f := range wire.Formats {
+			fmt.Fprintf(w, "regcube_ingest_records_total{format=%q} %d\n", f, s.ingest.Records(f))
+			fmt.Fprintf(w, "regcube_ingest_frames_total{format=%q} %d\n", f, s.ingest.Frames(f))
+			fmt.Fprintf(w, "regcube_ingest_decode_errors_total{format=%q} %d\n", f, s.ingest.DecodeErrors(f))
 		}
 	}
 	fmt.Fprintf(w, "regcube_http_encode_errors_total %d\n", s.encodeErrors.Load())

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/exception"
 	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // testSchema is D2, fanout 2, m-level 2 (4×4 m-cells), o-level 1 (2×2
@@ -290,6 +291,54 @@ func TestMetricsCounters(t *testing.T) {
 	}
 	if !strings.Contains(body, "regcube_serving 1") || !strings.Contains(body, "regcube_snapshot_unit 0") {
 		t.Fatalf("metrics missing snapshot gauges:\n%s", body)
+	}
+	// Without SetIngestStats the ingest counters stay off /metrics: a
+	// query-only server has no ingest edge to report.
+	if strings.Contains(body, "regcube_ingest_records_total") {
+		t.Fatalf("ingest counters rendered without ingest stats:\n%s", body)
+	}
+}
+
+// TestIngestMetrics asserts the per-format ingest counters render and move
+// as the ingest edge reports decode progress and failures.
+func TestIngestMetrics(t *testing.T) {
+	srv, _, _ := testServer(t, 2, 1)
+	var stats wire.IngestStats
+	srv.SetIngestStats(&stats)
+
+	body := get(t, srv, "/metrics", nil).Body.String()
+	for _, line := range []string{
+		`regcube_ingest_records_total{format="text"} 0`,
+		`regcube_ingest_records_total{format="binary"} 0`,
+		`regcube_ingest_frames_total{format="text"} 0`,
+		`regcube_ingest_frames_total{format="binary"} 0`,
+		`regcube_ingest_decode_errors_total{format="text"} 0`,
+		`regcube_ingest_decode_errors_total{format="binary"} 0`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics missing %q:\n%s", line, body)
+		}
+	}
+
+	stats.AddRecords(wire.FormatText, 7)
+	stats.AddFrame(wire.FormatText)
+	stats.AddRecords(wire.FormatBinary, 4096)
+	stats.AddFrame(wire.FormatBinary)
+	stats.AddFrame(wire.FormatBinary)
+	stats.AddDecodeError(wire.FormatBinary)
+
+	body = get(t, srv, "/metrics", nil).Body.String()
+	for _, line := range []string{
+		`regcube_ingest_records_total{format="text"} 7`,
+		`regcube_ingest_frames_total{format="text"} 1`,
+		`regcube_ingest_records_total{format="binary"} 4096`,
+		`regcube_ingest_frames_total{format="binary"} 2`,
+		`regcube_ingest_decode_errors_total{format="text"} 0`,
+		`regcube_ingest_decode_errors_total{format="binary"} 1`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics did not move, missing %q:\n%s", line, body)
+		}
 	}
 }
 

@@ -1,0 +1,196 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/exception"
+	"repro/internal/wire"
+)
+
+// shardedCheckpointJSON is checkpointJSON for the sharded envelope.
+func shardedCheckpointJSON(t *testing.T, cp *ShardedCheckpoint) []byte {
+	t.Helper()
+	b, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// toBatches packs a record stream into wire batches with cycling sizes so
+// cuts land everywhere relative to unit boundaries: mid-unit, exactly on a
+// boundary, spanning several units in one batch.
+func toBatches(recs []testRecord, sizes ...int) []*wire.Batch {
+	if len(sizes) == 0 {
+		sizes = []int{1, 3, 17, 64, 5}
+	}
+	var out []*wire.Batch
+	i, s := 0, 0
+	for i < len(recs) {
+		n := sizes[s%len(sizes)]
+		s++
+		if n > len(recs)-i {
+			n = len(recs) - i
+		}
+		var b wire.Batch
+		b.Reset(len(recs[i].members))
+		for _, r := range recs[i : i+n] {
+			b.Append(r.tick, r.members, r.value)
+		}
+		out = append(out, &b)
+		i += n
+	}
+	return out
+}
+
+func feedBatches(t *testing.T, e interface {
+	IngestBatch(b *wire.Batch) ([]*UnitResult, error)
+}, flush func() (*UnitResult, error), batches []*wire.Batch) []*UnitResult {
+	t.Helper()
+	var out []*UnitResult
+	for _, b := range batches {
+		closed, err := e.IngestBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, closed...)
+	}
+	final, err := flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, final)
+}
+
+// The batch-path property: the same records through IngestBatch — at any
+// batch cut — close the same units and leave the same engine state,
+// bitwise, as record-at-a-time Ingest, for the single engine and for every
+// shard count. Checkpoints are compared in canonical serialized form.
+func TestIngestBatchMatchesIngest(t *testing.T) {
+	cfg := Config{
+		Schema:       wideSchema(t),
+		TicksPerUnit: 4,
+		Threshold:    exception.Global(1.0),
+		Delta:        &exception.Delta{MinSlopeChange: 0.8},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		recs := genStream(seed, 6, 4, 2)
+		batches := toBatches(recs)
+
+		ref, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := feed(t, ref, recs)
+		wantCP := checkpointJSON(t, ref.Checkpoint())
+
+		single, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := feedBatches(t, single, single.Flush, batches)
+		requireSameResults(t, "engine/batch", want, got)
+		if gotCP := checkpointJSON(t, single.Checkpoint()); !bytes.Equal(wantCP, gotCP) {
+			t.Fatalf("seed %d: single-engine batch checkpoint differs from record-at-a-time", seed)
+		}
+
+		for _, shards := range []int{1, 4, 7} {
+			recSh, err := NewShardedEngine(cfg, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feed(t, recSh, recs)
+			recCP, err := recSh.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantShCP := shardedCheckpointJSON(t, recCP)
+
+			sh, err := NewShardedEngine(cfg, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := feedBatches(t, sh, sh.Flush, batches)
+			requireSameResults(t, "sharded/batch", want, got)
+			cp, err := sh.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCP := shardedCheckpointJSON(t, cp); !bytes.Equal(wantShCP, gotCP) {
+				t.Fatalf("seed %d shards %d: batch checkpoint differs from record-at-a-time", seed, shards)
+			}
+			recSh.Close()
+			sh.Close()
+		}
+	}
+}
+
+// Batch-level validation fails the whole segment before any of its records
+// are routed, with a typed ErrRecord, and earlier complete segments stand.
+func TestIngestBatchValidation(t *testing.T) {
+	cfg := Config{Schema: wideSchema(t), TicksPerUnit: 4, Threshold: exception.Global(1.0)}
+
+	newBatch := func(dims int, recs ...testRecord) *wire.Batch {
+		var b wire.Batch
+		b.Reset(dims)
+		for _, r := range recs {
+			b.Append(r.tick, r.members, r.value)
+		}
+		return &b
+	}
+
+	type batchIngester interface {
+		IngestBatch(b *wire.Batch) ([]*UnitResult, error)
+	}
+	for _, mk := range []func(t *testing.T) batchIngester{
+		func(t *testing.T) batchIngester {
+			e, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		},
+		func(t *testing.T) batchIngester {
+			e, err := NewShardedEngine(cfg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(e.Close)
+			return e
+		},
+	} {
+		e := mk(t)
+
+		// Wrong dimension count.
+		if _, err := e.IngestBatch(newBatch(3, testRecord{members: []int32{1, 2, 3}, tick: 0})); err == nil {
+			t.Fatal("3-dim batch accepted by 2-dim engine")
+		}
+
+		// Ragged columns.
+		ragged := newBatch(2, testRecord{members: []int32{1, 2}, tick: 0, value: 1})
+		ragged.Values = ragged.Values[:0]
+		if _, err := e.IngestBatch(ragged); err == nil {
+			t.Fatal("ragged batch accepted")
+		}
+
+		// Member outside the m-layer: the router must reject it before
+		// ancestor resolution. (The single engine defers member validation
+		// to unit close, as Ingest does.)
+		if sh, ok := e.(*ShardedEngine); ok {
+			if _, err := sh.IngestBatch(newBatch(2, testRecord{members: []int32{1, 99}, tick: 0})); err == nil {
+				t.Fatal("out-of-range member accepted")
+			}
+		}
+
+		// A valid batch, then one that regresses behind the open unit: the
+		// first stands, the second fails.
+		if _, err := e.IngestBatch(newBatch(2, testRecord{members: []int32{1, 1}, tick: 9, value: 1})); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.IngestBatch(newBatch(2, testRecord{members: []int32{1, 1}, tick: 1, value: 1})); err == nil {
+			t.Fatal("tick before the open unit accepted")
+		}
+	}
+}

@@ -99,6 +99,11 @@ func (e *Engine) Checkpoint() *Checkpoint {
 	}
 	defer cp.normalize()
 	nd := len(e.cfg.Schema.Dims)
+	for _, idx := range e.denseActive {
+		members := make([]int32, nd)
+		e.denseMembers(idx, members)
+		cp.Cells = append(cp.Cells, CellState{Members: members, Acc: e.dense[idx].State()})
+	}
 	for key, acc := range e.cells {
 		cp.Cells = append(cp.Cells, CellState{
 			Members: append([]int32(nil), key[:nd]...),
@@ -193,6 +198,10 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	// base (the first restored unit carries no delta cube).
 	e.prevInputs = nil
 	e.cells = make(map[[cube.MaxDims]int32]*regression.Accumulator, len(cp.Cells))
+	for _, idx := range e.denseActive {
+		e.dense[idx] = nil
+	}
+	e.denseActive = e.denseActive[:0]
 	for _, cs := range cp.Cells {
 		if len(cs.Members) != len(e.cfg.Schema.Dims) {
 			return fmt.Errorf("%w: checkpoint cell has %d members", ErrConfig, len(cs.Members))
@@ -200,6 +209,15 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 		acc, err := regression.RestoreAccumulator(cs.Acc)
 		if err != nil {
 			return fmt.Errorf("stream: restoring accumulator: %w", err)
+		}
+		if e.dense != nil {
+			if idx, ok := e.denseIndex(cs.Members); ok {
+				if e.dense[idx] == nil {
+					e.denseActive = append(e.denseActive, idx)
+				}
+				e.dense[idx] = acc
+				continue
+			}
 		}
 		var key [cube.MaxDims]int32
 		copy(key[:], cs.Members)

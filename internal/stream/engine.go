@@ -164,8 +164,22 @@ type Engine struct {
 	// comparisons.
 	openStart int64
 	openEnd   int64
-	cells     map[[cube.MaxDims]int32]*regression.Accumulator
-	history   map[cube.CellKey][]historyEntry
+	// cells holds the open unit's per-cell accumulators keyed by the full
+	// member tuple. When the m-layer is small enough (denseCells), the hot
+	// path uses the dense direct-index table below instead — hashing a
+	// MaxDims-wide array key costs more than the whole regression update —
+	// and this map only sees out-of-range members, which must keep their
+	// own cells so their error still surfaces at unit close.
+	cells map[[cube.MaxDims]int32]*regression.Accumulator
+	// dense[i] is the accumulator of the cell whose mixed-radix member
+	// index is i (strides/cards below); nil when the m-layer is too large.
+	// denseActive lists the occupied indexes, so closes and checkpoints
+	// never scan the whole table.
+	dense       []*regression.Accumulator
+	denseActive []int64
+	strides     [cube.MaxDims]int64
+	cards       [cube.MaxDims]int32
+	history     map[cube.CellKey][]historyEntry
 	// frames holds the per-o-cell tilt frames; non-nil exactly when
 	// Config.TiltLevels is set, in which case history stays empty and
 	// trend state lives here instead.
@@ -240,7 +254,50 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if len(cfg.TiltLevels) > 0 {
 		e.frames = make(map[cube.CellKey]*cellFrame)
 	}
+	// Direct-index cell storage when the m-layer is small enough: one
+	// mixed-radix index per member tuple replaces the map hash of a
+	// MaxDims-wide key on the per-record path.
+	size := int64(1)
+	for d, dim := range cfg.Schema.Dims {
+		card := int64(dim.Hierarchy.Cardinality(dim.MLevel))
+		e.cards[d] = int32(card)
+		e.strides[d] = size
+		size *= card
+		if size > denseCells {
+			size = 0
+			break
+		}
+	}
+	if size > 0 {
+		e.dense = make([]*regression.Accumulator, size)
+	}
 	return e, nil
+}
+
+// denseCells bounds the direct-index cell table: an m-layer with at most
+// this many potential cells gets O(1) indexed lookups (512 KiB of pointers
+// at the cap); anything larger stays on the map.
+const denseCells = 1 << 16
+
+// denseIndex returns the mixed-radix index of a member tuple, or false when
+// any member falls outside its dimension's m-layer (those cells live in the
+// fallback map so their error still surfaces at unit close).
+func (e *Engine) denseIndex(members []int32) (int64, bool) {
+	idx := int64(0)
+	for d, m := range members {
+		if uint32(m) >= uint32(e.cards[d]) {
+			return 0, false
+		}
+		idx += int64(m) * e.strides[d]
+	}
+	return idx, true
+}
+
+// denseMembers decodes a mixed-radix index back into the member tuple.
+func (e *Engine) denseMembers(idx int64, members []int32) {
+	for d := 0; d < e.nd; d++ {
+		members[d] = int32(idx / e.strides[d] % int64(e.cards[d]))
+	}
 }
 
 // Unit returns the index of the currently open unit.
@@ -251,7 +308,7 @@ func (e *Engine) UnitsDone() int64 { return e.unitsDone }
 
 // ActiveCells returns the number of m-layer cells with data in the open
 // unit.
-func (e *Engine) ActiveCells() int { return len(e.cells) }
+func (e *Engine) ActiveCells() int { return len(e.denseActive) + len(e.cells) }
 
 // WALSeq returns the WAL watermark: the count of write-ahead-log records
 // this engine's state reflects (zero when no WAL is in use).
@@ -289,12 +346,26 @@ func (e *Engine) Ingest(members []int32, tick int64, value float64) ([]*UnitResu
 		closed = append(closed, ur)
 	}
 
-	var key [cube.MaxDims]int32
-	copy(key[:], members)
-	acc, ok := e.cells[key]
-	if !ok {
-		acc = e.newAccumulator()
-		e.cells[key] = acc
+	var acc *regression.Accumulator
+	if e.dense != nil {
+		if idx, ok := e.denseIndex(members); ok {
+			acc = e.dense[idx]
+			if acc == nil {
+				acc = e.newAccumulator()
+				e.dense[idx] = acc
+				e.denseActive = append(e.denseActive, idx)
+			}
+		}
+	}
+	if acc == nil {
+		var key [cube.MaxDims]int32
+		copy(key[:], members)
+		var ok bool
+		acc, ok = e.cells[key]
+		if !ok {
+			acc = e.newAccumulator()
+			e.cells[key] = acc
+		}
 	}
 	if tick < acc.NextTick() {
 		return closed, fmt.Errorf("%w: tick %d already consumed for cell (next %d)", ErrRecord, tick, acc.NextTick())
@@ -355,19 +426,34 @@ func (e *Engine) closeUnit() (*UnitResult, error) {
 	nd := len(e.cfg.Schema.Dims)
 	inputs := e.inputBufs[e.bufSel][:0]
 	if inputs == nil {
-		inputs = make([]core.Input, 0, len(e.cells))
+		inputs = make([]core.Input, 0, e.ActiveCells())
 	}
 	arena := e.memberBufs[e.bufSel][:0]
-	for key, acc := range e.cells {
+	harvest := func(members []int32, acc *regression.Accumulator) error {
 		acc.AdvanceTo(hi + 1) // zero-pad to the unit boundary, in O(1)
 		isb, err := acc.Snapshot()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		start := len(arena)
-		arena = append(arena, key[:nd]...)
+		arena = append(arena, members...)
 		inputs = append(inputs, core.Input{Members: arena[start:len(arena):len(arena)], Measure: isb})
 		e.accPool = append(e.accPool, acc)
+		return nil
+	}
+	var denseKey [cube.MaxDims]int32
+	for _, idx := range e.denseActive {
+		e.denseMembers(idx, denseKey[:nd])
+		if err := harvest(denseKey[:nd], e.dense[idx]); err != nil {
+			return nil, err
+		}
+		e.dense[idx] = nil
+	}
+	e.denseActive = e.denseActive[:0]
+	for key, acc := range e.cells {
+		if err := harvest(key[:nd], acc); err != nil {
+			return nil, err
+		}
 	}
 	// Bound recycled state to a small multiple of this unit's size, so one
 	// bursty unit cannot pin its peak footprint forever.

@@ -2,12 +2,14 @@ package stream
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/regression"
+	"repro/internal/wire"
 )
 
 // ingestBatchSize is how many records the coordinator buffers per shard
@@ -15,18 +17,12 @@ import (
 // amortizes channel synchronization (and, on loaded machines, goroutine
 // switches) over the per-record accumulator work; correctness never
 // depends on it because every unit boundary, query, and checkpoint drains
-// the buffers first. 512 records is 24 KiB per batch — big enough to
-// amortize the handoff, small enough that a full shard fan-out's pending
+// the buffers first. The buffers are columnar (wire.Batch) — ~20 bytes per
+// record instead of a fixed max-width struct — so 512 records is ~10 KiB
+// per sub-batch: big enough to amortize the handoff and the goroutine
+// switch it implies, small enough that a full shard fan-out's pending
 // buffers stay cache-resident.
 const ingestBatchSize = 512
-
-// record is one buffered stream record. Members are stored inline so a
-// batch is a single allocation.
-type record struct {
-	members [cube.MaxDims]int32
-	tick    int64
-	value   float64
-}
 
 // shardReply carries a control operation's outcome back to the
 // coordinator.
@@ -35,12 +31,12 @@ type shardReply struct {
 	err error
 }
 
-// shardMsg is one message to a shard goroutine: either a record batch
-// (recs, fire-and-forget) or a control operation (fn, answered on reply).
-// reset clears the shard's sticky error first — only Restore sets it,
-// because restoring replaces whatever state the error poisoned.
+// shardMsg is one message to a shard goroutine: either a columnar record
+// sub-batch (batch, fire-and-forget) or a control operation (fn, answered
+// on reply). reset clears the shard's sticky error first — only Restore
+// sets it, because restoring replaces whatever state the error poisoned.
 type shardMsg struct {
-	recs  []record
+	batch *wire.Batch
 	fn    func(*Engine) (any, error)
 	reply chan shardReply
 	reset bool
@@ -97,10 +93,17 @@ type ShardedEngine struct {
 	// openEnd caches unitStart(unit+1) so the per-record boundary test is
 	// one comparison.
 	openEnd int64
-	pending [][]record
-	// free recycles drained record batches back from the shard goroutines,
-	// so steady-state ingest stops allocating batch slices.
-	free chan []record
+	pending []*wire.Batch
+	// hashBuf is routeSegment's per-record hash scratch, reused across
+	// batches so columnar routing allocates nothing at steady state.
+	// scatterBase/scatterCur hold the per-shard write offsets for the
+	// cursor scatter (one cell per shard, reused the same way).
+	hashBuf     []uint64
+	scatterBase []int
+	scatterCur  []int
+	// free recycles drained sub-batches back from the shard goroutines,
+	// so steady-state ingest stops allocating batch storage.
+	free chan *wire.Batch
 	unit int64
 	done int64
 	// prevNonEmpty tracks whether the last closed unit had data in any
@@ -130,7 +133,7 @@ func NewShardedEngine(cfg Config, shards int) (*ShardedEngine, error) {
 	s := &ShardedEngine{
 		cfg:     cfg,
 		shards:  make([]*shard, shards),
-		pending: make([][]record, shards),
+		pending: make([]*wire.Batch, shards),
 	}
 	// Shard engines never publish their own snapshots: a per-shard view
 	// would expose partial units, and the coordinator merges histories at
@@ -169,43 +172,33 @@ func NewShardedEngine(cfg Config, shards int) (*ShardedEngine, error) {
 		}
 	}
 	s.openEnd = s.unitStart(1)
-	s.free = make(chan []record, 4*shards)
+	s.free = make(chan *wire.Batch, 4*shards)
 	for i := range s.shards {
 		sh := &shard{in: make(chan shardMsg, 4), done: make(chan struct{})}
 		s.shards[i] = sh
-		go sh.run(engines[i], s.nDims, s.free)
+		go sh.run(engines[i], s.free)
 	}
 	return s, nil
 }
 
-// run is the shard goroutine: drain record batches into the engine,
+// run is the shard goroutine: drain columnar sub-batches into the engine,
 // answer control operations, keep the first ingest error sticky. Drained
 // batches go back to the coordinator through the free list (dropped when
 // it is full), closing the zero-allocation ingest loop.
-func (sh *shard) run(eng *Engine, nDims int, free chan []record) {
+func (sh *shard) run(eng *Engine, free chan *wire.Batch) {
 	defer close(sh.done)
 	var sticky error
 	for msg := range sh.in {
 		if msg.fn == nil {
 			if sticky == nil {
-				for i := range msg.recs {
-					r := &msg.recs[i]
-					closed, err := eng.Ingest(r.members[:nDims], r.tick, r.value)
-					if err != nil {
-						sticky = err
-						break
-					}
-					if len(closed) > 0 {
-						// The coordinator barriers every boundary before
-						// dispatching the crossing record, so a shard never
-						// closes units on its own.
-						sticky = fmt.Errorf("%w: shard closed unit outside a barrier", ErrConfig)
-						break
-					}
-				}
+				// The coordinator barriers every boundary before dispatching
+				// the crossing record, so every record here is inside the
+				// open unit — ingestRun rejects anything else, keeping a
+				// shard from ever closing units on its own.
+				sticky = eng.ingestRun(msg.batch, 0, msg.batch.Len())
 			}
 			select {
-			case free <- msg.recs[:0]:
+			case free <- msg.batch:
 			default:
 			}
 			continue
@@ -238,7 +231,10 @@ func (s *ShardedEngine) unitStart(u int64) int64 {
 // hashMembers mixes the o-level member tuple with one 64-bit FNV-style
 // fold per dimension plus a splitmix64 avalanche — a fixed, stable
 // partition function (checkpoints repartition identically on every run),
-// far cheaper than byte-wise hashing on the per-record path.
+// far cheaper than byte-wise hashing on the per-record path. The hash maps
+// to a shard with a multiply-high range reduction instead of a modulo: the
+// avalanched bits are uniform, and the multiply is several times cheaper
+// than a 64-bit divide on the per-record path.
 func (s *ShardedEngine) hashMembers(members *[cube.MaxDims]int32) int {
 	h := uint64(1469598103934665603)
 	for d := 0; d < s.nDims; d++ {
@@ -249,7 +245,8 @@ func (s *ShardedEngine) hashMembers(members *[cube.MaxDims]int32) int {
 	h ^= h >> 27
 	h *= 0x94d049bb133111eb
 	h ^= h >> 31
-	return int(h % uint64(len(s.shards)))
+	sid, _ := bits.Mul64(h, uint64(len(s.shards)))
+	return int(sid)
 }
 
 // shardOf routes an m-layer member tuple by its o-layer ancestor.
@@ -269,15 +266,18 @@ func (s *ShardedEngine) shardOf(members []int32) (int, error) {
 	return s.hashMembers(&o), nil
 }
 
-// getBatch draws a recycled batch slice, or allocates while the free list
-// warms up.
-func (s *ShardedEngine) getBatch() []record {
+// getBatch draws a recycled sub-batch, or allocates while the free list
+// warms up. Either way the batch comes back empty with this engine's
+// dimension count.
+func (s *ShardedEngine) getBatch() *wire.Batch {
+	var b *wire.Batch
 	select {
-	case b := <-s.free:
-		return b
+	case b = <-s.free:
 	default:
-		return make([]record, 0, ingestBatchSize)
+		b = &wire.Batch{}
 	}
+	b.Reset(s.nDims)
+	return b
 }
 
 // ready guards every public operation behind the closed/sticky-error state.
@@ -288,11 +288,11 @@ func (s *ShardedEngine) ready() error {
 	return s.err
 }
 
-// flushPending hands every buffered batch to its shard goroutine.
+// flushPending hands every buffered sub-batch to its shard goroutine.
 func (s *ShardedEngine) flushPending() {
 	for i, batch := range s.pending {
-		if len(batch) > 0 {
-			s.shards[i].in <- shardMsg{recs: batch}
+		if batch != nil && batch.Len() > 0 {
+			s.shards[i].in <- shardMsg{batch: batch}
 			s.pending[i] = nil
 		}
 	}
@@ -354,15 +354,14 @@ func (s *ShardedEngine) Ingest(members []int32, tick int64, value float64) ([]*U
 	if err != nil {
 		return closed, err
 	}
-	var r record
-	copy(r.members[:], members)
-	r.tick, r.value = tick, value
-	if s.pending[sid] == nil {
-		s.pending[sid] = s.getBatch()
+	p := s.pending[sid]
+	if p == nil {
+		p = s.getBatch()
+		s.pending[sid] = p
 	}
-	s.pending[sid] = append(s.pending[sid], r)
-	if len(s.pending[sid]) >= ingestBatchSize {
-		s.shards[sid].in <- shardMsg{recs: s.pending[sid]}
+	p.Append(tick, members, value)
+	if p.Len() >= ingestBatchSize {
+		s.shards[sid].in <- shardMsg{batch: p}
 		s.pending[sid] = nil
 	}
 	return closed, nil

@@ -2,47 +2,45 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 	"math"
+
+	"repro/internal/wire"
 )
 
 // Frame layout, little-endian:
 //
 //	uint32 payload length | uint32 CRC32C(payload) | payload
 //
-// A frame carries one encoded record batch. The length prefix makes the
-// log self-delimiting; the CRC (Castagnoli polynomial) detects bit rot and
-// torn writes. A zero length is never written — a tail of zero-filled
-// blocks (the classic post-crash state on extent-allocating filesystems)
-// must read as corruption, not as an endless run of valid empty frames.
+// The framing itself lives in internal/wire — the log and the binary
+// ingest wire ship identically framed payloads — and this file keeps the
+// log's batch payload codec plus thin wrappers that translate wire's
+// corruption sentinel into the log's. A zero length is never written — a
+// tail of zero-filled blocks (the classic post-crash state on
+// extent-allocating filesystems) must read as corruption, not as an
+// endless run of valid empty frames.
 //
-// Batch payload layout:
+// Batch payload layout (row-oriented, unlike the wire's columnar batches —
+// replay walks records in order and never needs columns):
 //
 //	uvarint record count
 //	per record: uvarint member count, varint members..., varint tick,
 //	            8-byte IEEE-754 value bits
 const (
-	// frameHeaderSize is the fixed prefix before each frame's payload.
-	frameHeaderSize = 8
 	// MaxFramePayload bounds a single frame's payload. Lengths beyond it
 	// are corruption by definition, so a flipped length byte cannot make a
 	// reader attempt a multi-gigabyte allocation.
-	MaxFramePayload = 16 << 20
+	MaxFramePayload = wire.MaxFramePayload
 	// maxRecordMembers bounds the per-record member count the codec
 	// accepts; streams have at most a handful of dimensions.
-	maxRecordMembers = 64
+	maxRecordMembers = wire.MaxDims
 )
-
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // EncodeFrame appends the framed payload to dst and returns the extended
 // slice.
 func EncodeFrame(dst []byte, payload []byte) []byte {
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
-	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
-	return append(dst, payload...)
+	return wire.EncodeFrame(dst, payload)
 }
 
 // DecodeFrame decodes the first frame in b. It returns the payload (a
@@ -56,25 +54,14 @@ func EncodeFrame(dst []byte, payload []byte) []byte {
 //
 // It never panics on arbitrary input.
 func DecodeFrame(b []byte) (payload []byte, n int, err error) {
-	if len(b) == 0 {
-		return nil, 0, io.EOF
+	payload, n, err = wire.DecodeFrame(b)
+	if err != nil && errors.Is(err, wire.ErrCorrupt) {
+		// ErrTorn is shared outright; corruption keeps the log's own
+		// sentinel (it also covers manifest and header damage) while
+		// remaining matchable as the wire's.
+		return nil, 0, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
-	if len(b) < frameHeaderSize {
-		return nil, 0, fmt.Errorf("%w: %d-byte tail shorter than the frame header", ErrTorn, len(b))
-	}
-	length := binary.LittleEndian.Uint32(b[0:4])
-	if length == 0 || length > MaxFramePayload {
-		return nil, 0, fmt.Errorf("%w: frame length %d outside (0,%d]", ErrCorrupt, length, MaxFramePayload)
-	}
-	total := frameHeaderSize + int(length)
-	if len(b) < total {
-		return nil, 0, fmt.Errorf("%w: frame wants %d bytes, %d remain", ErrTorn, total, len(b))
-	}
-	payload = b[frameHeaderSize:total]
-	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:8]); got != want {
-		return nil, 0, fmt.Errorf("%w: frame checksum %08x, want %08x", ErrCorrupt, got, want)
-	}
-	return payload, total, nil
+	return payload, n, err
 }
 
 // EncodeBatch appends the batch encoding of recs to dst and returns the
@@ -88,6 +75,23 @@ func EncodeBatch(dst []byte, recs []Record) []byte {
 		}
 		dst = binary.AppendVarint(dst, r.Tick)
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Value))
+	}
+	return dst
+}
+
+// appendColumnarBatch appends the same batch encoding, reading records
+// column-wise from a wire batch instead of a []Record — the binary ingest
+// path logs straight from decoded columns without materializing rows.
+func appendColumnarBatch(dst []byte, b *wire.Batch) []byte {
+	dims := len(b.Cols)
+	dst = binary.AppendUvarint(dst, uint64(b.Len()))
+	for i, tick := range b.Ticks {
+		dst = binary.AppendUvarint(dst, uint64(dims))
+		for d := 0; d < dims; d++ {
+			dst = binary.AppendVarint(dst, int64(b.Cols[d][i]))
+		}
+		dst = binary.AppendVarint(dst, tick)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.Values[i]))
 	}
 	return dst
 }

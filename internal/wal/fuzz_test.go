@@ -4,6 +4,8 @@ import (
 	"errors"
 	"io"
 	"testing"
+
+	"repro/internal/wire"
 )
 
 // FuzzDecodeFrame drives the recovery decoder with arbitrary bytes: every
@@ -19,7 +21,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	}))
 	f.Add(valid)
 	f.Add(valid[:3])
-	f.Add(valid[:frameHeaderSize])
+	f.Add(valid[:wire.FrameHeaderLen])
 	f.Add(valid[:len(valid)-2])
 	f.Add(make([]byte, 64))
 	flipped := append([]byte(nil), valid...)
@@ -30,7 +32,7 @@ func FuzzDecodeFrame(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		// Walk frames exactly as scanSegment does, bounding the walk by
-		// the input length (each frame consumes ≥ frameHeaderSize bytes).
+		// the input length (each frame consumes ≥ wire.FrameHeaderLen bytes).
 		rest := b
 		for {
 			payload, n, err := DecodeFrame(rest)

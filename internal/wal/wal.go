@@ -36,14 +36,20 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // Typed failure classes. ErrTorn marks an incomplete tail write (the
 // expected post-crash state; recovery truncates it silently); ErrCorrupt
 // marks data that was durably written and then damaged, or a log directory
-// whose segments and manifest disagree — never repaired silently.
+// whose segments and manifest disagree — never repaired silently. ErrTorn
+// is the wire package's sentinel: a torn log tail and a torn ingest stream
+// are the same failure, cut at the same frame boundary. ErrCorrupt stays
+// the log's own (it also covers manifest and segment-header damage), but
+// frame-level corruption wraps wire.ErrCorrupt too.
 var (
-	ErrTorn    = errors.New("wal: torn frame")
+	ErrTorn    = wire.ErrTorn
 	ErrCorrupt = errors.New("wal: corrupt log")
 )
 
@@ -467,6 +473,25 @@ func (l *Log) Append(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	l.payload = EncodeBatch(l.payload[:0], recs)
+	return l.appendPayload(int64(len(recs)))
+}
+
+// AppendColumnar writes one frame carrying the records of a wire batch and
+// advances Seq by b.Len(). The on-disk encoding is identical to Append on
+// the equivalent []Record — the log format does not fork — so replay and
+// recovery are oblivious to which ingest path fed the log.
+func (l *Log) AppendColumnar(b *wire.Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	l.payload = appendColumnarBatch(l.payload[:0], b)
+	return l.appendPayload(int64(b.Len()))
+}
+
+// appendPayload frames l.payload, writes it, and applies rotation and the
+// sync policy. recs is how far Seq advances on success.
+func (l *Log) appendPayload(recs int64) error {
 	if l.f == nil {
 		return fmt.Errorf("%w: log closed", ErrCorrupt)
 	}
@@ -475,7 +500,6 @@ func (l *Log) Append(recs []Record) error {
 			return err
 		}
 	}
-	l.payload = EncodeBatch(l.payload[:0], recs)
 	if len(l.payload) > MaxFramePayload {
 		return fmt.Errorf("%w: batch encodes to %d bytes, frame cap %d", ErrCorrupt, len(l.payload), MaxFramePayload)
 	}
@@ -484,7 +508,7 @@ func (l *Log) Append(recs []Record) error {
 		return err
 	}
 	l.size += int64(len(l.frameBuf))
-	l.seq += int64(len(recs))
+	l.seq += recs
 	l.dirty = true
 	switch l.opts.Sync {
 	case SyncBatch:

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecodeFrame drives the wire decoder stack — frame walk plus
+// columnar batch decode — with arbitrary bytes. Every input must yield a
+// clean decode, io.EOF, or a typed ErrTorn/ErrCorrupt; never a panic and
+// never an undeclared error. This is the surface a hostile or damaged
+// producer stream exercises on streamd's stdin.
+func FuzzWireDecodeFrame(f *testing.F) {
+	// Seeds: a healthy frame around a real batch, torn tails at several
+	// offsets, zero fill, a bit flip, an oversized length prefix, a
+	// zero-length frame, and two frames back to back.
+	valid := EncodeFrame(nil, AppendBatch(nil, sampleBatch(2, 3)))
+	f.Add(valid)
+	f.Add(valid[:3])
+	f.Add(valid[:FrameHeaderLen])
+	f.Add(valid[:len(valid)-2])
+	f.Add(make([]byte, 64))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 9})
+	f.Add(append(append([]byte(nil), valid...), valid...))
+	// A frame whose payload is valid framing but corrupt batch bytes.
+	f.Add(EncodeFrame(nil, []byte{Version, 200, 12, 1, 2, 3}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b Batch
+		rest := data
+		for {
+			payload, n, err := DecodeFrame(rest)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrTorn) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("DecodeFrame: undeclared error %v", err)
+				}
+				break
+			}
+			if n <= 0 || n > len(rest) {
+				t.Fatalf("DecodeFrame consumed %d of %d bytes", n, len(rest))
+			}
+			count, err := DecodeBatch(payload, 0, &b)
+			if err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("DecodeBatch: undeclared error %v", err)
+			}
+			if err == nil {
+				// A batch that decodes must re-encode to bytes that decode
+				// to the same count — the codec is its own inverse on the
+				// valid subset.
+				re := AppendBatch(nil, &b)
+				var b2 Batch
+				n2, err := DecodeBatch(re, len(b.Cols), &b2)
+				if err != nil || n2 != count {
+					t.Fatalf("re-encode decoded %d, %v; want %d", n2, err, count)
+				}
+			}
+			rest = rest[n:]
+		}
+
+		// The stream reader must fail with the same typed errors on the
+		// raw input treated as a full stream (header + frames).
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrTorn) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("NewReader: undeclared error %v", err)
+			}
+			return
+		}
+		for {
+			if _, err := r.Next(&b); err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrTorn) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("Reader.Next: undeclared error %v", err)
+				}
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Writer encodes records into columnar batches and ships each batch as
+// one frame. The stream header goes out at construction, a frame goes out
+// whenever the pending batch reaches BatchRecords or Flush is called, and
+// empty batches are never written. Not safe for concurrent use.
+type Writer struct {
+	w io.Writer
+	// BatchRecords is the auto-flush threshold (DefaultBatchRecords when
+	// left zero at construction).
+	BatchRecords int
+	dims         int
+	batch        Batch
+	buf          []byte // frame scratch, reused
+}
+
+// NewWriter writes the stream header for dims dimensions and returns a
+// Writer for it.
+func NewWriter(w io.Writer, dims int) (*Writer, error) {
+	if dims < 1 || dims > MaxDims {
+		return nil, fmt.Errorf("%w: %d dimensions outside [1,%d]", ErrCorrupt, dims, MaxDims)
+	}
+	bw := &Writer{w: w, BatchRecords: DefaultBatchRecords, dims: dims}
+	bw.batch.Reset(dims)
+	if _, err := w.Write(EncodeHeader(bw.buf[:0], dims)); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+// Append buffers one record, flushing a full batch as a frame. members
+// must have exactly dims entries.
+func (bw *Writer) Append(tick int64, members []int32, value float64) error {
+	if len(members) != bw.dims {
+		return fmt.Errorf("%w: record has %d members, stream has %d dimensions", ErrCorrupt, len(members), bw.dims)
+	}
+	bw.batch.Append(tick, members, value)
+	if bw.batch.Len() >= bw.BatchRecords || bw.batch.Len() >= MaxBatchRecords {
+		return bw.Flush()
+	}
+	return nil
+}
+
+// Flush frames and writes the pending batch, if any.
+func (bw *Writer) Flush() error {
+	if bw.batch.Len() == 0 {
+		return nil
+	}
+	payload := AppendBatch(bw.buf[:0], &bw.batch)
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("%w: batch encodes to %d bytes, frame cap %d", ErrCorrupt, len(payload), MaxFramePayload)
+	}
+	// One buffer backs both: the complete frame (header plus payload
+	// copy) is appended after the payload scratch and written in one call.
+	frame := EncodeFrame(payload[len(payload):], payload)
+	bw.buf = payload
+	if _, err := bw.w.Write(frame); err != nil {
+		return err
+	}
+	bw.batch.Reset(bw.dims)
+	return nil
+}
+
+// Reader decodes a binary record stream: the header at construction, then
+// one columnar batch per Next call, into caller-reused Batch storage. Not
+// safe for concurrent use.
+type Reader struct {
+	br   *bufio.Reader
+	dims int
+	buf  []byte // frame payload scratch, reused
+}
+
+// NewReader consumes and validates the stream header. r is wrapped in a
+// bufio.Reader unless it already is one.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: stream ended inside the header", ErrTorn)
+		}
+		return nil, err
+	}
+	dims, err := DecodeHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{br: br, dims: dims}, nil
+}
+
+// Dims returns the dimension count the stream header promised.
+func (r *Reader) Dims() int { return r.dims }
+
+// Next reads one frame and decodes its batch into b, returning the record
+// count. A clean end of stream is io.EOF; a stream that dies mid-frame is
+// ErrTorn; invalid bytes are ErrCorrupt.
+func (r *Reader) Next(b *Batch) (int, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return 0, fmt.Errorf("%w: stream ended inside a frame header", ErrTorn)
+		}
+		return 0, err
+	}
+	length := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	if length == 0 || length > MaxFramePayload {
+		return 0, fmt.Errorf("%w: frame length %d outside (0,%d]", ErrCorrupt, length, MaxFramePayload)
+	}
+	if cap(r.buf) < FrameHeaderLen+length {
+		r.buf = make([]byte, FrameHeaderLen+length)
+	}
+	frame := r.buf[:FrameHeaderLen+length]
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r.br, frame[FrameHeaderLen:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, fmt.Errorf("%w: stream ended inside a %d-byte frame", ErrTorn, length)
+		}
+		return 0, err
+	}
+	payload, _, err := DecodeFrame(frame)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeBatch(payload, r.dims, b)
+}
+
+// Format labels the two ingest encodings for observability.
+type Format int
+
+const (
+	// FormatText is the line-oriented tick,dims...,value encoding.
+	FormatText Format = iota
+	// FormatBinary is this package's framed columnar encoding.
+	FormatBinary
+	numFormats
+)
+
+// String returns the metric label value.
+func (f Format) String() string {
+	if f == FormatBinary {
+		return "binary"
+	}
+	return "text"
+}
+
+// Formats lists the label values in rendering order.
+var Formats = [numFormats]Format{FormatText, FormatBinary}
+
+// IngestStats counts the ingest edge per format: records decoded, frames
+// (batches) handed to the engine, and decode failures. streamd's reader
+// goroutine writes, the /metrics endpoint reads; all fields are atomic so
+// neither side takes a lock.
+type IngestStats struct {
+	records      [numFormats]atomic.Int64
+	frames       [numFormats]atomic.Int64
+	decodeErrors [numFormats]atomic.Int64
+}
+
+// AddRecords counts n decoded records.
+func (s *IngestStats) AddRecords(f Format, n int) { s.records[f].Add(int64(n)) }
+
+// AddFrame counts one decoded frame (for text, one batch cut from the
+// line stream).
+func (s *IngestStats) AddFrame(f Format) { s.frames[f].Add(1) }
+
+// AddDecodeError counts one decode failure.
+func (s *IngestStats) AddDecodeError(f Format) { s.decodeErrors[f].Add(1) }
+
+// Records returns the decoded-record count for a format.
+func (s *IngestStats) Records(f Format) int64 { return s.records[f].Load() }
+
+// Frames returns the decoded-frame count for a format.
+func (s *IngestStats) Frames(f Format) int64 { return s.frames[f].Load() }
+
+// DecodeErrors returns the decode-failure count for a format.
+func (s *IngestStats) DecodeErrors(f Format) int64 { return s.decodeErrors[f].Load() }

@@ -1,0 +1,319 @@
+// Package wire is the binary ingest format: length-prefixed, CRC32C-framed
+// record batches laid out column-wise, shipped from producers (datagen, a
+// future multi-node router) to streamd over the same byte streams that
+// carry the text format. It also owns the frame/CRC machinery the
+// write-ahead log uses — internal/wal frames delegate here, so the log and
+// the wire ship identically framed payloads.
+//
+// A binary stream is:
+//
+//	stream header (16 bytes): magic "RGCWIRE1" | version | dims | 6 reserved
+//	frame*            uint32 payload length | uint32 CRC32C(payload) | payload
+//
+// The magic byte sequence cannot begin a text record (those start with an
+// ASCII digit or '-'), so a consumer peeks the first 8 bytes and picks the
+// decoder — binary and text negotiate on the same stdin or socket with no
+// out-of-band switch.
+//
+// Each frame carries one columnar record batch:
+//
+//	byte    payload version (1)
+//	byte    dims
+//	uvarint record count n
+//	ticks   n varints, delta-coded (first absolute, then tick[i]-tick[i-1])
+//	columns dims × n varints (member ids, one contiguous run per dimension)
+//	values  n × 8-byte IEEE-754 little-endian bits
+//
+// Columns keep each dimension's members contiguous so the sharded router
+// resolves o-layer ancestors one table pass per dimension, and varints plus
+// tick deltas keep dense streams a fraction of their text size. Exact
+// float64 bits make a binary-fed engine bitwise-identical to a text-fed
+// one. Decoding is allocation-free after warm-up: payloads and columns land
+// in reused buffers, and validation happens once per batch, not per record.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Typed failure classes, shared with the WAL: ErrTorn marks a byte stream
+// that ends mid-frame (producer death, crash tail); ErrCorrupt marks data
+// that is structurally invalid (bit rot, zero fill, version skew).
+var (
+	ErrTorn    = errors.New("wire: torn frame")
+	ErrCorrupt = errors.New("wire: corrupt frame")
+)
+
+const (
+	// Magic opens every binary stream. The first byte (0x52, 'R') can
+	// never open a text record, which starts with a digit or '-'.
+	Magic = "RGCWIRE1"
+	// HeaderLen is the fixed stream-header size.
+	HeaderLen = 16
+	// Version is the stream and payload format version this package
+	// speaks. Unknown versions are rejected, never guessed at.
+	Version = 1
+
+	// FrameHeaderLen is the fixed prefix before each frame's payload.
+	FrameHeaderLen = 8
+	// MaxFramePayload bounds a single frame's payload. Lengths beyond it
+	// are corruption by definition, so a flipped length byte cannot make
+	// a reader attempt a multi-gigabyte allocation.
+	MaxFramePayload = 16 << 20
+
+	// MaxDims bounds the per-batch dimension count the codec accepts;
+	// streams have at most a handful of dimensions.
+	MaxDims = 64
+	// MaxBatchRecords bounds one batch. Together with the per-record
+	// minimum encoded size it keeps a corrupt count from forcing a huge
+	// column allocation.
+	MaxBatchRecords = 1 << 20
+	// DefaultBatchRecords is the Writer's flush threshold.
+	DefaultBatchRecords = 2048
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeFrame appends the framed payload to dst and returns the extended
+// slice. A zero-length payload is never written by any producer — a tail
+// of zero-filled blocks must read as corruption, not as an endless run of
+// valid empty frames.
+func EncodeFrame(dst []byte, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// DecodeFrame decodes the first frame in b. It returns the payload (a
+// sub-slice of b), the total number of bytes the frame occupies, and one
+// of:
+//
+//   - nil — a complete, checksummed frame;
+//   - io.EOF — b is empty (clean end of the stream);
+//   - ErrTorn — b ends mid-frame (producer died; WAL recovery truncates here);
+//   - ErrCorrupt — the length or checksum is invalid (bit rot, zero fill).
+//
+// It never panics on arbitrary input.
+func DecodeFrame(b []byte) (payload []byte, n int, err error) {
+	if len(b) == 0 {
+		return nil, 0, io.EOF
+	}
+	if len(b) < FrameHeaderLen {
+		return nil, 0, fmt.Errorf("%w: %d-byte tail shorter than the frame header", ErrTorn, len(b))
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	if length == 0 || length > MaxFramePayload {
+		return nil, 0, fmt.Errorf("%w: frame length %d outside (0,%d]", ErrCorrupt, length, MaxFramePayload)
+	}
+	total := FrameHeaderLen + int(length)
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("%w: frame wants %d bytes, %d remain", ErrTorn, total, len(b))
+	}
+	payload = b[FrameHeaderLen:total]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return nil, 0, fmt.Errorf("%w: frame checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return payload, total, nil
+}
+
+// EncodeHeader appends the 16-byte stream header to dst.
+func EncodeHeader(dst []byte, dims int) []byte {
+	var hdr [HeaderLen]byte
+	copy(hdr[:], Magic)
+	hdr[8] = Version
+	hdr[9] = byte(dims)
+	return append(dst, hdr[:]...)
+}
+
+// DecodeHeader validates a 16-byte stream header and returns its dimension
+// count.
+func DecodeHeader(b []byte) (dims int, err error) {
+	if len(b) < HeaderLen {
+		return 0, fmt.Errorf("%w: %d-byte stream header, want %d", ErrTorn, len(b), HeaderLen)
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return 0, fmt.Errorf("%w: bad stream magic %q", ErrCorrupt, b[:len(Magic)])
+	}
+	if b[8] != Version {
+		return 0, fmt.Errorf("%w: stream version %d, want %d", ErrCorrupt, b[8], Version)
+	}
+	dims = int(b[9])
+	if dims < 1 || dims > MaxDims {
+		return 0, fmt.Errorf("%w: stream header names %d dimensions, want [1,%d]", ErrCorrupt, dims, MaxDims)
+	}
+	for _, r := range b[10:HeaderLen] {
+		if r != 0 {
+			return 0, fmt.Errorf("%w: stream header reserved bytes not zero", ErrCorrupt)
+		}
+	}
+	return dims, nil
+}
+
+// Batch is one columnar record batch: parallel arrays of ticks, one member
+// column per dimension, and measure values. Index i across all columns is
+// record i. The zero value is ready after Reset.
+type Batch struct {
+	Ticks  []int64
+	Cols   [][]int32
+	Values []float64
+}
+
+// Reset empties the batch and shapes it to dims columns, keeping every
+// column's capacity so steady-state reuse stops allocating.
+func (b *Batch) Reset(dims int) {
+	b.Ticks = b.Ticks[:0]
+	b.Values = b.Values[:0]
+	if cap(b.Cols) < dims {
+		cols := make([][]int32, dims)
+		copy(cols, b.Cols)
+		b.Cols = cols
+	}
+	b.Cols = b.Cols[:dims]
+	for d := range b.Cols {
+		b.Cols[d] = b.Cols[d][:0]
+	}
+}
+
+// Len returns the record count.
+func (b *Batch) Len() int { return len(b.Ticks) }
+
+// Append adds one record. members must have exactly len(b.Cols) entries
+// (the dims the batch was Reset to); the slice is copied column-wise, never
+// retained.
+func (b *Batch) Append(tick int64, members []int32, value float64) {
+	b.Ticks = append(b.Ticks, tick)
+	for d := range b.Cols {
+		b.Cols[d] = append(b.Cols[d], members[d])
+	}
+	b.Values = append(b.Values, value)
+}
+
+// AppendBatch appends the columnar payload encoding of b to dst and
+// returns the extended slice. The caller frames the result (EncodeFrame);
+// Writer enforces the dims and record-count caps before encoding.
+func AppendBatch(dst []byte, b *Batch) []byte {
+	dst = append(dst, Version, byte(len(b.Cols)))
+	dst = binary.AppendUvarint(dst, uint64(b.Len()))
+	prev := int64(0)
+	for _, t := range b.Ticks {
+		dst = binary.AppendVarint(dst, t-prev)
+		prev = t
+	}
+	for _, col := range b.Cols {
+		for _, m := range col {
+			dst = binary.AppendVarint(dst, int64(m))
+		}
+	}
+	for _, v := range b.Values {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeBatch decodes one frame payload into b, reusing its columns, and
+// returns the record count. wantDims > 0 demands that exact dimension
+// count (the stream-header contract); wantDims <= 0 accepts whatever the
+// payload declares within [1,MaxDims]. All validation is batch-level and
+// up front: version, dims, count bounds, a minimum-size check so a corrupt
+// count cannot force a huge allocation, varint shape, tick overflow, and
+// exact payload length. Malformed payloads return ErrCorrupt; DecodeBatch
+// never panics on arbitrary input.
+func DecodeBatch(payload []byte, wantDims int, b *Batch) (int, error) {
+	if len(payload) < 3 {
+		return 0, fmt.Errorf("%w: %d-byte batch payload", ErrCorrupt, len(payload))
+	}
+	if payload[0] != Version {
+		return 0, fmt.Errorf("%w: batch version %d, want %d", ErrCorrupt, payload[0], Version)
+	}
+	dims := int(payload[1])
+	if dims < 1 || dims > MaxDims {
+		return 0, fmt.Errorf("%w: batch names %d dimensions, want [1,%d]", ErrCorrupt, dims, MaxDims)
+	}
+	if wantDims > 0 && dims != wantDims {
+		return 0, fmt.Errorf("%w: batch has %d dimensions, stream header promised %d", ErrCorrupt, dims, wantDims)
+	}
+	rest := payload[2:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: batch count varint", ErrCorrupt)
+	}
+	rest = rest[n:]
+	// Every record takes at least 1 tick byte + dims member bytes + 8
+	// value bytes, so an inflated count fails before any allocation.
+	if count == 0 || count > MaxBatchRecords || count > uint64(len(rest))/uint64(dims+9) {
+		return 0, fmt.Errorf("%w: batch claims %d records in %d bytes", ErrCorrupt, count, len(rest))
+	}
+	b.Reset(dims)
+	nr := int(count)
+	// count is bounded by the payload length above, so growing each column
+	// to its exact final size up front is safe — and it keeps the decode
+	// loops free of append-doubling (one allocation per column per batch,
+	// none once the batch is recycled).
+	if cap(b.Ticks) < nr {
+		b.Ticks = make([]int64, 0, nr)
+	}
+	if cap(b.Values) < nr {
+		b.Values = make([]float64, 0, nr)
+	}
+	for d := range b.Cols {
+		if cap(b.Cols[d]) < nr {
+			b.Cols[d] = make([]int32, 0, nr)
+		}
+	}
+	prev := int64(0)
+	for i := 0; i < nr; i++ {
+		// Single-byte deltas dominate real streams (consecutive ticks);
+		// decode them inline and leave the general varint off the fast path.
+		var d int64
+		if len(rest) > 0 && rest[0] < 0x80 {
+			c := rest[0]
+			d = int64(c>>1) ^ -int64(c&1)
+			rest = rest[1:]
+		} else {
+			var n int
+			d, n = binary.Varint(rest)
+			if n <= 0 {
+				return 0, fmt.Errorf("%w: record %d tick delta", ErrCorrupt, i)
+			}
+			rest = rest[n:]
+		}
+		tick := prev + d
+		// Overflow would make tick deltas ambiguous on re-encode.
+		if (d > 0 && tick < prev) || (d < 0 && tick > prev) {
+			return 0, fmt.Errorf("%w: record %d tick overflows", ErrCorrupt, i)
+		}
+		b.Ticks = append(b.Ticks, tick)
+		prev = tick
+	}
+	for d := 0; d < dims; d++ {
+		col := b.Cols[d]
+		for i := 0; i < nr; i++ {
+			// Same fast path for members: dimension ids are small.
+			if len(rest) > 0 && rest[0] < 0x80 {
+				c := rest[0]
+				col = append(col, int32(c>>1)^-int32(c&1))
+				rest = rest[1:]
+				continue
+			}
+			v, n := binary.Varint(rest)
+			if n <= 0 || v < math.MinInt32 || v > math.MaxInt32 {
+				return 0, fmt.Errorf("%w: record %d member of dimension %d", ErrCorrupt, i, d)
+			}
+			col = append(col, int32(v))
+			rest = rest[n:]
+		}
+		b.Cols[d] = col
+	}
+	if len(rest) != 8*nr {
+		return 0, fmt.Errorf("%w: %d value bytes after %d records, want %d", ErrCorrupt, len(rest), nr, 8*nr)
+	}
+	for i := 0; i < nr; i++ {
+		b.Values = append(b.Values, math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:])))
+	}
+	return nr, nil
+}

@@ -4,7 +4,11 @@
 # SIGINT and assert the graceful flush — the full binary path the unit
 # tests skip. A second leg kill -9s a WAL-backed streamd mid-stream,
 # restarts it, queries the recovered state, and runs a `regcube replay`
-# what-if over the captured log. Run from anywhere; needs go and curl.
+# what-if over the captured log. The binary legs re-run the pipe with
+# `-format=binary` framed batches: checkpoints must be bitwise-equal to
+# the text-fed ones, mid-stream queries must serve, and a kill -9'd
+# binary-fed WAL must replay deterministically. Run from anywhere; needs
+# go and curl.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -245,5 +249,93 @@ echo "   $(grep '# replayed' "$workdir/whatif.log")"
   -checkpoint "$workdir/whatif.json" < /dev/null > "$workdir/whatif-resume.log" 2>&1
 grep -q '# resumed at unit' "$workdir/whatif-resume.log" \
   || { echo "FAIL: no resume banner from what-if checkpoint" >&2; cat "$workdir/whatif-resume.log" >&2; exit 1; }
+
+echo "== binary ingest leg: text-fed and binary-fed checkpoints are bitwise-equal"
+# Same seed, same spec, both encodings of the same records; the engines
+# behind them must land on byte-identical checkpoints.
+"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 120 -seed 7 \
+  > "$workdir/eq.txt" 2>/dev/null
+"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 120 -seed 7 -format=binary \
+  > "$workdir/eq.bin" 2>/dev/null
+"$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 4 \
+  -checkpoint "$workdir/eq-text.json" < "$workdir/eq.txt" > /dev/null 2>&1
+"$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 4 \
+  -checkpoint "$workdir/eq-bin.json" < "$workdir/eq.bin" > /dev/null 2>&1
+cmp "$workdir/eq-text.json" "$workdir/eq-bin.json" \
+  || { echo "FAIL: binary-fed checkpoint differs from text-fed" >&2; exit 1; }
+echo "   OK checkpoints bitwise-equal ($(wc -c < "$workdir/eq-text.json") bytes)"
+
+echo "== binary serve leg: framed pipe, mid-stream queries"
+ADDR=127.0.0.1:18082
+fifo4="$workdir/bin.fifo"
+mkfifo "$fifo4"
+"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 60000 -pace 5ms -format=binary \
+  > "$fifo4" 2>/dev/null &
+dpid=$!
+"$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 4 \
+  -listen "$ADDR" -checkpoint "$workdir/bin-state.json" \
+  < "$fifo4" > "$workdir/bin.log" 2>&1 &
+spid=$!
+ready=""
+for _ in $(seq 1 150); do
+  if h=$(fetch /healthz 2>/dev/null) && grep -q '"unitsDone":[1-9]' <<<"$h"; then
+    ready=yes
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$ready" ]; then
+  echo "FAIL: binary-fed server never served a completed unit" >&2
+  cat "$workdir/bin.log" >&2
+  exit 1
+fi
+assert_json '/v1/summary'        '"cuboids":\['
+assert_json '/v1/exceptions?k=3' '"cells":\['
+# The ingest counters must attribute this stream to the binary decoder.
+fetch /metrics | grep -q 'regcube_ingest_records_total{format="binary"} [1-9]' \
+  || { echo "FAIL: /metrics missing binary ingest counters" >&2; exit 1; }
+echo "   OK binary ingest counters live"
+kill -INT "$spid"
+wait "$spid" || { echo "FAIL: binary-fed streamd exited non-zero" >&2; cat "$workdir/bin.log" >&2; exit 1; }
+spid=""
+kill "$dpid" 2>/dev/null || true
+wait "$dpid" 2>/dev/null || true
+dpid=""
+
+echo "== binary WAL crash leg: kill -9 mid-frame, replay is bitwise-deterministic"
+binwal="$workdir/bin-wal"
+fifo5="$workdir/bin-wal.fifo"
+mkfifo "$fifo5"
+"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 60000 -pace 1ms -format=binary \
+  > "$fifo5" 2>/dev/null &
+dpid=$!
+"$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 4 \
+  -wal-dir "$binwal" -wal-sync batch \
+  < "$fifo5" > "$workdir/bin-crash.log" 2>&1 &
+spid=$!
+sleep 2.5
+kill -9 "$spid"
+wait "$spid" 2>/dev/null || true
+spid=""
+kill "$dpid" 2>/dev/null || true
+wait "$dpid" 2>/dev/null || true
+dpid=""
+ls "$binwal"/wal-*.seg >/dev/null 2>&1 \
+  || { echo "FAIL: no WAL segments from the binary-fed crash" >&2; exit 1; }
+# Replaying the torn log twice must land on byte-identical checkpoints —
+# recovery of a binary-fed stream is exact, not merely plausible.
+"$workdir/regcube" replay -wal-dir "$binwal" -spec D2L2C4 -unit 15 \
+  -threshold 0.2 -shards 4 -quiet -checkpoint "$workdir/bin-replay1.json" \
+  > "$workdir/bin-replay.log" 2>&1 \
+  || { echo "FAIL: replay of binary-fed WAL failed" >&2; cat "$workdir/bin-replay.log" >&2; exit 1; }
+grep -q '# replayed [1-9][0-9]* records' "$workdir/bin-replay.log" \
+  || { echo "FAIL: binary replay summary missing" >&2; cat "$workdir/bin-replay.log" >&2; exit 1; }
+echo "   $(grep '# replayed' "$workdir/bin-replay.log")"
+"$workdir/regcube" replay -wal-dir "$binwal" -spec D2L2C4 -unit 15 \
+  -threshold 0.2 -shards 4 -quiet -checkpoint "$workdir/bin-replay2.json" \
+  > /dev/null 2>&1
+cmp "$workdir/bin-replay1.json" "$workdir/bin-replay2.json" \
+  || { echo "FAIL: two replays of the same WAL differ" >&2; exit 1; }
+echo "   OK replay checkpoints bitwise-equal"
 
 echo "e2e smoke OK"
