@@ -14,7 +14,13 @@
 // (the current unit does not hold the target), ErrUnavailable (no unit
 // has completed yet — retried automatically, see WithRetries).
 //
-//	c, err := client.New("http://127.0.0.1:8080")
+// A Client holds one or more endpoints (WithEndpoints). Transport
+// failures and 503 responses fail over to the next endpoint before any
+// backoff is taken; the first endpoint that answers becomes the
+// preferred one for subsequent calls. Against a cluster, point the
+// client at the coordinator and the nodes, in that order.
+//
+//	c, err := client.New(client.WithEndpoints("http://127.0.0.1:8080"))
 //	...
 //	top, err := c.Exceptions(ctx, client.ExceptionsRequest{K: 10})
 //	trend, err := c.Trend(ctx, client.TrendRequest{CellRef: client.OCell(2, 0), K: 4})
@@ -35,6 +41,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/query"
@@ -79,6 +86,12 @@ type (
 	TrendResponse = query.TrendResponse
 	// FrameResponse answers FrameRequest.
 	FrameResponse = query.FrameResponse
+
+	// InfoResponse is the typed GET /v1/info document.
+	InfoResponse = query.InfoResponse
+	// NodeStatus is one node's reachability inside a coordinator's
+	// InfoResponse.
+	NodeStatus = query.NodeStatus
 )
 
 // The sentinel errors responses map back to; test with errors.Is.
@@ -101,7 +114,10 @@ func Cell(levels []int, members []int32) CellRef { return query.Cell(levels, mem
 
 // Client is a regcube query API client. It is safe for concurrent use.
 type Client struct {
-	base    string
+	endpoints []string
+	// cur is the index of the preferred endpoint — the last one that
+	// answered. Calls start there and rotate on failure.
+	cur     atomic.Int64
 	hc      *http.Client
 	retries int
 	backoff time.Duration
@@ -109,6 +125,14 @@ type Client struct {
 
 // Option configures a Client.
 type Option func(*Client)
+
+// WithEndpoints sets the server base URLs (e.g.
+// "http://127.0.0.1:8080"). With more than one, retriable failures —
+// transport errors and 503 — fail over to the next endpoint; the first
+// endpoint to answer is preferred for subsequent calls.
+func WithEndpoints(addrs ...string) Option {
+	return func(c *Client) { c.endpoints = append(c.endpoints, addrs...) }
+}
 
 // WithHTTPClient substitutes the underlying *http.Client (pools,
 // transports, instrumentation). Its Timeout wins over WithTimeout.
@@ -118,30 +142,23 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // the full budget; bound the total with the context instead.
 func WithTimeout(d time.Duration) Option { return func(c *Client) { c.hc.Timeout = d } }
 
-// WithRetries sets how many times a failed attempt is retried (default
-// 2). Only transport errors and 503 no-snapshot-yet responses retry —
-// 4xx results are deterministic and returned immediately.
+// WithRetries sets how many extra passes over the endpoint list a
+// failed call makes (default 2). Only transport errors and 503
+// no-snapshot-yet responses retry — 4xx results are deterministic and
+// returned immediately. With one endpoint this is the classic retry
+// count; with several, each pass tries every endpoint once.
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
-// WithRetryBackoff sets the base delay between attempts (default 150ms,
-// doubling per retry).
+// WithRetryBackoff sets the base delay between passes (default 150ms,
+// doubling per pass). No delay is taken between endpoints within a
+// pass — failover is immediate.
 func WithRetryBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
-// New builds a client for a query server base URL (e.g.
-// "http://127.0.0.1:8080").
-func New(baseURL string, opts ...Option) (*Client, error) {
-	u, err := url.Parse(baseURL)
-	if err != nil {
-		return nil, fmt.Errorf("client: base URL: %w", err)
-	}
-	if u.Scheme != "http" && u.Scheme != "https" {
-		return nil, fmt.Errorf("client: base URL %q: scheme must be http or https", baseURL)
-	}
-	if u.Host == "" {
-		return nil, fmt.Errorf("client: base URL %q: missing host", baseURL)
-	}
+// New builds a client from options. At least one endpoint is required:
+//
+//	c, err := client.New(client.WithEndpoints("http://127.0.0.1:8080"))
+func New(opts ...Option) (*Client, error) {
 	c := &Client{
-		base:    strings.TrimRight(baseURL, "/"),
 		hc:      &http.Client{Timeout: 10 * time.Second},
 		retries: 2,
 		backoff: 150 * time.Millisecond,
@@ -149,10 +166,40 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	for _, opt := range opts {
 		opt(c)
 	}
+	if len(c.endpoints) == 0 {
+		return nil, fmt.Errorf("client: %w: no endpoints (use WithEndpoints)", ErrInvalid)
+	}
+	for i, ep := range c.endpoints {
+		u, err := url.Parse(ep)
+		if err != nil {
+			return nil, fmt.Errorf("client: endpoint URL: %w", err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" {
+			return nil, fmt.Errorf("client: endpoint %q: scheme must be http or https", ep)
+		}
+		if u.Host == "" {
+			return nil, fmt.Errorf("client: endpoint %q: missing host", ep)
+		}
+		c.endpoints[i] = strings.TrimRight(ep, "/")
+	}
 	if c.retries < 0 {
 		c.retries = 0
 	}
 	return c, nil
+}
+
+// NewURL builds a client for a single base URL.
+//
+// Deprecated: use New with WithEndpoints, which also accepts multiple
+// endpoints for failover. NewURL remains as a shim for pre-cluster
+// callers.
+func NewURL(baseURL string, opts ...Option) (*Client, error) {
+	return New(append([]Option{WithEndpoints(baseURL)}, opts...)...)
+}
+
+// Endpoints returns the configured endpoint list, normalized.
+func (c *Client) Endpoints() []string {
+	return append([]string(nil), c.endpoints...)
 }
 
 // Result is one request's outcome inside a batch reply: exactly one of
@@ -286,25 +333,55 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 	return &h, nil
 }
 
-// roundTrip issues one HTTP request with the client's retry policy:
-// transport failures and 503 (no snapshot yet) retry with doubling
-// backoff; everything else returns immediately, with non-200 statuses
-// mapped to the query sentinels.
+// Info fetches the server's GET /v1/info identity document: node id,
+// role, shard count, wire and API versions, WAL watermark, and snapshot
+// unit. A coordinator's document also carries per-node statuses.
+func (c *Client) Info(ctx context.Context) (*InfoResponse, error) {
+	data, err := c.roundTrip(ctx, http.MethodGet, "/v1/info", nil)
+	if err != nil {
+		return nil, err
+	}
+	var info InfoResponse
+	if err := json.Unmarshal(data, &info); err != nil {
+		return nil, fmt.Errorf("client: decoding info: %w", err)
+	}
+	return &info, nil
+}
+
+// roundTrip issues one HTTP request with the client's failover and
+// retry policy. Attempts start at the preferred endpoint and rotate
+// through the list on retriable failures (transport errors and 503, no
+// delay between endpoints); after a full pass over every endpoint the
+// doubling backoff applies. Everything else returns immediately, with
+// non-200 statuses mapped to the query sentinels. The endpoint that
+// answers becomes the preferred one.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	n := len(c.endpoints)
+	start := int(c.cur.Load()) % n
+	maxAttempts := (c.retries + 1) * n
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		data, err, retriable := c.attempt(ctx, method, path, body)
+		idx := (start + attempt) % n
+		data, err, retriable := c.attempt(ctx, c.endpoints[idx], method, path, body)
 		if err == nil {
+			c.cur.Store(int64(idx))
 			return data, nil
 		}
-		if !retriable || attempt >= c.retries {
+		if !retriable || attempt+1 >= maxAttempts {
 			return nil, err
 		}
 		lastErr = err
+		if (attempt+1)%n != 0 {
+			// More endpoints left in this pass — fail over immediately.
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("client: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+			continue
+		}
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("client: %w (last error: %v)", ctx.Err(), lastErr)
-		case <-time.After(retryDelay(c.backoff, attempt)):
+		case <-time.After(retryDelay(c.backoff, (attempt+1)/n-1)):
 		}
 	}
 }
@@ -325,12 +402,12 @@ func retryDelay(base time.Duration, attempt int) time.Duration {
 	return d
 }
 
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (data []byte, err error, retriable bool) {
+func (c *Client) attempt(ctx context.Context, base, method, path string, body []byte) (data []byte, err error, retriable bool) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err), false
 	}

@@ -71,7 +71,7 @@ func testServer(t testing.TB, units int, tiltLevels []tilt.Level) (*client.Clien
 	}
 	ts := httptest.NewServer(serve.New(eng, schema))
 	t.Cleanup(ts.Close)
-	c, err := client.New(ts.URL)
+	c, err := client.New(client.WithEndpoints(ts.URL))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestClientHealth(t *testing.T) {
 	}
 	ts := httptest.NewServer(serve.New(eng, schema))
 	defer ts.Close()
-	c, err := client.New(ts.URL)
+	c, err := client.New(client.WithEndpoints(ts.URL))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestClientHealth(t *testing.T) {
 		t.Fatalf("cold health = %+v", h)
 	}
 	// A typed query against the cold server exhausts its 503 retries.
-	fast, err := client.New(ts.URL, client.WithRetries(1), client.WithRetryBackoff(time.Millisecond))
+	fast, err := client.New(client.WithEndpoints(ts.URL), client.WithRetries(1), client.WithRetryBackoff(time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestClientRetriesUnavailable(t *testing.T) {
 	}))
 	defer flaky.Close()
 
-	c, err := client.New(flaky.URL, client.WithRetries(3), client.WithRetryBackoff(time.Millisecond))
+	c, err := client.New(client.WithEndpoints(flaky.URL), client.WithRetries(3), client.WithRetryBackoff(time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestClientRetriesUnavailable(t *testing.T) {
 
 	// With retries off the first 503 surfaces immediately.
 	n.Store(0)
-	zero, err := client.New(flaky.URL, client.WithRetries(0))
+	zero, err := client.New(client.WithEndpoints(flaky.URL), client.WithRetries(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,14 +362,114 @@ func TestClientRetriesUnavailable(t *testing.T) {
 	}
 }
 
-// TestClientNew pins base-URL validation.
+// TestClientNew pins endpoint validation for both constructors.
 func TestClientNew(t *testing.T) {
 	for _, bad := range []string{"", "127.0.0.1:8080", "ftp://x", "http://"} {
-		if _, err := client.New(bad); err == nil {
-			t.Errorf("New(%q) succeeded, want error", bad)
+		if _, err := client.New(client.WithEndpoints(bad)); err == nil {
+			t.Errorf("New(WithEndpoints(%q)) succeeded, want error", bad)
+		}
+		if _, err := client.NewURL(bad); err == nil {
+			t.Errorf("NewURL(%q) succeeded, want error", bad)
 		}
 	}
-	if _, err := client.New("http://127.0.0.1:8080/"); err != nil {
-		t.Errorf("New with trailing slash: %v", err)
+	if _, err := client.New(); err == nil {
+		t.Error("New with no endpoints succeeded, want error")
+	}
+	c, err := client.New(client.WithEndpoints("http://127.0.0.1:8080/", "http://127.0.0.1:8081"))
+	if err != nil {
+		t.Fatalf("New with trailing slash: %v", err)
+	}
+	if got := c.Endpoints(); len(got) != 2 || got[0] != "http://127.0.0.1:8080" {
+		t.Fatalf("Endpoints() = %v", got)
+	}
+	if _, err := client.NewURL("http://127.0.0.1:8080"); err != nil {
+		t.Errorf("NewURL: %v", err)
+	}
+}
+
+// TestClientFailover pins the multi-endpoint contract: a down first
+// endpoint (refused connections and 503s alike) fails over to the next
+// one within a single pass — even with retries off — and the endpoint
+// that answered becomes the preferred one for subsequent calls.
+func TestClientFailover(t *testing.T) {
+	_, real := testServer(t, 2, nil)
+	var deadHits atomic.Int64
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"no completed unit yet"}`))
+	}))
+	defer dead.Close()
+
+	// Retries 0 = one pass over the list; a 503 from the first endpoint
+	// must still reach the second.
+	c, err := client.New(client.WithEndpoints(dead.URL, real.URL),
+		client.WithRetries(0), client.WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Summary(context.Background())
+	if err != nil {
+		t.Fatalf("failover summary: %v", err)
+	}
+	if sum.Unit != 1 {
+		t.Fatalf("summary unit = %d, want 1", sum.Unit)
+	}
+	if got := deadHits.Load(); got != 1 {
+		t.Fatalf("dead endpoint saw %d attempts, want 1", got)
+	}
+	// Stickiness: the next call starts at the endpoint that answered.
+	if _, err := c.Summary(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := deadHits.Load(); got != 1 {
+		t.Fatalf("dead endpoint saw %d attempts after stickiness, want 1", got)
+	}
+
+	// A refused connection (closed server) fails over the same way.
+	gone := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	gone.Close()
+	c2, err := client.New(client.WithEndpoints(gone.URL, real.URL), client.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Summary(context.Background()); err != nil {
+		t.Fatalf("failover from refused connection: %v", err)
+	}
+
+	// Deterministic errors do not fail over: a 400 from the preferred
+	// endpoint surfaces immediately.
+	var badHits atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badHits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"bad request"}`))
+	}))
+	defer bad.Close()
+	c3, err := client.New(client.WithEndpoints(bad.URL, real.URL), client.WithRetries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.Summary(context.Background()); !errors.Is(err, client.ErrInvalid) {
+		t.Fatalf("400 err = %v, want ErrInvalid", err)
+	}
+	if got := badHits.Load(); got != 1 {
+		t.Fatalf("bad endpoint saw %d attempts, want 1", got)
+	}
+
+	// All endpoints down: the last error surfaces after every endpoint
+	// was tried on every pass.
+	deadHits.Store(0)
+	c4, err := client.New(client.WithEndpoints(dead.URL, dead.URL),
+		client.WithRetries(1), client.WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c4.Summary(context.Background()); !errors.Is(err, client.ErrUnavailable) {
+		t.Fatalf("all-down err = %v, want ErrUnavailable", err)
+	}
+	if got := deadHits.Load(); got != 4 {
+		t.Fatalf("dead endpoint saw %d attempts, want 4 (2 endpoints x 2 passes)", got)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -73,7 +74,8 @@ func startLoad(baseURL string, interval time.Duration, workers int) func() {
 	if workers < 1 {
 		workers = 1
 	}
-	c, err := client.New(baseURL,
+	c, err := client.New(
+		client.WithEndpoints(strings.Split(baseURL, ",")...),
 		client.WithTimeout(5*time.Second),
 		client.WithRetries(1),
 		client.WithRetryBackoff(50*time.Millisecond))

@@ -53,7 +53,7 @@ func main() {
 	ticks := flag.Int("ticks", 10, "regression interval length per tuple")
 	pace := flag.Duration("pace", 0, "with -stream: delay between ticks (0 = as fast as possible)")
 	format := flag.String("format", "text", "with -stream: record encoding, text or binary")
-	queryURL := flag.String("query", "", "with -stream: also load-generate GET queries against this streamd base URL")
+	queryURL := flag.String("query", "", "with -stream: also load-generate queries against these comma-separated base URLs")
 	qinterval := flag.Duration("qinterval", 20*time.Millisecond, "with -query: delay between queries per worker")
 	qworkers := flag.Int("qworkers", 2, "with -query: concurrent query workers")
 	flag.Parse()

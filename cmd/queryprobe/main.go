@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "query server base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "comma-separated query server base URLs (first reachable wins)")
 	cellStr := flag.String("cell", "0,0", "o-cell members for the supporters/frame probes")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall probe deadline")
 	flag.Parse()
@@ -42,7 +42,8 @@ func run(addr, cellStr string, timeout time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("-cell: %w", err)
 	}
-	c, err := client.New(addr,
+	c, err := client.New(
+		client.WithEndpoints(strings.Split(addr, ",")...),
 		client.WithTimeout(5*time.Second),
 		client.WithRetries(3),
 		client.WithRetryBackoff(200*time.Millisecond))

@@ -1,0 +1,231 @@
+// Command regcube-router is the cluster's scatter tier and, optionally,
+// its query coordinator. It reads the record stream on stdin — the same
+// auto-negotiated text/binary formats streamd accepts — and hash-routes
+// whole columnar batches to N streamd ingest nodes over TCP (RGCWIRE1
+// frames), using byte-for-byte the partition function of the in-process
+// sharded engine. At every unit boundary it flushes all per-node buffers
+// and broadcasts an advance barrier so the nodes close units in
+// lockstep.
+//
+// With -listen and -node-api it also runs the scatter-gather query
+// coordinator: the full HTTP/JSON query API served from the nodes'
+// merged snapshots, plus a cluster-wide /v1/info. The coordinator keeps
+// serving after stdin ends, until a signal.
+//
+// Usage:
+//
+//	datagen -spec D2L2C4T10K -stream |
+//	    regcube-router -spec D2L2C4 -unit 15 \
+//	        -nodes 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103,127.0.0.1:9104 \
+//	        -node-api http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083,http://127.0.0.1:8084 \
+//	        -listen :8080
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+type options struct {
+	spec    string
+	unit    int
+	nodes   string
+	nodeAPI string
+	listen  string
+	nodeID  string
+	batch   int
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.spec, "spec", "D2L2C4", "schema spec D<dims>L<levels>C<fanout> (no T component); must match the nodes' -spec")
+	flag.IntVar(&opt.unit, "unit", 15, "ticks per unit; must match the nodes' -unit")
+	flag.StringVar(&opt.nodes, "nodes", "", "comma-separated node ingest addresses (streamd -ingest-listen), in partition order")
+	flag.StringVar(&opt.nodeAPI, "node-api", "", "comma-separated node query base URLs (streamd -listen), in the same order; "+
+		"enables the coordinator when -listen is set")
+	flag.StringVar(&opt.listen, "listen", "", "serve the coordinator HTTP/JSON query API on this address; requires -node-api")
+	flag.StringVar(&opt.nodeID, "node-id", "", "coordinator identity reported on /v1/info")
+	flag.IntVar(&opt.batch, "batch", 0, "per-node records per frame (default wire batch size)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opt, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "regcube-router: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
+	spec, err := gen.ParseSpec(opt.spec + "T1") // reuse the D/L/C parser
+	if err != nil {
+		return fmt.Errorf("bad -spec: %w", err)
+	}
+	schema, err := spec.StreamSchema()
+	if err != nil {
+		return err
+	}
+	if opt.nodes == "" {
+		return fmt.Errorf("-nodes is required")
+	}
+	nodes := strings.Split(opt.nodes, ",")
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Schema:       schema,
+		Nodes:        nodes,
+		TicksPerUnit: opt.unit,
+		BatchRecords: opt.batch,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "regcube-router: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+
+	// Coordinator: the scatter-gather query tier over the nodes' APIs.
+	var srv *http.Server
+	serveErr := make(chan error, 1)
+	if opt.listen != "" {
+		if opt.nodeAPI == "" {
+			return fmt.Errorf("-listen requires -node-api")
+		}
+		endpoints := strings.Split(opt.nodeAPI, ",")
+		if len(endpoints) != len(nodes) {
+			return fmt.Errorf("-node-api lists %d endpoints for %d nodes", len(endpoints), len(nodes))
+		}
+		gatherer, err := cluster.NewGatherer(cluster.GatherConfig{
+			Schema:    schema,
+			Endpoints: endpoints,
+			NodeID:    opt.nodeID,
+		})
+		if err != nil {
+			return err
+		}
+		coord := serve.New(gatherer, schema)
+		coord.SetInfo(gatherer.Info)
+		srv = &http.Server{Addr: opt.listen, Handler: coord}
+		go func() {
+			fmt.Fprintf(out, "# coordinator listening on %s (%d nodes)\n", opt.listen, len(nodes))
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				serveErr <- err
+			}
+		}()
+	} else if opt.nodeAPI != "" {
+		return fmt.Errorf("-node-api requires -listen")
+	}
+
+	routeErr := route(ctx, router, spec.Dims, in)
+	if err := router.Flush(ctx); err != nil && routeErr == nil {
+		routeErr = err
+	}
+	st := router.Stats()
+	var total int64
+	for _, n := range st.Records {
+		total += n
+	}
+	fmt.Fprintf(out, "# routed %d records to %d nodes (%v), %d advances, %d reconnects\n",
+		total, len(nodes), st.Records, st.Advances, st.Reconnects)
+	if routeErr != nil {
+		return routeErr
+	}
+
+	// The stream is done; the coordinator keeps answering queries until
+	// the signal.
+	if srv != nil {
+		select {
+		case err := <-serveErr:
+			return err
+		case <-ctx.Done():
+		}
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			return err
+		}
+	}
+	select {
+	case err := <-serveErr:
+		return err
+	default:
+	}
+	return nil
+}
+
+// route decodes stdin — binary when the wire magic opens the stream,
+// text otherwise — and feeds the router until EOF, a decode error, or
+// the signal. Incoming advance barriers (a upstream router or replayed
+// capture) are forwarded.
+func route(ctx context.Context, router *cluster.Router, dims int, in io.Reader) error {
+	br := bufio.NewReaderSize(in, 1<<16)
+	peek, _ := br.Peek(len(wire.Magic))
+	if string(peek) == wire.Magic {
+		return routeBinary(ctx, router, br)
+	}
+	return routeText(ctx, router, dims, br)
+}
+
+func routeBinary(ctx context.Context, router *cluster.Router, br *bufio.Reader) error {
+	r, err := wire.NewReader(br)
+	if err != nil {
+		return err
+	}
+	var b wire.Batch
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		_, c, isCtrl, err := r.NextAny(&b)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if isCtrl {
+			if err := router.Advance(ctx, c.Unit); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := router.RouteBatch(ctx, &b); err != nil {
+			return err
+		}
+	}
+}
+
+func routeText(ctx context.Context, router *cluster.Router, dims int, br *bufio.Reader) error {
+	rr := gen.NewRecordReader(br, dims)
+	var n int64
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		tick, members, value, err := rr.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("record %d: %w", n+1, err)
+		}
+		n++
+		if err := router.Append(ctx, tick, members, value); err != nil {
+			return err
+		}
+	}
+}

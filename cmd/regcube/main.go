@@ -16,6 +16,12 @@
 // exception threshold — for what-if analysis (see replay.go):
 //
 //	regcube replay -wal-dir wal/ -spec D2L2C4 -unit 15 -shards 8 -tilt calendar
+//
+// The merge subcommand flattens per-node cluster checkpoints (or a
+// sharded engine's per-shard set) into one single-engine checkpoint
+// (see merge.go):
+//
+//	regcube merge -o merged.ckpt node0.ckpt node1.ckpt node2.ckpt node3.ckpt
 package main
 
 import (
@@ -36,6 +42,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "replay" {
 		if err := runReplay(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "regcube replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		if err := runMerge(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "regcube merge: %v\n", err)
 			os.Exit(1)
 		}
 		return

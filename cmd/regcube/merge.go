@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/persist"
+)
+
+// runMerge implements `regcube merge`: flatten per-node (or per-shard)
+// checkpoint files into one single-engine checkpoint. The inputs must
+// have been cut at the same stream position — same open unit, closed-unit
+// count, and WAL watermark — which a router-driven cluster guarantees at
+// its barriers; anything else is refused rather than merged wrong.
+//
+//	regcube merge -o merged.ckpt node0.ckpt node1.ckpt node2.ckpt node3.ckpt
+func runMerge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	outPath := fs.String("o", "", "output checkpoint path (default stdout)")
+	fs.SetOutput(out)
+	fs.Usage = func() {
+		fmt.Fprintln(out, "usage: regcube merge [-o merged.ckpt] node0.ckpt node1.ckpt ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no checkpoint files")
+	}
+	readers := make([]io.Reader, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		readers[i] = f
+	}
+	cp, err := cluster.MergeCheckpoints(readers)
+	if err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return persist.WriteCheckpoint(out, cp)
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	if err := persist.WriteCheckpoint(f, cp); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# merged %d checkpoints at unit %d (%d cells) into %s\n",
+		len(paths), cp.Unit, len(cp.Cells), *outPath)
+	return nil
+}

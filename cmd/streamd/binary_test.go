@@ -175,9 +175,9 @@ func TestRunBinaryIngestMetrics(t *testing.T) {
 	// The last frame's stats bump happens after the pipe write unblocks,
 	// so poll until the counters land.
 	want := []string{
-		`regcube_ingest_records_total{format="binary"} 36`,
-		`regcube_ingest_frames_total{format="binary"} 9`, // 36 records, 4 per batch
-		`regcube_ingest_decode_errors_total{format="binary"} 0`,
+		`regcube_ingest_records_total{format="binary",source="stdin"} 36`,
+		`regcube_ingest_frames_total{format="binary",source="stdin"} 9`, // 36 records, 4 per batch
+		`regcube_ingest_decode_errors_total{format="binary",source="stdin"} 0`,
 	}
 	var body string
 	for i := 0; i < 200; i++ {
@@ -233,8 +233,8 @@ func TestRunTextIngestMetrics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if strings.Contains(string(raw), `regcube_ingest_records_total{format="text"} 5`) &&
-			strings.Contains(string(raw), `regcube_ingest_decode_errors_total{format="text"} 0`) {
+		if strings.Contains(string(raw), `regcube_ingest_records_total{format="text",source="stdin"} 5`) &&
+			strings.Contains(string(raw), `regcube_ingest_decode_errors_total{format="text",source="stdin"} 0`) {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -62,6 +62,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -70,12 +71,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/exception"
 	"repro/internal/gen"
 	"repro/internal/persist"
+	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/tilt"
@@ -91,17 +94,19 @@ const textBatchRecords = 512
 
 // options collects the flag values so tests drive run directly.
 type options struct {
-	spec        string
-	unit        int
-	threshold   float64
-	alg         string
-	checkpoint  string
-	shards      int
-	listen      string
-	tilt        string
-	walDir      string
-	walSync     string
-	walSegBytes int64
+	spec         string
+	unit         int
+	threshold    float64
+	alg          string
+	checkpoint   string
+	shards       int
+	listen       string
+	ingestListen string
+	nodeID       string
+	tilt         string
+	walDir       string
+	walSync      string
+	walSegBytes  int64
 }
 
 func main() {
@@ -115,6 +120,9 @@ func main() {
 		"v1 single-engine and v2 per-shard formats both load at any -shards value)")
 	flag.IntVar(&opt.shards, "shards", runtime.GOMAXPROCS(0), "engine shards ingesting and cubing in parallel; 1 = single-threaded engine")
 	flag.StringVar(&opt.listen, "listen", "", "serve the HTTP/JSON query API on this address (e.g. :8080); empty disables")
+	flag.StringVar(&opt.ingestListen, "ingest-listen", "", "accept the record stream on this TCP address instead of stdin "+
+		"(same auto-negotiated text/binary formats; connections are consumed one at a time until a signal)")
+	flag.StringVar(&opt.nodeID, "node-id", "", "operator-assigned node identity reported on /v1/info (cluster deployments)")
 	flag.StringVar(&opt.tilt, "tilt", "", "tilted multi-granularity trend history: 'calendar' (4 quarters/24 hours/31 days/12 months of units), "+
 		"'log<N>x<S>' (N doubling levels of S slots), or 'name:multiple:slots,...' finest first; empty keeps the flat per-o-cell history")
 	flag.StringVar(&opt.walDir, "wal-dir", "", "write-ahead record log directory (created if absent); every record is logged before ingest, "+
@@ -136,14 +144,25 @@ func main() {
 
 // engine is the surface shared by the single and sharded analyzers.
 // Batches are the unit of flow on the ingest path; Ingest remains for WAL
-// replay, which walks the row-oriented log record by record.
+// replay, which walks the row-oriented log record by record, and
+// AdvanceTo applies the cluster router's unit-boundary barrier frames.
 type engine interface {
 	Ingest(members []int32, tick int64, value float64) ([]*stream.UnitResult, error)
 	IngestBatch(b *wire.Batch) ([]*stream.UnitResult, error)
+	AdvanceTo(unit int64) ([]*stream.UnitResult, error)
 	Flush() (*stream.UnitResult, error)
 	Unit() int64
 	UnitsDone() int64
 	Snapshot() *stream.Snapshot
+}
+
+// ingestMsg is one message from the reader goroutine to the ingest loop:
+// a decoded record batch, or an advance barrier (a control frame telling
+// the engine to close every unit before advance).
+type ingestMsg struct {
+	batch   *wire.Batch
+	advance int64
+	isCtrl  bool
 }
 
 func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
@@ -262,16 +281,18 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 	// ingestedSeq counts records the engine has consumed, and is the
 	// watermark checkpoints carry. saveCheckpoint fsyncs the log before
 	// stamping it, so a checkpoint's watermark never points past the
-	// durable log regardless of the -wal-sync policy.
+	// durable log regardless of the -wal-sync policy. The counter is
+	// atomic because /v1/info reports it from HTTP goroutines while the
+	// ingest loop advances it.
 	var wlog *wal.Log
-	var ingestedSeq int64
+	var ingestedSeq atomic.Int64
 
 	saveCheckpoint := func() error {
 		if wlog != nil {
 			if err := wlog.Sync(); err != nil {
 				return fmt.Errorf("wal sync: %w", err)
 			}
-			if err := setWALSeq(ingestedSeq); err != nil {
+			if err := setWALSeq(ingestedSeq.Load()); err != nil {
 				return err
 			}
 		}
@@ -316,7 +337,7 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 			return fmt.Errorf("checkpoint WAL watermark %d exceeds the %d-record log in %s (wrong -wal-dir?)",
 				mark, wlog.Seq(), opt.walDir)
 		}
-		ingestedSeq = mark
+		ingestedSeq.Store(mark)
 		if wlog.Seq() > mark {
 			// The crash window: records durably logged after the last
 			// checkpoint was cut. Re-ingesting them rebuilds the open unit
@@ -330,7 +351,7 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 				if ingestErr != nil {
 					return fmt.Errorf("wal record %d: %w", seq, ingestErr)
 				}
-				ingestedSeq++
+				ingestedSeq.Add(1)
 				return nil
 			})
 			if err != nil {
@@ -362,6 +383,19 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 		// (the serving layer separately caps query bodies at 1 MiB).
 		handler := serve.New(eng, schema)
 		handler.SetIngestStats(ingestStats)
+		// The info closure runs on query goroutines: only flag-derived
+		// constants and the atomic watermark — never engine calls, which
+		// are coordinator-confined.
+		handler.SetInfo(func() query.InfoResponse {
+			return query.InfoResponse{
+				NodeID:      opt.nodeID,
+				Role:        "node",
+				Shards:      opt.shards,
+				WireVersion: wire.Version,
+				APIVersion:  query.APIVersion,
+				WALSeq:      ingestedSeq.Load(),
+			}
+		})
 		srv = &http.Server{
 			Handler:           handler,
 			ReadHeaderTimeout: 5 * time.Second,
@@ -393,7 +427,7 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 	// into fresh batches before any come back through the free list — two
 	// full frames in flight is plenty of pipeline slack, and steady state
 	// then recycles the same handful of batches instead of allocating.
-	batches := make(chan *wire.Batch, 2)
+	msgs := make(chan ingestMsg, 2)
 	freeBatches := make(chan *wire.Batch, 16)
 	readErr := make(chan error, 1)
 	getBatch := func() *wire.Batch {
@@ -405,22 +439,66 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 		b.Reset(spec.Dims)
 		return b
 	}
-	go func() {
-		defer close(batches)
-		br := bufio.NewReaderSize(in, 1<<16)
-		// Format negotiation: the wire magic's first byte can never open a
-		// text record, so peeking the magic length decides the decoder. A
-		// stream shorter than the magic falls through to the text parser.
-		peek, _ := br.Peek(len(wire.Magic))
-		if string(peek) == wire.Magic {
-			readBinary(ctx, br, spec.Dims, getBatch, batches, readErr, ingestStats)
-		} else {
-			readText(ctx, br, spec.Dims, getBatch, batches, readErr, ingestStats)
+	if opt.ingestListen != "" {
+		// Routed ingest: accept the record stream over TCP instead of
+		// stdin. The listener opens before the announce line, so a router
+		// that waits for it can connect immediately; connections are
+		// consumed one at a time (the engine is one logical stream), and a
+		// connection's decode error drops that connection — the next
+		// producer reconnects — instead of killing the node.
+		ingestLn, err := net.Listen("tcp", opt.ingestListen)
+		if err != nil {
+			return fmt.Errorf("-ingest-listen: %w", err)
 		}
-	}()
+		fmt.Fprintf(out, "# ingest listening on %s\n", ingestLn.Addr())
+		go func() {
+			defer close(msgs)
+			serveIngest(ctx, ingestLn, spec.Dims, getBatch, msgs, ingestStats)
+		}()
+	} else {
+		go func() {
+			defer close(msgs)
+			br := bufio.NewReaderSize(in, 1<<16)
+			// Format negotiation: the wire magic's first byte can never open a
+			// text record, so peeking the magic length decides the decoder. A
+			// stream shorter than the magic falls through to the text parser.
+			peek, _ := br.Peek(len(wire.Magic))
+			var err error
+			if string(peek) == wire.Magic {
+				err = readBinary(ctx, br, spec.Dims, getBatch, msgs, ingestStats, wire.SourceStdin)
+			} else {
+				err = readText(ctx, br, spec.Dims, getBatch, msgs, ingestStats, wire.SourceStdin)
+			}
+			if err != nil {
+				readErr <- err
+			}
+		}()
+	}
 
 	var records int64
-	ingestBatch := func(b *wire.Batch) error {
+	ingest := func(m ingestMsg) error {
+		if m.isCtrl {
+			// A router barrier: close every unit before the target, even
+			// when this node received no records for some of them — the
+			// cluster-wide analogue of the boundary crossing a single
+			// engine sees in the record stream. Barriers are not
+			// WAL-logged; the checkpoint cut after the closed units is
+			// what makes their effect durable.
+			closed, err := eng.AdvanceTo(m.advance)
+			if len(closed) > 0 {
+				report(closed)
+			}
+			if err != nil {
+				return fmt.Errorf("advance to unit %d: %w", m.advance, err)
+			}
+			if len(closed) > 0 {
+				if err := saveCheckpoint(); err != nil {
+					return fmt.Errorf("saving checkpoint: %w", err)
+				}
+			}
+			return nil
+		}
+		b := m.batch
 		if wlog != nil {
 			// Write-ahead: the whole batch reaches the log (one frame;
 			// durable per the sync policy) before the engine sees it.
@@ -430,7 +508,7 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 		}
 		closed, ingestErr := eng.IngestBatch(b)
 		if ingestErr == nil {
-			ingestedSeq += int64(b.Len())
+			ingestedSeq.Add(int64(b.Len()))
 			records += int64(b.Len())
 		}
 		// Units can close even when a record is rejected (boundary
@@ -467,11 +545,11 @@ loop:
 		drain:
 			for {
 				select {
-				case b, ok := <-batches:
+				case m, ok := <-msgs:
 					if !ok {
 						break drain
 					}
-					if err := ingestBatch(b); err != nil {
+					if err := ingest(m); err != nil {
 						return err
 					}
 				case <-time.After(100 * time.Millisecond):
@@ -479,11 +557,11 @@ loop:
 				}
 			}
 			break loop
-		case b, ok := <-batches:
+		case m, ok := <-msgs:
 			if !ok {
 				break loop
 			}
-			if err := ingestBatch(b); err != nil {
+			if err := ingest(m); err != nil {
 				return err
 			}
 		}
@@ -516,21 +594,59 @@ func parseTiltLevels(s string) ([]tilt.Level, error) {
 	return tilt.ParseLevels(s)
 }
 
+// serveIngest accepts record-stream connections until the signal closes
+// the listener, feeding each one through the auto-negotiated decoder. The
+// engine is one logical stream, so connections are consumed sequentially;
+// a connection that dies or delivers corrupt bytes is logged and dropped
+// (its decoded batches stand — the router re-routes from its own stream
+// position), never fatal to the node.
+func serveIngest(ctx context.Context, ln net.Listener, dims int, getBatch func() *wire.Batch,
+	msgs chan<- ingestMsg, stats *wire.IngestStats) {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "streamd: ingest accept: %v\n", err)
+			continue
+		}
+		br := bufio.NewReaderSize(conn, 1<<16)
+		peek, _ := br.Peek(len(wire.Magic))
+		if string(peek) == wire.Magic {
+			err = readBinary(ctx, br, dims, getBatch, msgs, stats, wire.SourceTCP)
+		} else {
+			err = readText(ctx, br, dims, getBatch, msgs, stats, wire.SourceTCP)
+		}
+		conn.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streamd: ingest connection: %v\n", err)
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
 // readBinary decodes framed columnar batches (internal/wire) into the
-// batch channel until EOF, a decode error, or the signal. Frames decode
-// straight into recycled Batch storage — no per-record allocation.
+// message channel until EOF, a decode error, or the signal. Frames decode
+// straight into recycled Batch storage — no per-record allocation — and
+// control frames (the router's unit barriers) pass through as advance
+// messages in stream order.
 func readBinary(ctx context.Context, br *bufio.Reader, dims int, getBatch func() *wire.Batch,
-	batches chan<- *wire.Batch, readErr chan<- error, stats *wire.IngestStats) {
+	msgs chan<- ingestMsg, stats *wire.IngestStats, src wire.Source) error {
 	wr, err := wire.NewReader(br)
 	if err != nil {
-		stats.AddDecodeError(wire.FormatBinary)
-		readErr <- fmt.Errorf("binary stream: %w", err)
-		return
+		stats.AddDecodeError(wire.FormatBinary, src)
+		return fmt.Errorf("binary stream: %w", err)
 	}
 	if wr.Dims() != dims {
-		stats.AddDecodeError(wire.FormatBinary)
-		readErr <- fmt.Errorf("binary stream carries %d dimensions, -spec has %d", wr.Dims(), dims)
-		return
+		stats.AddDecodeError(wire.FormatBinary, src)
+		return fmt.Errorf("binary stream carries %d dimensions, -spec has %d", wr.Dims(), dims)
 	}
 	for {
 		// Stop decoding once the signal fires — the unconditional send
@@ -538,22 +654,25 @@ func readBinary(ctx context.Context, br *bufio.Reader, dims int, getBatch func()
 		// bounded backlog instead of racing a fast producer.
 		select {
 		case <-ctx.Done():
-			return
+			return nil
 		default:
 		}
 		b := getBatch()
-		n, err := wr.Next(b)
+		n, ctrl, isCtrl, err := wr.NextAny(b)
 		if err == io.EOF {
-			return
+			return nil
 		}
 		if err != nil {
-			stats.AddDecodeError(wire.FormatBinary)
-			readErr <- fmt.Errorf("binary stream: %w", err)
-			return
+			stats.AddDecodeError(wire.FormatBinary, src)
+			return fmt.Errorf("binary stream: %w", err)
 		}
-		stats.AddFrame(wire.FormatBinary)
-		stats.AddRecords(wire.FormatBinary, n)
-		batches <- b
+		stats.AddFrame(wire.FormatBinary, src)
+		if isCtrl {
+			msgs <- ingestMsg{advance: ctrl.Unit, isCtrl: true}
+			continue
+		}
+		stats.AddRecords(wire.FormatBinary, src, n)
+		msgs <- ingestMsg{batch: b}
 	}
 }
 
@@ -562,14 +681,14 @@ func readBinary(ctx context.Context, br *bufio.Reader, dims int, getBatch func()
 // dry — a paced producer's records are delivered as they arrive, a bulk
 // pipe is consumed in full batches.
 func readText(ctx context.Context, br *bufio.Reader, dims int, getBatch func() *wire.Batch,
-	batches chan<- *wire.Batch, readErr chan<- error, stats *wire.IngestStats) {
+	msgs chan<- ingestMsg, stats *wire.IngestStats, src wire.Source) error {
 	rr := gen.NewRecordReader(br, dims)
 	b := getBatch()
 	flush := func() {
 		if b.Len() > 0 {
-			stats.AddFrame(wire.FormatText)
-			stats.AddRecords(wire.FormatText, b.Len())
-			batches <- b
+			stats.AddFrame(wire.FormatText, src)
+			stats.AddRecords(wire.FormatText, src, b.Len())
+			msgs <- ingestMsg{batch: b}
 			b = getBatch()
 		}
 	}
@@ -578,21 +697,20 @@ func readText(ctx context.Context, br *bufio.Reader, dims int, getBatch func() *
 		select {
 		case <-ctx.Done():
 			flush()
-			return
+			return nil
 		default:
 		}
 		tick, members, value, err := rr.Next()
 		if err == io.EOF {
 			flush()
-			return
+			return nil
 		}
 		if err != nil {
 			// Records decoded before the bad one are still delivered, then
 			// the error fails the run.
 			flush()
-			stats.AddDecodeError(wire.FormatText)
-			readErr <- fmt.Errorf("record %d: %w", n+1, err)
-			return
+			stats.AddDecodeError(wire.FormatText, src)
+			return fmt.Errorf("record %d: %w", n+1, err)
 		}
 		n++
 		b.Append(tick, members, value)

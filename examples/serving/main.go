@@ -66,7 +66,7 @@ func main() {
 	ts := httptest.NewServer(regcube.NewQueryServer(eng, schema))
 	defer ts.Close()
 	fmt.Printf("query API listening on %s\n", ts.URL)
-	c, err := client.New(ts.URL)
+	c, err := client.New(client.WithEndpoints(ts.URL))
 	if err != nil {
 		log.Fatal(err)
 	}

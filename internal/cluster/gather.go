@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// GatherConfig configures a Gatherer.
+type GatherConfig struct {
+	// Schema is the cluster's cube schema; decoded snapshots are
+	// validated against it.
+	Schema *cube.Schema
+	// Endpoints are the nodes' HTTP base URLs (streamd -listen), in the
+	// router's partition order.
+	Endpoints []string
+	// HTTP is the client used for node calls; nil means a 5s-timeout
+	// default.
+	HTTP *http.Client
+	// NodeID names the coordinator in its own /v1/info document.
+	NodeID string
+	// AlignAttempts bounds how many watermark-alignment rounds one
+	// refresh makes before keeping the previous snapshot (default 10).
+	AlignAttempts int
+	// AlignBackoff is the delay between alignment rounds (default 20ms).
+	// Nodes advance within a barrier broadcast of each other, so the
+	// window is short.
+	AlignBackoff time.Duration
+	// Logf, when set, receives refresh diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Gatherer is the scatter-gather query tier: it implements serve.Source
+// by fetching every node's published snapshot at a common closed unit
+// and merging them into one cluster-wide snapshot. Wrap it in serve.New
+// to get a coordinator — the full query API over the merged view.
+//
+// Alignment is watermark-based: a refresh first exchanges watermarks
+// (GET /v1/info) and only fetches snapshots once every node publishes
+// the same unit; a barrier race that still slips through is caught by
+// MergeSnapshots and retried. A refresh that cannot align keeps the
+// previous merged snapshot — the coordinator serves a consistent, maybe
+// slightly stale view, never a torn one.
+type Gatherer struct {
+	cfg GatherConfig
+
+	// mu serializes refreshes; snapshot reads are lock-free.
+	mu   sync.Mutex
+	cur  *stream.Snapshot
+	unit int64
+}
+
+// NewGatherer validates the configuration and builds a gatherer.
+func NewGatherer(cfg GatherConfig) (*Gatherer, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("%w: nil schema", ErrConfig)
+	}
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("%w: no endpoints", ErrConfig)
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.AlignAttempts <= 0 {
+		cfg.AlignAttempts = 10
+	}
+	if cfg.AlignBackoff <= 0 {
+		cfg.AlignBackoff = 20 * time.Millisecond
+	}
+	return &Gatherer{cfg: cfg, unit: -1}, nil
+}
+
+// Snapshot implements serve.Source: it refreshes the merged snapshot
+// from the nodes (best-effort — failures keep the last good merge) and
+// returns it. Nil until every node has published its first unit.
+func (g *Gatherer) Snapshot() *stream.Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.refreshLocked(context.Background()); err != nil && g.cfg.Logf != nil {
+		g.cfg.Logf("gather: refresh: %v", err)
+	}
+	return g.cur
+}
+
+// Refresh forces one refresh round and reports its outcome. The merged
+// snapshot is updated only on success.
+func (g *Gatherer) Refresh(ctx context.Context) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.refreshLocked(ctx)
+}
+
+func (g *Gatherer) refreshLocked(ctx context.Context) error {
+	var lastErr error
+	for attempt := 0; attempt < g.cfg.AlignAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("cluster: gather: %w (last error: %v)", ctx.Err(), lastErr)
+			case <-time.After(g.cfg.AlignBackoff):
+			}
+		}
+		// Watermark exchange: find the unit every node has published.
+		target, err := g.watermark(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if target < 0 {
+			// Some node has no snapshot yet; nothing to merge.
+			return fmt.Errorf("cluster: gather: no common published unit yet")
+		}
+		if target == g.unit && g.cur != nil {
+			return nil // already merged this unit
+		}
+		snaps, err := g.fetchSnapshots(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		merged, err := stream.MergeSnapshots(g.cfg.Schema, snaps)
+		if err != nil {
+			// A node advanced between the exchange and the fetch; align
+			// again.
+			lastErr = err
+			continue
+		}
+		g.cur, g.unit = merged, merged.Unit
+		return nil
+	}
+	return fmt.Errorf("cluster: gather: could not align after %d attempts: %w",
+		g.cfg.AlignAttempts, lastErr)
+}
+
+// watermark exchanges /v1/info with every node and returns the lowest
+// published snapshot unit, or -1 when any node has none. An unreachable
+// node fails the exchange.
+func (g *Gatherer) watermark(ctx context.Context) (int64, error) {
+	low := int64(-1)
+	for i, ep := range g.cfg.Endpoints {
+		info, err := g.nodeInfo(ctx, ep)
+		if err != nil {
+			return 0, fmt.Errorf("node %d (%s): %w", i, ep, err)
+		}
+		if info.SnapshotUnit < 0 {
+			return -1, nil
+		}
+		if low < 0 || info.SnapshotUnit < low {
+			low = info.SnapshotUnit
+		}
+	}
+	return low, nil
+}
+
+// fetchSnapshots pulls and decodes every node's /v1/snapshot.
+func (g *Gatherer) fetchSnapshots(ctx context.Context) ([]*stream.Snapshot, error) {
+	snaps := make([]*stream.Snapshot, len(g.cfg.Endpoints))
+	for i, ep := range g.cfg.Endpoints {
+		data, err := g.get(ctx, ep+"/v1/snapshot")
+		if err != nil {
+			return nil, fmt.Errorf("node %d (%s): %w", i, ep, err)
+		}
+		if snaps[i], err = stream.DecodeSnapshot(g.cfg.Schema, data); err != nil {
+			return nil, fmt.Errorf("node %d (%s): %w", i, ep, err)
+		}
+	}
+	return snaps, nil
+}
+
+// nodeInfo fetches one node's /v1/info document.
+func (g *Gatherer) nodeInfo(ctx context.Context, endpoint string) (*query.InfoResponse, error) {
+	data, err := g.get(ctx, endpoint+"/v1/info")
+	if err != nil {
+		return nil, err
+	}
+	var info query.InfoResponse
+	if err := json.Unmarshal(data, &info); err != nil {
+		return nil, fmt.Errorf("decoding info: %w", err)
+	}
+	return &info, nil
+}
+
+func (g *Gatherer) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, firstLine(data))
+	}
+	return data, nil
+}
+
+// Nodes probes every node's /v1/info and reports per-node status, in
+// endpoint order. Unreachable nodes are reported, not fatal.
+func (g *Gatherer) Nodes(ctx context.Context) []query.NodeStatus {
+	out := make([]query.NodeStatus, len(g.cfg.Endpoints))
+	for i, ep := range g.cfg.Endpoints {
+		out[i] = query.NodeStatus{Endpoint: ep}
+		info, err := g.nodeInfo(ctx, ep)
+		if err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		out[i].Reachable = true
+		out[i].Info = info
+	}
+	return out
+}
+
+// Info builds the coordinator's /v1/info document — its own identity
+// plus the per-node statuses — for serve.Server.SetInfo. The serving
+// layer fills SnapshotUnit/UnitsDone from the merged snapshot.
+func (g *Gatherer) Info() query.InfoResponse {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return query.InfoResponse{
+		NodeID:      g.cfg.NodeID,
+		Role:        "coordinator",
+		Shards:      len(g.cfg.Endpoints),
+		WireVersion: wire.Version,
+		APIVersion:  query.APIVersion,
+		Nodes:       g.Nodes(ctx),
+	}
+}
+
+// firstLine trims an error body for diagnostics.
+func firstLine(data []byte) string {
+	const max = 200
+	s := string(data)
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' || i >= max {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/persist"
+	"repro/internal/stream"
+)
+
+// MergeCheckpoints reads one checkpoint per node — single-engine v1/v3
+// files or sharded v2 sets alike — and flattens them into one
+// single-engine checkpoint. Nodes hold disjoint cells by the partition
+// invariant and close units in lockstep at the router's barriers, so the
+// merge is lossless and the result is byte-comparable (via
+// persist.WriteCheckpoint) to a single engine fed the whole stream.
+//
+// The same cross-node validation as in-process sharding applies: every
+// checkpoint must agree on the open unit, the closed-unit count, and the
+// WAL watermark. Disagreement means the files were cut at different
+// stream positions and must not be merged.
+func MergeCheckpoints(nodes []io.Reader) (*stream.Checkpoint, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("%w: no checkpoints", ErrConfig)
+	}
+	var all stream.ShardedCheckpoint
+	for i, r := range nodes {
+		scp, err := persist.ReadShardedCheckpoint(r)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node checkpoint %d: %w", i, err)
+		}
+		all.Shards = append(all.Shards, scp.Shards...)
+	}
+	cp, err := all.Merge()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return cp, nil
+}

@@ -82,11 +82,14 @@ const (
 	epTrend
 	epFrame
 	epQuery
+	epInfo
+	epSnapshot
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
 	"healthz", "metrics", "summary", "exceptions", "alerts", "supporters", "slice", "trend", "frame", "query",
+	"info", "snapshot",
 }
 
 // endpointStats are lock-free per-endpoint counters.
@@ -117,13 +120,22 @@ type Server struct {
 	// counters.
 	encodeErrors atomic.Int64
 	// ingest, when set, is the daemon's ingest-edge counters (records,
-	// frames, decode errors per format), rendered on /metrics.
+	// frames, decode errors per format and source), rendered on /metrics.
 	ingest *wire.IngestStats
+	// info, when set, builds the /v1/info document. It runs per request on
+	// a query goroutine, so it must be safe for concurrent use and must
+	// not call engine methods (read atomics and snapshots instead).
+	info func() query.InfoResponse
 }
 
 // SetIngestStats attaches the ingest-edge counters rendered on /metrics.
 // Call before serving; the stats object itself is concurrency-safe.
 func (s *Server) SetIngestStats(st *wire.IngestStats) { s.ingest = st }
+
+// SetInfo attaches the /v1/info document builder. Call before serving;
+// without it the endpoint answers a minimal document derived from the
+// snapshot alone.
+func (s *Server) SetInfo(fn func() query.InfoResponse) { s.info = fn }
 
 // New builds a query server over a snapshot source. Method-mismatched
 // requests get 405 with an Allow header from the route patterns.
@@ -139,6 +151,8 @@ func New(src Source, schema *cube.Schema) *Server {
 	s.mux.HandleFunc("GET /v1/trend", s.instrument(epTrend, s.handleTrend))
 	s.mux.HandleFunc("GET /v1/frame", s.instrument(epFrame, s.handleFrame))
 	s.mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
+	s.mux.HandleFunc("GET /v1/info", s.instrument(epInfo, s.handleInfo))
+	s.mux.HandleFunc("GET /v1/snapshot", s.instrument(epSnapshot, s.handleSnapshot))
 	return s
 }
 
@@ -338,9 +352,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	}
 	if s.ingest != nil {
 		for _, f := range wire.Formats {
-			fmt.Fprintf(w, "regcube_ingest_records_total{format=%q} %d\n", f, s.ingest.Records(f))
-			fmt.Fprintf(w, "regcube_ingest_frames_total{format=%q} %d\n", f, s.ingest.Frames(f))
-			fmt.Fprintf(w, "regcube_ingest_decode_errors_total{format=%q} %d\n", f, s.ingest.DecodeErrors(f))
+			for _, src := range wire.Sources {
+				fmt.Fprintf(w, "regcube_ingest_records_total{format=%q,source=%q} %d\n", f, src, s.ingest.Records(f, src))
+				fmt.Fprintf(w, "regcube_ingest_frames_total{format=%q,source=%q} %d\n", f, src, s.ingest.Frames(f, src))
+				fmt.Fprintf(w, "regcube_ingest_decode_errors_total{format=%q,source=%q} %d\n", f, src, s.ingest.DecodeErrors(f, src))
+			}
 		}
 	}
 	fmt.Fprintf(w, "regcube_http_encode_errors_total %d\n", s.encodeErrors.Load())
@@ -470,4 +486,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	return s.writeJSON(w, http.StatusOK, ex.ExecuteBatch(batch.Queries))
+}
+
+// --- GET /v1/info ---------------------------------------------------------
+
+// handleInfo answers the typed identity document: node id, role, shard
+// count, wire/API versions, WAL watermark, snapshot unit — the fields
+// operators previously had to scrape from /healthz and /metrics. Like
+// /healthz it always answers 200; a process with no snapshot yet reports
+// SnapshotUnit -1.
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) error {
+	var resp query.InfoResponse
+	if s.info != nil {
+		resp = s.info()
+	} else {
+		resp = query.InfoResponse{Role: "node", WireVersion: wire.Version, APIVersion: query.APIVersion}
+	}
+	resp.SnapshotUnit = -1
+	if snap := s.src.Snapshot(); snap != nil {
+		resp.SnapshotUnit = snap.Unit
+		resp.UnitsDone = snap.UnitsDone
+	}
+	return s.writeJSON(w, http.StatusOK, resp)
+}
+
+// --- GET /v1/snapshot -----------------------------------------------------
+
+// handleSnapshot ships the latest published snapshot whole, in the
+// canonical binary codec (stream.EncodeSnapshot) — the cluster gather
+// tier's bulk-transfer edge. Analysts never need it; the coordinator
+// fetches it from every node at a common unit and merges.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) error {
+	snap := s.src.Snapshot()
+	if snap == nil {
+		return errNoSnapshot
+	}
+	data, err := stream.EncodeSnapshot(snap)
+	if err != nil {
+		return &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(data); err != nil {
+		s.encodeErrors.Add(1)
+		return fmt.Errorf("%w: %v", errEncode, err)
+	}
+	return nil
 }

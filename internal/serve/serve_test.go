@@ -299,8 +299,9 @@ func TestMetricsCounters(t *testing.T) {
 	}
 }
 
-// TestIngestMetrics asserts the per-format ingest counters render and move
-// as the ingest edge reports decode progress and failures.
+// TestIngestMetrics asserts the per-format, per-source ingest counters
+// render and move as the ingest edge reports decode progress and failures
+// — and that piped and routed traffic land in distinct series.
 func TestIngestMetrics(t *testing.T) {
 	srv, _, _ := testServer(t, 2, 1)
 	var stats wire.IngestStats
@@ -308,33 +309,38 @@ func TestIngestMetrics(t *testing.T) {
 
 	body := get(t, srv, "/metrics", nil).Body.String()
 	for _, line := range []string{
-		`regcube_ingest_records_total{format="text"} 0`,
-		`regcube_ingest_records_total{format="binary"} 0`,
-		`regcube_ingest_frames_total{format="text"} 0`,
-		`regcube_ingest_frames_total{format="binary"} 0`,
-		`regcube_ingest_decode_errors_total{format="text"} 0`,
-		`regcube_ingest_decode_errors_total{format="binary"} 0`,
+		`regcube_ingest_records_total{format="text",source="stdin"} 0`,
+		`regcube_ingest_records_total{format="text",source="tcp"} 0`,
+		`regcube_ingest_records_total{format="binary",source="stdin"} 0`,
+		`regcube_ingest_records_total{format="binary",source="tcp"} 0`,
+		`regcube_ingest_frames_total{format="text",source="stdin"} 0`,
+		`regcube_ingest_frames_total{format="binary",source="tcp"} 0`,
+		`regcube_ingest_decode_errors_total{format="text",source="stdin"} 0`,
+		`regcube_ingest_decode_errors_total{format="binary",source="tcp"} 0`,
 	} {
 		if !strings.Contains(body, line) {
 			t.Fatalf("metrics missing %q:\n%s", line, body)
 		}
 	}
 
-	stats.AddRecords(wire.FormatText, 7)
-	stats.AddFrame(wire.FormatText)
-	stats.AddRecords(wire.FormatBinary, 4096)
-	stats.AddFrame(wire.FormatBinary)
-	stats.AddFrame(wire.FormatBinary)
-	stats.AddDecodeError(wire.FormatBinary)
+	stats.AddRecords(wire.FormatText, wire.SourceStdin, 7)
+	stats.AddFrame(wire.FormatText, wire.SourceStdin)
+	stats.AddRecords(wire.FormatBinary, wire.SourceTCP, 4096)
+	stats.AddFrame(wire.FormatBinary, wire.SourceTCP)
+	stats.AddFrame(wire.FormatBinary, wire.SourceTCP)
+	stats.AddDecodeError(wire.FormatBinary, wire.SourceTCP)
 
 	body = get(t, srv, "/metrics", nil).Body.String()
 	for _, line := range []string{
-		`regcube_ingest_records_total{format="text"} 7`,
-		`regcube_ingest_frames_total{format="text"} 1`,
-		`regcube_ingest_records_total{format="binary"} 4096`,
-		`regcube_ingest_frames_total{format="binary"} 2`,
-		`regcube_ingest_decode_errors_total{format="text"} 0`,
-		`regcube_ingest_decode_errors_total{format="binary"} 1`,
+		`regcube_ingest_records_total{format="text",source="stdin"} 7`,
+		`regcube_ingest_frames_total{format="text",source="stdin"} 1`,
+		`regcube_ingest_records_total{format="binary",source="tcp"} 4096`,
+		`regcube_ingest_frames_total{format="binary",source="tcp"} 2`,
+		`regcube_ingest_decode_errors_total{format="text",source="stdin"} 0`,
+		`regcube_ingest_decode_errors_total{format="binary",source="tcp"} 1`,
+		// Routed traffic never bleeds into the stdin series.
+		`regcube_ingest_records_total{format="binary",source="stdin"} 0`,
+		`regcube_ingest_frames_total{format="binary",source="stdin"} 0`,
 	} {
 		if !strings.Contains(body, line) {
 			t.Fatalf("metrics did not move, missing %q:\n%s", line, body)

@@ -2,7 +2,6 @@ package stream
 
 import (
 	"fmt"
-	"math/bits"
 	"slices"
 
 	"repro/internal/cube"
@@ -172,58 +171,23 @@ func (s *ShardedEngine) IngestBatch(b *wire.Batch) ([]*UnitResult, error) {
 
 // routeSegment partitions records [lo,hi) of a batch — all inside the open
 // unit — into the per-shard pending buffers. The partition function is
-// hashMembers of the o-layer ancestor tuple, computed column-wise: one
-// dense-table pass per dimension folds each record's ancestors into a
-// running hash, then one finalize pass assigns shards. The fold order and
-// constants match hashMembers exactly, so batch and record routing agree
-// bit for bit.
+// Partitioner.FoldColumns — the o-layer ancestor fold computed column-wise
+// (one dense-table pass per dimension, then one finalize pass), shared
+// verbatim with the multi-node router so batch, record, and cross-process
+// routing all agree bit for bit.
 func (s *ShardedEngine) routeSegment(b *wire.Batch, lo, hi int) error {
 	nrec := hi - lo
 	if cap(s.hashBuf) < nrec {
 		s.hashBuf = make([]uint64, nrec)
 	}
 	hb := s.hashBuf[:nrec]
-	for i := range hb {
-		hb[i] = 1469598103934665603
+	if err := s.part.FoldColumns(b, lo, hi, hb); err != nil {
+		return err
 	}
-	for d := 0; d < s.nDims; d++ {
-		col := b.Cols[d][lo:hi]
-		card := int32(s.cards[d])
-		if tab := s.anc[d]; tab != nil {
-			for i, m := range col {
-				if m < 0 || m >= card {
-					return fmt.Errorf("%w: member %d of dimension %s outside [0,%d)",
-						ErrRecord, m, s.cfg.Schema.Dims[d].Name, card)
-				}
-				hb[i] = (hb[i] ^ uint64(uint32(tab[m]))) * 1099511628211
-			}
-		} else {
-			for i, m := range col {
-				if m < 0 || m >= card {
-					return fmt.Errorf("%w: member %d of dimension %s outside [0,%d)",
-						ErrRecord, m, s.cfg.Schema.Dims[d].Name, card)
-				}
-				o := s.idx.Ancestor(d, s.mLevels[d], s.oLevels[d], m)
-				hb[i] = (hb[i] ^ uint64(uint32(o))) * 1099511628211
-			}
-		}
-	}
-	// Finalize the hashes into shard ids in place, then scatter the segment
-	// into the per-shard columnar sub-batches. The scatter is column-wise —
-	// one pass per column, like the ancestor fold above — so each source
-	// column streams through the cache once and no per-record struct is
-	// materialized.
-	nShards := uint64(len(s.shards))
-	for i := 0; i < nrec; i++ {
-		h := hb[i]
-		h ^= h >> 30
-		h *= 0xbf58476d1ce4e5b9
-		h ^= h >> 27
-		h *= 0x94d049bb133111eb
-		h ^= h >> 31
-		sid, _ := bits.Mul64(h, nShards)
-		hb[i] = sid
-	}
+	// Scatter the segment into the per-shard columnar sub-batches,
+	// column-wise — one pass per column, like the ancestor fold — so each
+	// source column streams through the cache once and no per-record
+	// struct is materialized.
 	// The scatter is cursor-based: a histogram pass counts each shard's
 	// share, every destination column grows once, and the fill loops write
 	// by index — no per-record append bookkeeping or capacity checks.

@@ -2,7 +2,6 @@ package stream
 
 import (
 	"fmt"
-	"math/bits"
 	"sort"
 	"sync/atomic"
 
@@ -80,16 +79,10 @@ type ShardedEngine struct {
 	cfg    Config
 	nDims  int
 	shards []*shard
-	// idx resolves each record's o-layer ancestor (the partition function)
-	// with precomputed tables; mLevels/oLevels/cards cache the per-dimension
-	// bounds so routing does no interface calls, and anc[d] flattens the
-	// m→o mapping into one dense slice per dimension (nil for oversized
-	// hierarchies, which route through idx instead).
-	idx     *cube.AncestorIndex
-	mLevels [cube.MaxDims]int
-	oLevels [cube.MaxDims]int
-	cards   [cube.MaxDims]int
-	anc     [cube.MaxDims][]int32
+	// part is the o-ancestor partition function, shared verbatim with the
+	// multi-node router (internal/cluster) so in-process shards and
+	// cross-process nodes route records bit-for-bit identically.
+	part *Partitioner
 	// openEnd caches unitStart(unit+1) so the per-record boundary test is
 	// one comparison.
 	openEnd int64
@@ -152,25 +145,11 @@ func NewShardedEngine(cfg Config, shards int) (*ShardedEngine, error) {
 	s.cfg = engines[0].cfg // normalized (history bound, default path)
 	s.cfg.PublishSnapshots = cfg.PublishSnapshots
 	s.nDims = len(cfg.Schema.Dims)
-	s.idx = cube.NewAncestorIndex(cfg.Schema)
-	for d, dim := range cfg.Schema.Dims {
-		s.mLevels[d] = dim.MLevel
-		s.oLevels[d] = dim.OLevel
-		s.cards[d] = dim.Hierarchy.Cardinality(dim.MLevel)
-		// Flatten routing to one table lookup per dimension: reuse the
-		// index's own dense table when it has one, otherwise build one
-		// (fanout/identity dimensions); skip it (and fall back to the
-		// index per record) past 4M members.
-		if tab := s.idx.TableFor(d, dim.MLevel, dim.OLevel); tab != nil {
-			s.anc[d] = tab
-		} else if s.cards[d] <= 1<<22 {
-			tab := make([]int32, s.cards[d])
-			for m := range tab {
-				tab[m] = s.idx.Ancestor(d, dim.MLevel, dim.OLevel, int32(m))
-			}
-			s.anc[d] = tab
-		}
+	part, err := NewPartitioner(cfg.Schema, shards)
+	if err != nil {
+		return nil, err
 	}
+	s.part = part
 	s.openEnd = s.unitStart(1)
 	s.free = make(chan *wire.Batch, 4*shards)
 	for i := range s.shards {
@@ -228,42 +207,15 @@ func (s *ShardedEngine) unitStart(u int64) int64 {
 	return s.cfg.StartTick + u*int64(s.cfg.TicksPerUnit)
 }
 
-// hashMembers mixes the o-level member tuple with one 64-bit FNV-style
-// fold per dimension plus a splitmix64 avalanche — a fixed, stable
-// partition function (checkpoints repartition identically on every run),
-// far cheaper than byte-wise hashing on the per-record path. The hash maps
-// to a shard with a multiply-high range reduction instead of a modulo: the
-// avalanched bits are uniform, and the multiply is several times cheaper
-// than a 64-bit divide on the per-record path.
+// hashMembers maps an o-level member tuple to its shard; the function
+// itself lives in Partitioner, shared with the cluster router.
 func (s *ShardedEngine) hashMembers(members *[cube.MaxDims]int32) int {
-	h := uint64(1469598103934665603)
-	for d := 0; d < s.nDims; d++ {
-		h = (h ^ uint64(uint32(members[d]))) * 1099511628211
-	}
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	sid, _ := bits.Mul64(h, uint64(len(s.shards)))
-	return int(sid)
+	return s.part.Hash(members)
 }
 
 // shardOf routes an m-layer member tuple by its o-layer ancestor.
 func (s *ShardedEngine) shardOf(members []int32) (int, error) {
-	var o [cube.MaxDims]int32
-	for d := 0; d < s.nDims; d++ {
-		if members[d] < 0 || int(members[d]) >= s.cards[d] {
-			return 0, fmt.Errorf("%w: member %d of dimension %s outside [0,%d)",
-				ErrRecord, members[d], s.cfg.Schema.Dims[d].Name, s.cards[d])
-		}
-		if tab := s.anc[d]; tab != nil {
-			o[d] = tab[members[d]]
-		} else {
-			o[d] = s.idx.Ancestor(d, s.mLevels[d], s.oLevels[d], members[d])
-		}
-	}
-	return s.hashMembers(&o), nil
+	return s.part.Route(members)
 }
 
 // getBatch draws a recycled sub-batch, or allocates while the free list
@@ -588,6 +540,23 @@ func SortAlerts(alerts []Alert) {
 		}
 		return alerts[a].Kind < alerts[b].Kind
 	})
+}
+
+// AdvanceTo closes units in order until `unit` is the open unit, exactly
+// as if a record at unit's first tick had arrived, and returns the merged
+// results. Targets at or before the open unit are a no-op. It is how a
+// cluster ingest node applies the router's unit-boundary barrier frames:
+// every node advances in lockstep even when it received no records for
+// the closed units, so per-node checkpoints and snapshots always agree on
+// the unit counters and merge losslessly.
+func (s *ShardedEngine) AdvanceTo(unit int64) ([]*UnitResult, error) {
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	if unit <= s.unit {
+		return nil, nil
+	}
+	return s.advanceTo(unit)
 }
 
 // Flush closes the currently open unit on every shard and returns the

@@ -1,0 +1,245 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/tilt"
+)
+
+// feedUnits drives an engine through `units` full units of deterministic
+// records (every m-cell, rising values so exceptions and alerts fire).
+func feedUnits(t testing.TB, ingest func(members []int32, tick int64, value float64), cfg Config, units int) {
+	t.Helper()
+	for u := 0; u < units; u++ {
+		for k := 0; k < cfg.TicksPerUnit; k++ {
+			tick := int64(u*cfg.TicksPerUnit + k)
+			for a := int32(0); a < 4; a++ {
+				for b := int32(0); b < 4; b++ {
+					v := float64(tick)*float64(a+1)*0.5 + float64(b)
+					ingest([]int32{a, b}, tick, v)
+				}
+			}
+		}
+	}
+}
+
+// snapshotsEquivalent asserts two snapshots carry identical analyst-visible
+// state (summary stats excluded — wall-clock fields are never comparable).
+func snapshotsEquivalent(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if got.Unit != want.Unit || got.UnitsDone != want.UnitsDone || got.Interval != want.Interval {
+		t.Fatalf("header (%d,%d,%+v) != (%d,%d,%+v)",
+			got.Unit, got.UnitsDone, got.Interval, want.Unit, want.UnitsDone, want.Interval)
+	}
+	if (got.Result == nil) != (want.Result == nil) {
+		t.Fatalf("Result nil-ness differs")
+	}
+	if got.Result != nil {
+		if !reflect.DeepEqual(got.Result.OLayer, want.Result.OLayer) {
+			t.Fatal("o-layers differ")
+		}
+		if !reflect.DeepEqual(got.Result.Exceptions, want.Result.Exceptions) {
+			t.Fatal("exception sets differ")
+		}
+		if !reflect.DeepEqual(got.Result.PathCells, want.Result.PathCells) {
+			t.Fatal("path cells differ")
+		}
+	}
+	if !reflect.DeepEqual(got.Alerts, want.Alerts) {
+		t.Fatalf("alerts differ:\n%+v\n%+v", got.Alerts, want.Alerts)
+	}
+	if !reflect.DeepEqual(got.History, want.History) {
+		t.Fatal("histories differ")
+	}
+	if !reflect.DeepEqual(got.Frames, want.Frames) {
+		t.Fatal("frames differ")
+	}
+}
+
+// TestSnapshotCodecRoundTrip proves Encode→Decode reproduces the full
+// snapshot and that encoding is deterministic (canonical cell order, so
+// equal state means equal bytes).
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	cfg := snapshotTestConfig(t)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedUnits(t, func(m []int32, tick int64, v float64) {
+		if _, err := eng.Ingest(m, tick, v); err != nil {
+			t.Fatal(err)
+		}
+	}, cfg, 3)
+	snap := eng.Snapshot()
+	if snap == nil || snap.Result == nil {
+		t.Fatal("no published snapshot")
+	}
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("encoding is not deterministic")
+	}
+	dec, err := DecodeSnapshot(cfg.Schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEquivalent(t, dec, snap)
+	if dec.Result.Stats.Tuples != snap.Result.Stats.Tuples {
+		t.Fatalf("stats tuples %d != %d", dec.Result.Stats.Tuples, snap.Result.Stats.Tuples)
+	}
+	// Re-encoding the decoded snapshot reproduces the bytes exactly.
+	data2, err := EncodeSnapshot(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("decode→encode is not the identity")
+	}
+}
+
+// TestSnapshotCodecTilted covers the tilted-frame leg of the codec.
+func TestSnapshotCodecTilted(t *testing.T) {
+	cfg := snapshotTestConfig(t)
+	cfg.TiltLevels = []tilt.Level{{Name: "fine", Multiple: 1, Slots: 4}, {Name: "coarse", Multiple: 2, Slots: 3}}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedUnits(t, func(m []int32, tick int64, v float64) {
+		if _, err := eng.Ingest(m, tick, v); err != nil {
+			t.Fatal(err)
+		}
+	}, cfg, 5)
+	snap := eng.Snapshot()
+	if snap == nil || snap.Frames == nil {
+		t.Fatal("no tilted snapshot")
+	}
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSnapshot(cfg.Schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEquivalent(t, dec, snap)
+}
+
+// TestSnapshotCodecRejects pins the decode failure modes.
+func TestSnapshotCodecRejects(t *testing.T) {
+	schema := snapshotTestSchema(t)
+	if _, err := DecodeSnapshot(schema, []byte("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := DecodeSnapshot(schema, []byte(`{"version":99}`)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	if _, err := DecodeSnapshot(schema, []byte(`{"version":1,"empty":false,"oLayer":[{"levels":[1],"members":[0],"isb":{}}]}`)); err == nil {
+		t.Fatal("dimension-count mismatch accepted")
+	}
+	if _, err := EncodeSnapshot(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+}
+
+// TestMergeSnapshotsMatchesSharded is the gather tier's core guarantee:
+// per-shard snapshots round-tripped through the wire codec and merged with
+// MergeSnapshots must equal both the sharded coordinator's own merged
+// snapshot and a single engine's snapshot of the same stream.
+func TestMergeSnapshotsMatchesSharded(t *testing.T) {
+	cfg := snapshotTestConfig(t)
+
+	// Reference: one engine over the whole stream.
+	single, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedUnits(t, func(m []int32, tick int64, v float64) {
+		if _, err := single.Ingest(m, tick, v); err != nil {
+			t.Fatal(err)
+		}
+	}, cfg, 3)
+	if _, err := single.AdvanceTo(3); err != nil {
+		t.Fatal(err)
+	}
+	want := single.Snapshot()
+
+	// Cluster stand-in: partition the same stream across 4 per-node
+	// engines with the shared Partitioner, advance them in lockstep at
+	// each boundary (the router's barrier), then merge their snapshots.
+	const nodes = 4
+	part, err := NewPartitioner(cfg.Schema, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*Engine, nodes)
+	for i := range engines {
+		if engines[i], err = NewEngine(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lastUnit := int64(0)
+	feedUnits(t, func(m []int32, tick int64, v float64) {
+		if u := tick / int64(cfg.TicksPerUnit); u > lastUnit {
+			// The router's barrier: every node closes the boundary's
+			// units before any node sees the next unit's records.
+			for _, e := range engines {
+				if _, err := e.AdvanceTo(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+			lastUnit = u
+		}
+		sid, err := part.Route(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engines[sid].Ingest(m, tick, v); err != nil {
+			t.Fatal(err)
+		}
+	}, cfg, 3)
+	for _, e := range engines {
+		if _, err := e.AdvanceTo(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps := make([]*Snapshot, nodes)
+	for i, e := range engines {
+		data, err := EncodeSnapshot(e.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snaps[i], err = DecodeSnapshot(cfg.Schema, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeSnapshots(cfg.Schema, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEquivalent(t, merged, want)
+
+	// Unit-mismatched snapshots must be rejected: the gather tier fetches
+	// only after aligning watermarks.
+	if _, err := engines[0].AdvanceTo(4); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeSnapshot(engines[0].Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps[0], err = DecodeSnapshot(cfg.Schema, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSnapshots(cfg.Schema, snaps); err == nil {
+		t.Fatal("diverged units merged")
+	}
+}

@@ -68,6 +68,21 @@ func (bw *Writer) Flush() error {
 	return nil
 }
 
+// WriteControl flushes the pending batch, then frames and writes one
+// control payload. The flush keeps the stream's record/control order equal
+// to the caller's Append/WriteControl order — a barrier must never pass
+// records buffered before it.
+func (bw *Writer) WriteControl(c Control) error {
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	payload := AppendControl(bw.buf[:0], c)
+	frame := EncodeFrame(payload[len(payload):], payload)
+	bw.buf = payload
+	_, err := bw.w.Write(frame)
+	return err
+}
+
 // Reader decodes a binary record stream: the header at construction, then
 // one columnar batch per Next call, into caller-reused Batch storage. Not
 // safe for concurrent use.
@@ -101,23 +116,26 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Dims returns the dimension count the stream header promised.
 func (r *Reader) Dims() int { return r.dims }
 
-// Next reads one frame and decodes its batch into b, returning the record
-// count. A clean end of stream is io.EOF; a stream that dies mid-frame is
-// ErrTorn; invalid bytes are ErrCorrupt.
-func (r *Reader) Next(b *Batch) (int, error) {
+// readFrame reads and checksums one complete frame, returning its payload
+// (valid until the next call). A clean end of stream is io.EOF; a stream
+// that dies mid-frame is ErrTorn; invalid bytes are ErrCorrupt. Because it
+// reads through io.ReadFull, reassembly is correct over any byte-stream
+// framing — a TCP peer delivering one byte at a time decodes identically
+// to a file read whole.
+func (r *Reader) readFrame() ([]byte, error) {
 	var hdr [FrameHeaderLen]byte
 	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
 		if err == io.EOF {
-			return 0, io.EOF
+			return nil, io.EOF
 		}
 		if err == io.ErrUnexpectedEOF {
-			return 0, fmt.Errorf("%w: stream ended inside a frame header", ErrTorn)
+			return nil, fmt.Errorf("%w: stream ended inside a frame header", ErrTorn)
 		}
-		return 0, err
+		return nil, err
 	}
 	length := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
 	if length == 0 || length > MaxFramePayload {
-		return 0, fmt.Errorf("%w: frame length %d outside (0,%d]", ErrCorrupt, length, MaxFramePayload)
+		return nil, fmt.Errorf("%w: frame length %d outside (0,%d]", ErrCorrupt, length, MaxFramePayload)
 	}
 	if cap(r.buf) < FrameHeaderLen+length {
 		r.buf = make([]byte, FrameHeaderLen+length)
@@ -126,15 +144,40 @@ func (r *Reader) Next(b *Batch) (int, error) {
 	copy(frame, hdr[:])
 	if _, err := io.ReadFull(r.br, frame[FrameHeaderLen:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return 0, fmt.Errorf("%w: stream ended inside a %d-byte frame", ErrTorn, length)
+			return nil, fmt.Errorf("%w: stream ended inside a %d-byte frame", ErrTorn, length)
 		}
-		return 0, err
+		return nil, err
 	}
 	payload, _, err := DecodeFrame(frame)
+	return payload, err
+}
+
+// Next reads one frame and decodes its batch into b, returning the record
+// count. A clean end of stream is io.EOF; a stream that dies mid-frame is
+// ErrTorn; invalid bytes are ErrCorrupt. A control frame is ErrCorrupt
+// here — consumers that speak the control protocol use NextAny.
+func (r *Reader) Next(b *Batch) (int, error) {
+	payload, err := r.readFrame()
 	if err != nil {
 		return 0, err
 	}
 	return DecodeBatch(payload, r.dims, b)
+}
+
+// NextAny reads one frame and decodes it as either a record batch (into b,
+// ctrl false) or a control frame (into c, ctrl true, n zero). Clean EOF,
+// torn tails, and corruption report exactly as Next.
+func (r *Reader) NextAny(b *Batch) (n int, c Control, ctrl bool, err error) {
+	payload, err := r.readFrame()
+	if err != nil {
+		return 0, Control{}, false, err
+	}
+	if IsControl(payload) {
+		c, err = DecodeControl(payload)
+		return 0, c, true, err
+	}
+	n, err = DecodeBatch(payload, r.dims, b)
+	return n, Control{}, false, err
 }
 
 // Format labels the two ingest encodings for observability.
@@ -159,31 +202,54 @@ func (f Format) String() string {
 // Formats lists the label values in rendering order.
 var Formats = [numFormats]Format{FormatText, FormatBinary}
 
-// IngestStats counts the ingest edge per format: records decoded, frames
-// (batches) handed to the engine, and decode failures. streamd's reader
-// goroutine writes, the /metrics endpoint reads; all fields are atomic so
-// neither side takes a lock.
+// Source labels where an ingest byte stream arrived from, so a cluster
+// node's metrics distinguish piped ingest from router traffic.
+type Source int
+
+const (
+	// SourceStdin is the process's standard input (piped or redirected).
+	SourceStdin Source = iota
+	// SourceTCP is a routed connection accepted on -ingest-listen.
+	SourceTCP
+	numSources
+)
+
+// String returns the metric label value.
+func (s Source) String() string {
+	if s == SourceTCP {
+		return "tcp"
+	}
+	return "stdin"
+}
+
+// Sources lists the label values in rendering order.
+var Sources = [numSources]Source{SourceStdin, SourceTCP}
+
+// IngestStats counts the ingest edge per (format, source) pair: records
+// decoded, frames (batches) handed to the engine, and decode failures.
+// streamd's reader goroutine writes, the /metrics endpoint reads; all
+// fields are atomic so neither side takes a lock.
 type IngestStats struct {
-	records      [numFormats]atomic.Int64
-	frames       [numFormats]atomic.Int64
-	decodeErrors [numFormats]atomic.Int64
+	records      [numFormats][numSources]atomic.Int64
+	frames       [numFormats][numSources]atomic.Int64
+	decodeErrors [numFormats][numSources]atomic.Int64
 }
 
 // AddRecords counts n decoded records.
-func (s *IngestStats) AddRecords(f Format, n int) { s.records[f].Add(int64(n)) }
+func (s *IngestStats) AddRecords(f Format, src Source, n int) { s.records[f][src].Add(int64(n)) }
 
 // AddFrame counts one decoded frame (for text, one batch cut from the
 // line stream).
-func (s *IngestStats) AddFrame(f Format) { s.frames[f].Add(1) }
+func (s *IngestStats) AddFrame(f Format, src Source) { s.frames[f][src].Add(1) }
 
 // AddDecodeError counts one decode failure.
-func (s *IngestStats) AddDecodeError(f Format) { s.decodeErrors[f].Add(1) }
+func (s *IngestStats) AddDecodeError(f Format, src Source) { s.decodeErrors[f][src].Add(1) }
 
-// Records returns the decoded-record count for a format.
-func (s *IngestStats) Records(f Format) int64 { return s.records[f].Load() }
+// Records returns the decoded-record count for a format and source.
+func (s *IngestStats) Records(f Format, src Source) int64 { return s.records[f][src].Load() }
 
-// Frames returns the decoded-frame count for a format.
-func (s *IngestStats) Frames(f Format) int64 { return s.frames[f].Load() }
+// Frames returns the decoded-frame count for a format and source.
+func (s *IngestStats) Frames(f Format, src Source) int64 { return s.frames[f][src].Load() }
 
-// DecodeErrors returns the decode-failure count for a format.
-func (s *IngestStats) DecodeErrors(f Format) int64 { return s.decodeErrors[f].Load() }
+// DecodeErrors returns the decode-failure count for a format and source.
+func (s *IngestStats) DecodeErrors(f Format, src Source) int64 { return s.decodeErrors[f][src].Load() }

@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"testing/iotest"
+)
+
+// encodeStream renders a complete binary stream — header, then `batches`
+// record frames of perBatch records, each followed by an advance control
+// frame — as one byte slice, so transport tests can deliver it under
+// arbitrary fragmentation.
+func encodeStream(t *testing.T, dims, batches, perBatch int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BatchRecords = perBatch
+	members := make([]int32, dims)
+	tick := int64(0)
+	for f := 0; f < batches; f++ {
+		for i := 0; i < perBatch; i++ {
+			for d := range members {
+				members[d] = int32((f + i*3 + d) % 7)
+			}
+			if err := w.Append(tick, members, float64(f)+float64(i)*0.25); err != nil {
+				t.Fatal(err)
+			}
+			tick++
+		}
+		if err := w.WriteControl(Control{Op: ControlAdvance, Unit: int64(f + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// drainStream decodes a full stream with NextAny and returns the record
+// count and the control frames in order.
+func drainStream(t *testing.T, r io.Reader) (int, []Control) {
+	t.Helper()
+	wr, err := NewReader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	var records int
+	var ctrls []Control
+	for {
+		n, c, isCtrl, err := wr.NextAny(&b)
+		if err == io.EOF {
+			return records, ctrls
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isCtrl {
+			ctrls = append(ctrls, c)
+			continue
+		}
+		records += n
+	}
+}
+
+// TestReaderOneByteReads proves frame reassembly over the most adversarial
+// short-read schedule possible: every Read call delivers exactly one byte,
+// as a slow TCP peer legally may. The decoded stream must be identical to
+// decoding the same bytes whole.
+func TestReaderOneByteReads(t *testing.T) {
+	raw := encodeStream(t, 3, 5, 8)
+	wantRecords, wantCtrls := drainStream(t, bytes.NewReader(raw))
+	if wantRecords != 40 || len(wantCtrls) != 5 {
+		t.Fatalf("whole-buffer decode saw %d records, %d controls", wantRecords, len(wantCtrls))
+	}
+	gotRecords, gotCtrls := drainStream(t, iotest.OneByteReader(bytes.NewReader(raw)))
+	if gotRecords != wantRecords || !reflect.DeepEqual(gotCtrls, wantCtrls) {
+		t.Fatalf("one-byte decode saw %d records %v, want %d %v",
+			gotRecords, gotCtrls, wantRecords, wantCtrls)
+	}
+}
+
+// TestReaderHalfReads exercises iotest.HalfReader — every read delivers
+// half of what was asked — to cover partial frame headers and payloads at
+// a different fragmentation granularity.
+func TestReaderHalfReads(t *testing.T) {
+	raw := encodeStream(t, 2, 4, 16)
+	wantRecords, wantCtrls := drainStream(t, bytes.NewReader(raw))
+	gotRecords, gotCtrls := drainStream(t, iotest.HalfReader(bytes.NewReader(raw)))
+	if gotRecords != wantRecords || !reflect.DeepEqual(gotCtrls, wantCtrls) {
+		t.Fatalf("half-read decode saw %d records %v, want %d %v",
+			gotRecords, gotCtrls, wantRecords, wantCtrls)
+	}
+}
+
+// TestReaderOverTCPChunks streams frames through a real net.Pipe in
+// deliberately misaligned chunks — boundaries land mid-header, mid-CRC,
+// and mid-payload — proving the reader reassembles frames from a socket
+// exactly as from a file.
+func TestReaderOverTCPChunks(t *testing.T) {
+	raw := encodeStream(t, 2, 6, 32)
+	wantRecords, wantCtrls := drainStream(t, bytes.NewReader(raw))
+
+	client, server := net.Pipe()
+	go func() {
+		defer client.Close()
+		// Prime chunk sizes guarantee every kind of misalignment over a
+		// few frames.
+		off, step := 0, 7
+		for off < len(raw) {
+			end := off + step
+			if end > len(raw) {
+				end = len(raw)
+			}
+			if _, err := client.Write(raw[off:end]); err != nil {
+				return
+			}
+			off = end
+			if step = step*2 + 1; step > 1024 {
+				step = 3
+			}
+		}
+	}()
+	gotRecords, gotCtrls := drainStream(t, server)
+	server.Close()
+	if gotRecords != wantRecords || !reflect.DeepEqual(gotCtrls, wantCtrls) {
+		t.Fatalf("chunked TCP decode saw %d records %v, want %d %v",
+			gotRecords, gotCtrls, wantRecords, wantCtrls)
+	}
+}
+
+// TestReaderTornOverTCP proves a peer dying mid-frame surfaces as ErrTorn
+// (not EOF, not a hang) wherever the cut lands.
+func TestReaderTornOverTCP(t *testing.T) {
+	raw := encodeStream(t, 2, 2, 4)
+	// Cut points: inside the stream header, inside a frame header, inside
+	// a payload, and right after the frame header.
+	for _, cut := range []int{HeaderLen + 3, HeaderLen + FrameHeaderLen + 2, len(raw) - 1, HeaderLen + FrameHeaderLen} {
+		client, server := net.Pipe()
+		go func() {
+			client.Write(raw[:cut])
+			client.Close()
+		}()
+		wr, err := NewReader(server)
+		if err != nil {
+			server.Close()
+			if cut >= HeaderLen {
+				t.Fatalf("cut %d: header rejected: %v", cut, err)
+			}
+			if !errors.Is(err, ErrTorn) {
+				t.Fatalf("cut %d: header error %v, want ErrTorn", cut, err)
+			}
+			continue
+		}
+		var b Batch
+		for {
+			_, _, _, err = wr.NextAny(&b)
+			if err != nil {
+				break
+			}
+		}
+		server.Close()
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut %d: error %v, want ErrTorn", cut, err)
+		}
+	}
+}
+
+// TestControlRoundTrip pins the control frame codec: encode, frame,
+// decode, and the negative-unit varint edge.
+func TestControlRoundTrip(t *testing.T) {
+	for _, unit := range []int64{0, 1, 127, 128, 1 << 40} {
+		payload := AppendControl(nil, Control{Op: ControlAdvance, Unit: unit})
+		if !IsControl(payload) {
+			t.Fatalf("unit %d: payload not recognized as control", unit)
+		}
+		c, err := DecodeControl(payload)
+		if err != nil || c.Op != ControlAdvance || c.Unit != unit {
+			t.Fatalf("unit %d: decoded %+v, %v", unit, c, err)
+		}
+	}
+	batch := AppendBatch(nil, sampleBatch(2, 3))
+	if IsControl(batch) {
+		t.Fatal("batch payload misread as control")
+	}
+}
+
+// TestControlRejectsGarbage pins the failure modes: truncation, unknown
+// op, trailing bytes, and a pre-control decoder receiving a control frame.
+func TestControlRejectsGarbage(t *testing.T) {
+	good := AppendControl(nil, Control{Op: ControlAdvance, Unit: 9})
+	for _, tc := range []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"marker only", good[:1]},
+		{"unknown op", []byte{good[0], 0x7e, 2}},
+		{"missing unit", good[:2]},
+		{"trailing bytes", append(append([]byte(nil), good...), 0)},
+		{"not control", AppendBatch(nil, sampleBatch(1, 1))},
+	} {
+		if _, err := DecodeControl(tc.in); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: error %v, want ErrCorrupt", tc.name, err)
+		}
+	}
+	// A reader that only speaks batches must reject a control frame as
+	// corrupt — version skew fails loudly.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteControl(Control{Op: ControlAdvance, Unit: 3}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	if _, err := r.Next(&b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Next on control frame: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWriterControlOrdersAfterPending proves WriteControl flushes buffered
+// records first: a barrier never overtakes records appended before it.
+func TestWriterControlOrdersAfterPending(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, []int32{2}, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteControl(Control{Op: ControlAdvance, Unit: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	n, _, isCtrl, err := r.NextAny(&b)
+	if err != nil || isCtrl || n != 1 || b.Ticks[0] != 5 {
+		t.Fatalf("first frame: n=%d ctrl=%v err=%v", n, isCtrl, err)
+	}
+	_, c, isCtrl, err := r.NextAny(&b)
+	if err != nil || !isCtrl || c.Unit != 1 {
+		t.Fatalf("second frame: ctrl=%v %+v err=%v", isCtrl, c, err)
+	}
+}

@@ -154,6 +154,63 @@ func DecodeHeader(b []byte) (dims int, err error) {
 	return dims, nil
 }
 
+// controlMarker opens a control payload. It is deliberately distinct from
+// every batch payload version, so a pre-control decoder that feeds a
+// control frame to DecodeBatch rejects it as ErrCorrupt (unknown version)
+// instead of misreading it — version skew fails loudly, never silently.
+const controlMarker = 0xC0
+
+// ControlOp enumerates the in-band control operations a binary stream can
+// carry between record batches.
+type ControlOp byte
+
+const (
+	// ControlAdvance tells the consumer to close every unit before Unit —
+	// the cluster router's unit-boundary barrier. The router broadcasts it
+	// to all nodes after flushing their buffered records, so every node
+	// closes the same units at the same stream positions a single engine
+	// would, keeping per-node state mergeable bit for bit.
+	ControlAdvance ControlOp = 1
+)
+
+// Control is one decoded control frame.
+type Control struct {
+	Op   ControlOp
+	Unit int64
+}
+
+// AppendControl appends the control payload encoding of c to dst and
+// returns the extended slice. The caller frames the result, exactly like a
+// batch payload.
+func AppendControl(dst []byte, c Control) []byte {
+	dst = append(dst, controlMarker, byte(c.Op))
+	return binary.AppendVarint(dst, c.Unit)
+}
+
+// IsControl reports whether a frame payload is a control payload (as
+// opposed to a record batch).
+func IsControl(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == controlMarker
+}
+
+// DecodeControl decodes one control payload. Unknown operations and
+// malformed encodings are ErrCorrupt.
+func DecodeControl(payload []byte) (Control, error) {
+	if len(payload) < 2 || payload[0] != controlMarker {
+		return Control{}, fmt.Errorf("%w: %d-byte control payload", ErrCorrupt, len(payload))
+	}
+	c := Control{Op: ControlOp(payload[1])}
+	if c.Op != ControlAdvance {
+		return Control{}, fmt.Errorf("%w: unknown control op %d", ErrCorrupt, payload[1])
+	}
+	unit, n := binary.Varint(payload[2:])
+	if n <= 0 || n != len(payload)-2 {
+		return Control{}, fmt.Errorf("%w: control unit varint", ErrCorrupt)
+	}
+	c.Unit = unit
+	return c, nil
+}
+
 // Batch is one columnar record batch: parallel arrays of ticks, one member
 // column per dimension, and measure values. Index i across all columns is
 // record i. The zero value is ready after Reset.

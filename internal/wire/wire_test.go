@@ -298,16 +298,24 @@ func TestFormatLabels(t *testing.T) {
 	if FormatText.String() != "text" || FormatBinary.String() != "binary" {
 		t.Fatalf("format labels %q/%q", FormatText, FormatBinary)
 	}
-	var s IngestStats
-	s.AddRecords(FormatBinary, 5)
-	s.AddFrame(FormatBinary)
-	s.AddDecodeError(FormatText)
-	if s.Records(FormatBinary) != 5 || s.Frames(FormatBinary) != 1 || s.DecodeErrors(FormatText) != 1 {
-		t.Fatalf("stats = %d records, %d frames, %d errors",
-			s.Records(FormatBinary), s.Frames(FormatBinary), s.DecodeErrors(FormatText))
+	if SourceStdin.String() != "stdin" || SourceTCP.String() != "tcp" {
+		t.Fatalf("source labels %q/%q", SourceStdin, SourceTCP)
 	}
-	if s.Records(FormatText) != 0 || s.DecodeErrors(FormatBinary) != 0 {
+	var s IngestStats
+	s.AddRecords(FormatBinary, SourceStdin, 5)
+	s.AddFrame(FormatBinary, SourceStdin)
+	s.AddDecodeError(FormatText, SourceTCP)
+	if s.Records(FormatBinary, SourceStdin) != 5 || s.Frames(FormatBinary, SourceStdin) != 1 ||
+		s.DecodeErrors(FormatText, SourceTCP) != 1 {
+		t.Fatalf("stats = %d records, %d frames, %d errors",
+			s.Records(FormatBinary, SourceStdin), s.Frames(FormatBinary, SourceStdin),
+			s.DecodeErrors(FormatText, SourceTCP))
+	}
+	if s.Records(FormatText, SourceStdin) != 0 || s.DecodeErrors(FormatBinary, SourceTCP) != 0 {
 		t.Fatal("counters bled across formats")
+	}
+	if s.Records(FormatBinary, SourceTCP) != 0 || s.Frames(FormatBinary, SourceTCP) != 0 {
+		t.Fatal("counters bled across sources")
 	}
 }
 

@@ -7,8 +7,12 @@
 # what-if over the captured log. The binary legs re-run the pipe with
 # `-format=binary` framed batches: checkpoints must be bitwise-equal to
 # the text-fed ones, mid-stream queries must serve, and a kill -9'd
-# binary-fed WAL must replay deterministically. Run from anywhere; needs
-# go and curl.
+# binary-fed WAL must replay deterministically. The cluster leg runs the
+# 4-process topology — four streamd ingest nodes behind regcube-router's
+# scatter tier and scatter-gather coordinator — queries the coordinator
+# mid-stream, and asserts the merged per-node checkpoints are
+# bitwise-equal to a single engine over the identical stream. Run from
+# anywhere; needs go and curl.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,15 +20,19 @@ ADDR=127.0.0.1:18080
 workdir=$(mktemp -d)
 spid=""
 dpid=""
+rpid=""
+npids=()
 cleanup() {
   [ -n "$spid" ] && kill "$spid" 2>/dev/null || true
   [ -n "$dpid" ] && kill "$dpid" 2>/dev/null || true
+  [ -n "$rpid" ] && kill "$rpid" 2>/dev/null || true
+  for p in "${npids[@]:-}"; do [ -n "$p" ] && kill "$p" 2>/dev/null || true; done
   rm -rf "$workdir"
 }
 trap cleanup EXIT
 
 echo "== build"
-go build -o "$workdir" ./cmd/datagen ./cmd/streamd ./cmd/queryprobe ./cmd/regcube
+go build -o "$workdir" ./cmd/datagen ./cmd/streamd ./cmd/queryprobe ./cmd/regcube ./cmd/regcube-router
 
 fifo="$workdir/stream.fifo"
 mkfifo "$fifo"
@@ -292,7 +300,7 @@ fi
 assert_json '/v1/summary'        '"cuboids":\['
 assert_json '/v1/exceptions?k=3' '"cells":\['
 # The ingest counters must attribute this stream to the binary decoder.
-fetch /metrics | grep -q 'regcube_ingest_records_total{format="binary"} [1-9]' \
+fetch /metrics | grep -q 'regcube_ingest_records_total{format="binary",source="stdin"} [1-9]' \
   || { echo "FAIL: /metrics missing binary ingest counters" >&2; exit 1; }
 echo "   OK binary ingest counters live"
 kill -INT "$spid"
@@ -337,5 +345,97 @@ echo "   $(grep '# replayed' "$workdir/bin-replay.log")"
 cmp "$workdir/bin-replay1.json" "$workdir/bin-replay2.json" \
   || { echo "FAIL: two replays of the same WAL differ" >&2; exit 1; }
 echo "   OK replay checkpoints bitwise-equal"
+
+echo "== cluster leg: 4 streamd nodes + router, scatter-gather coordinator, merged checkpoint"
+CADDR=127.0.0.1:18090
+node_ing=(127.0.0.1:19091 127.0.0.1:19092 127.0.0.1:19093 127.0.0.1:19094)
+node_api=(127.0.0.1:18091 127.0.0.1:18092 127.0.0.1:18093 127.0.0.1:18094)
+npids=()
+for i in 0 1 2 3; do
+  "$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 1 \
+    -ingest-listen "${node_ing[$i]}" -listen "${node_api[$i]}" -node-id "node-$i" \
+    -checkpoint "$workdir/node$i.json" > "$workdir/node$i.log" 2>&1 &
+  npids+=($!)
+done
+# Wait for every node's ingest listener before pointing the router at them.
+for i in 0 1 2 3; do
+  ok=""
+  for _ in $(seq 1 50); do
+    if grep -q '# ingest listening' "$workdir/node$i.log"; then ok=yes; break; fi
+    sleep 0.1
+  done
+  [ -n "$ok" ] || { echo "FAIL: node $i never listened" >&2; cat "$workdir/node$i.log" >&2; exit 1; }
+done
+"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 1200 -seed 7 -pace 5ms -format=binary 2>/dev/null \
+  | "$workdir/regcube-router" -spec D2L2C4 -unit 15 \
+      -nodes "$(IFS=,; echo "${node_ing[*]}")" \
+      -node-api "$(IFS=,; echo "${node_api[*]/#/http://}")" \
+      -listen "$CADDR" -node-id coord > "$workdir/router.log" 2>&1 &
+rpid=$!
+ADDR=$CADDR
+ready=""
+for _ in $(seq 1 150); do
+  if h=$(fetch /healthz 2>/dev/null) && grep -q '"unitsDone":[1-9]' <<<"$h"; then
+    ready=yes
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$ready" ]; then
+  echo "FAIL: coordinator never served a completed unit" >&2
+  cat "$workdir/router.log" >&2; cat "$workdir/node0.log" >&2
+  exit 1
+fi
+echo "   coordinator healthz: $h"
+# Mid-stream scatter-gather queries and the cluster-wide info document.
+assert_json '/v1/exceptions?k=5' '"cells":\['
+assert_json '/v1/alerts'         '"alerts":\['
+info=$(fetch /v1/info)
+grep -q '"role":"coordinator"' <<<"$info" || { echo "FAIL: /v1/info not a coordinator: $info" >&2; exit 1; }
+grep -q '"nodeId":"node-3"' <<<"$info"    || { echo "FAIL: /v1/info missing node-3: $info" >&2; exit 1; }
+reach=$(grep -o '"reachable":true' <<<"$info" | wc -l || true)
+[ "$reach" -eq 4 ] || { echo "FAIL: /v1/info reports $reach reachable nodes, want 4: $info" >&2; exit 1; }
+echo "   OK GET /v1/info (coordinator, 4 reachable nodes)"
+# Node-side ingest accounting: records arrived over TCP, not stdin. The
+# partitioner may legitimately leave a node cold on a small schema, so
+# count busy nodes rather than pinning one.
+busy=0
+for i in 0 1 2 3; do
+  nm=$(curl -fsS --max-time 5 "http://${node_api[$i]}/metrics")
+  if grep -q 'regcube_ingest_records_total{format="binary",source="tcp"} [1-9]' <<<"$nm"; then
+    busy=$((busy + 1))
+  fi
+  if grep -q 'source="stdin"} [1-9]' <<<"$nm"; then
+    echo "FAIL: node $i counted stdin-sourced records on a TCP-only run: $nm" >&2; exit 1
+  fi
+done
+[ "$busy" -ge 2 ] || { echo "FAIL: only $busy nodes counted tcp-sourced records" >&2; exit 1; }
+echo "   OK node /metrics (source=\"tcp\" ingest counters on $busy nodes)"
+# Let the stream finish, then take the whole cluster down gracefully.
+done_route=""
+for _ in $(seq 1 300); do
+  if grep -q '^# routed' "$workdir/router.log"; then done_route=yes; break; fi
+  sleep 0.2
+done
+[ -n "$done_route" ] || { echo "FAIL: router never finished the stream" >&2; cat "$workdir/router.log" >&2; exit 1; }
+echo "   $(grep '^# routed' "$workdir/router.log")"
+kill -INT "$rpid"
+wait "$rpid" || { echo "FAIL: router exited non-zero" >&2; cat "$workdir/router.log" >&2; exit 1; }
+rpid=""
+for i in 0 1 2 3; do
+  kill -INT "${npids[$i]}"
+  wait "${npids[$i]}" || { echo "FAIL: node $i exited non-zero" >&2; cat "$workdir/node$i.log" >&2; exit 1; }
+done
+npids=()
+# Reference: one single-shard engine over the identical stream.
+"$workdir/datagen" -spec D2L2C4T2K -stream -ticks 1200 -seed 7 -format=binary 2>/dev/null \
+  | "$workdir/streamd" -spec D2L2C4 -unit 15 -threshold 0.2 -shards 1 \
+      -checkpoint "$workdir/cluster-single.json" > /dev/null 2>&1
+"$workdir/regcube" merge -o "$workdir/cluster-merged.json" \
+  "$workdir/node0.json" "$workdir/node1.json" "$workdir/node2.json" "$workdir/node3.json" \
+  2> "$workdir/merge.log" || { echo "FAIL: regcube merge failed" >&2; cat "$workdir/merge.log" >&2; exit 1; }
+cmp "$workdir/cluster-merged.json" "$workdir/cluster-single.json" \
+  || { echo "FAIL: merged 4-node checkpoint differs from the single engine" >&2; exit 1; }
+echo "   OK 4-node merged checkpoint bitwise-equal to single engine ($(wc -c < "$workdir/cluster-merged.json") bytes)"
 
 echo "e2e smoke OK"
