@@ -382,6 +382,75 @@ func BenchmarkShardedIngest(b *testing.B) {
 	}
 }
 
+// Same pipeline with snapshot publication on and a subscriber draining
+// the broadcast bus — the serving/alerting configuration. The subscriber
+// costs one channel send per closed unit; the delta against
+// BenchmarkShardedPipeline is the bus's whole ingest-path overhead.
+func BenchmarkShardedIngestBusSubscriber(b *testing.B) {
+	b.ReportAllocs()
+	schema := shardedBenchSchema(b)
+	cells := shardedBenchCells()
+	cfg := stream.Config{
+		Schema:           schema,
+		TicksPerUnit:     64,
+		Threshold:        exception.Global(100),
+		PublishSnapshots: true,
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			eng, err := stream.NewShardedEngine(cfg, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			sub := eng.Subscribe(16)
+			defer sub.Close()
+			done := make(chan int64)
+			stop := make(chan struct{})
+			go func() {
+				var seen int64
+				for {
+					select {
+					case <-sub.C():
+						seen++
+					case <-stop:
+						// Publication has stopped; count what is still
+						// buffered so the accounting below is exact.
+						for {
+							select {
+							case <-sub.C():
+								seen++
+								continue
+							default:
+							}
+							break
+						}
+						done <- seen
+						return
+					}
+				}
+			}()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				tick := int64(n / len(cells))
+				if _, err := eng.Ingest(cells[n%len(cells)], tick, float64(n%13)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := eng.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			close(stop)
+			seen := <-done
+			if units := eng.UnitsDone(); units > 0 && seen+eng.BusDropped() < units {
+				b.Fatalf("subscriber saw %d of %d units with %d dropped", seen, units, eng.BusDropped())
+			}
+		})
+	}
+}
+
 // End-to-end pipeline: a unit closes (and cubes, in parallel across
 // shards) every 64 ticks × 256 cells, the dominant cost at stream scale.
 func BenchmarkShardedPipeline(b *testing.B) {

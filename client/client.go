@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/query"
 )
 
@@ -89,6 +90,12 @@ type (
 
 	// InfoResponse is the typed GET /v1/info document.
 	InfoResponse = query.InfoResponse
+	// AlertEventsResponse is the typed GET /v1/alerts/events document:
+	// recent alert lifecycle events, oldest first.
+	AlertEventsResponse = query.AlertEventsResponse
+	// AlertEvent is one lifecycle level transition inside an
+	// AlertEventsResponse.
+	AlertEvent = alert.EventJSON
 	// NodeStatus is one node's reachability inside a coordinator's
 	// InfoResponse.
 	NodeStatus = query.NodeStatus
@@ -331,6 +338,25 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 		return nil, fmt.Errorf("client: decoding health: %w", err)
 	}
 	return &h, nil
+}
+
+// AlertEvents fetches up to k recent alert lifecycle events (k <= 0 uses
+// the server default of 50), oldest first. The server answers 404 when
+// alerting is not configured on the node; that maps to ErrNotFound.
+func (c *Client) AlertEvents(ctx context.Context, k int) (*AlertEventsResponse, error) {
+	path := "/v1/alerts/events"
+	if k > 0 {
+		path = fmt.Sprintf("%s?k=%d", path, k)
+	}
+	data, err := c.roundTrip(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp AlertEventsResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("client: decoding alert events: %w", err)
+	}
+	return &resp, nil
 }
 
 // Info fetches the server's GET /v1/info identity document: node id,

@@ -6,19 +6,18 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/exception"
-	"repro/internal/gen"
-	"repro/internal/persist"
+	"repro/internal/node"
 	"repro/internal/stream"
-	"repro/internal/tilt"
 	"repro/internal/wal"
 )
 
 // runReplay is the `regcube replay` subcommand: re-run a streamd
 // write-ahead log through a fresh engine under whatever configuration the
-// flags name. Ingest is deterministic, so the result is exactly what a
-// live run with this configuration would have produced — shard count, tilt
-// chain, and threshold become what-if knobs over recorded history.
+// flags name. The engine is built through the same construction path as
+// the live daemon (node.EngineConfig), and ingest is deterministic, so
+// the result is exactly what a live run with this configuration would
+// have produced — shard count, tilt chain, and threshold become what-if
+// knobs over recorded history.
 func runReplay(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("regcube replay", flag.ContinueOnError)
 	walDir := fs.String("wal-dir", "", "write-ahead log directory to replay (required)")
@@ -37,34 +36,19 @@ func runReplay(args []string, out io.Writer) error {
 	if *walDir == "" {
 		return fmt.Errorf("-wal-dir is required")
 	}
-	spec, err := gen.ParseSpec(*specStr + "T1") // reuse the D/L/C parser
-	if err != nil {
-		return fmt.Errorf("bad -spec: %w", err)
-	}
-	schema, err := spec.StreamSchema()
+	a, err := node.EngineConfig{
+		Spec:         *specStr,
+		TicksPerUnit: *unit,
+		Threshold:    *threshold,
+		Alg:          *alg,
+		Tilt:         *tiltStr,
+		Shards:       *shards,
+	}.Build()
 	if err != nil {
 		return err
 	}
-	algorithm := stream.MOCubing
-	if *alg == "popular-path" {
-		algorithm = stream.PopularPath
-	} else if *alg != "mo" {
-		return fmt.Errorf("unknown -alg %q", *alg)
-	}
-	if *shards < 1 {
-		return fmt.Errorf("-shards %d: need at least 1", *shards)
-	}
-	tiltLevels, err := tilt.ParseLevels(*tiltStr)
-	if err != nil {
-		return fmt.Errorf("bad -tilt: %w", err)
-	}
-	cfg := stream.Config{
-		Schema:       schema,
-		TicksPerUnit: *unit,
-		Threshold:    exception.Global(*threshold),
-		Algorithm:    algorithm,
-		TiltLevels:   tiltLevels,
-	}
+	defer a.Close()
+	schema := a.Schema
 
 	report := func(urs []*stream.UnitResult) {
 		if *quiet {
@@ -84,42 +68,9 @@ func runReplay(args []string, out io.Writer) error {
 		}
 	}
 
-	var (
-		ingest    func(members []int32, tick int64, value float64) ([]*stream.UnitResult, error)
-		flush     func() (*stream.UnitResult, error)
-		unitsDone func() int64
-		setSeq    func(int64) error
-		writeCP   func(io.Writer) error
-	)
-	if *shards > 1 {
-		seng, err := stream.NewShardedEngine(cfg, *shards)
-		if err != nil {
-			return err
-		}
-		defer seng.Close()
-		ingest, flush, unitsDone, setSeq = seng.Ingest, seng.Flush, seng.UnitsDone, seng.SetWALSeq
-		writeCP = func(w io.Writer) error {
-			scp, err := seng.Checkpoint()
-			if err != nil {
-				return err
-			}
-			return persist.WriteShardedCheckpoint(w, scp)
-		}
-	} else {
-		eng, err := stream.NewEngine(cfg)
-		if err != nil {
-			return err
-		}
-		ingest, flush, unitsDone = eng.Ingest, eng.Flush, eng.UnitsDone
-		setSeq = func(seq int64) error { eng.SetWALSeq(seq); return nil }
-		writeCP = func(w io.Writer) error {
-			return persist.WriteCheckpoint(w, eng.Checkpoint())
-		}
-	}
-
 	var records int64
 	end, err := wal.Replay(*walDir, *from, func(seq int64, rec wal.Record) error {
-		closed, ingestErr := ingest(rec.Members, rec.Tick, rec.Value)
+		closed, ingestErr := a.Ingest(rec.Members, rec.Tick, rec.Value)
 		if len(closed) > 0 {
 			report(closed)
 		}
@@ -132,7 +83,7 @@ func runReplay(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ur, err := flush()
+	ur, err := a.Flush()
 	if err != nil {
 		return err
 	}
@@ -140,14 +91,14 @@ func runReplay(args []string, out io.Writer) error {
 	if *checkpoint != "" {
 		// Stamp the log position so the what-if checkpoint is itself
 		// resumable: streamd -wal-dir picks up where this replay stopped.
-		if err := setSeq(end); err != nil {
+		if err := a.SetWALSeq(end); err != nil {
 			return err
 		}
 		f, err := os.Create(*checkpoint)
 		if err != nil {
 			return err
 		}
-		if err := writeCP(f); err != nil {
+		if err := a.WriteCheckpoint(f); err != nil {
 			f.Close()
 			return err
 		}
@@ -155,6 +106,6 @@ func runReplay(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(out, "# replayed %d records (log end %d), %d units\n", records, end, unitsDone())
+	fmt.Fprintf(out, "# replayed %d records (log end %d), %d units\n", records, end, a.UnitsDone())
 	return nil
 }

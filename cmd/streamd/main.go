@@ -21,11 +21,20 @@
 // (internal/serve) from per-unit engine snapshots, so analysts can hit
 // /v1/exceptions, /v1/trend, etc. while ingestion continues at full rate.
 //
+// With -alert-crit T > 0 the stateful alert lifecycle (internal/alert)
+// subscribes to the engine's snapshot bus: consecutive unit snapshots are
+// diffed into level-transition events (ok → warn → crit and back), deduped
+// per cell, flap-suppressed with an -alert-hold unit hold, and inhibited
+// for drill-down cells whose o-layer ancestor is already firing. Events
+// print as ALERTEVENT lines and, with -alert-webhook, POST to the given
+// URL with capped exponential retries; /v1/alerts/events serves the
+// recent-event ring.
+//
 // On SIGINT/SIGTERM streamd stops reading, ingests every record it has
-// already parsed, flushes the final partial unit, saves the checkpoint,
-// and shuts the HTTP listener down gracefully before exiting 0. (Bytes
-// the CSV reader buffered but had not yet parsed are abandoned, as with
-// any streaming shutdown.)
+// already parsed, shuts the HTTP listener down, flushes the final partial
+// unit, saves the checkpoint, and drains the alert pipeline before
+// exiting 0. (Bytes the CSV reader buffered but had not yet parsed are
+// abandoned, as with any streaming shutdown.)
 //
 // With -tilt the flat per-o-cell trend history is replaced by a tilt time
 // frame (§4.1): each closed unit promotes through a level chain (e.g.
@@ -57,40 +66,25 @@
 //	datagen-style producer | streamd -spec D2L2C4 -unit 15 -threshold 2
 //	streamd -spec D2L2C4 -unit 15 -threshold 2 -checkpoint state.json < records.csv
 //	streamd -spec D2L2C4 -shards 8 -listen :8080 -checkpoint state.json < records.csv
+//
+// The runtime itself — engine construction, WAL replay, ingest sources,
+// the query server, the alert lifecycle, and the ordered shutdown — lives
+// in internal/node; this binary is flag parsing over node.Run.
 package main
 
 import (
-	"bufio"
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
-	"sync/atomic"
 	"syscall"
-	"time"
 
-	"repro/internal/exception"
-	"repro/internal/gen"
-	"repro/internal/persist"
-	"repro/internal/query"
-	"repro/internal/serve"
-	"repro/internal/stream"
+	"repro/internal/node"
 	"repro/internal/tilt"
-	"repro/internal/wal"
-	"repro/internal/wire"
 )
-
-// textBatchRecords is how many text records accumulate into one columnar
-// batch before hand-off to the ingest loop. The reader also cuts a batch
-// whenever its buffer runs dry, so a paced producer's records are never
-// held back waiting for a full batch.
-const textBatchRecords = 512
 
 // options collects the flag values so tests drive run directly.
 type options struct {
@@ -107,6 +101,10 @@ type options struct {
 	walDir       string
 	walSync      string
 	walSegBytes  int64
+	alertWarn    float64
+	alertCrit    float64
+	alertHold    int
+	alertWebhook string
 }
 
 func main() {
@@ -130,10 +128,16 @@ func main() {
 	flag.StringVar(&opt.walSync, "wal-sync", "batch", "WAL fsync policy: 'batch' (every append), 'interval[=dur]' (at most once per period, default 100ms), "+
 		"or 'off' (only before checkpoints)")
 	flag.Int64Var(&opt.walSegBytes, "wal-segment-bytes", 0, "rotate WAL segments at this size (0 = 64 MiB default)")
+	flag.Float64Var(&opt.alertWarn, "alert-warn", 0, "|slope| warn threshold for the alert lifecycle (0 = half of -alert-crit)")
+	flag.Float64Var(&opt.alertCrit, "alert-crit", 0, "|slope| crit threshold; > 0 enables the stateful alert lifecycle "+
+		"(level-transition events with per-cell dedup, hold-based flap suppression, and ancestor inhibition)")
+	flag.IntVar(&opt.alertHold, "alert-hold", 2, "units a cell must stay below its reported level before a de-escalation event fires")
+	flag.StringVar(&opt.alertWebhook, "alert-webhook", "", "POST every alert event to this URL as JSON, with capped exponential retries; "+
+		"empty disables the webhook handler")
 	flag.Parse()
 
-	// A signal stops the record loop; the final flush, checkpoint, and
-	// HTTP shutdown then run on the ordinary exit path.
+	// A signal stops the record loop; the ordered shutdown — drain, HTTP,
+	// flush, checkpoint, alert drain — then runs on the ordinary exit path.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, opt, os.Stdin, os.Stdout); err != nil {
@@ -142,580 +146,34 @@ func main() {
 	}
 }
 
-// engine is the surface shared by the single and sharded analyzers.
-// Batches are the unit of flow on the ingest path; Ingest remains for WAL
-// replay, which walks the row-oriented log record by record, and
-// AdvanceTo applies the cluster router's unit-boundary barrier frames.
-type engine interface {
-	Ingest(members []int32, tick int64, value float64) ([]*stream.UnitResult, error)
-	IngestBatch(b *wire.Batch) ([]*stream.UnitResult, error)
-	AdvanceTo(unit int64) ([]*stream.UnitResult, error)
-	Flush() (*stream.UnitResult, error)
-	Unit() int64
-	UnitsDone() int64
-	Snapshot() *stream.Snapshot
-}
-
-// ingestMsg is one message from the reader goroutine to the ingest loop:
-// a decoded record batch, or an advance barrier (a control frame telling
-// the engine to close every unit before advance).
-type ingestMsg struct {
-	batch   *wire.Batch
-	advance int64
-	isCtrl  bool
-}
-
+// run maps the flag set onto the node runtime config. Tests drive it
+// directly with fabricated options and in-memory streams.
 func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
-	spec, err := gen.ParseSpec(opt.spec + "T1") // reuse the D/L/C parser
-	if err != nil {
-		return fmt.Errorf("bad -spec: %w", err)
-	}
-	schema, err := spec.StreamSchema()
-	if err != nil {
-		return err
-	}
-	alg := stream.MOCubing
-	if opt.alg == "popular-path" {
-		alg = stream.PopularPath
-	} else if opt.alg != "mo" {
-		return fmt.Errorf("unknown -alg %q", opt.alg)
-	}
-	if opt.shards < 1 {
-		return fmt.Errorf("-shards %d: need at least 1", opt.shards)
-	}
-	tiltLevels, err := parseTiltLevels(opt.tilt)
-	if err != nil {
-		return fmt.Errorf("bad -tilt: %w", err)
-	}
-	cfg := stream.Config{
-		Schema:       schema,
-		TicksPerUnit: opt.unit,
-		Threshold:    exception.Global(opt.threshold),
-		Algorithm:    alg,
-		TiltLevels:   tiltLevels,
-		// The serving layer reads immutable per-unit snapshots.
-		PublishSnapshots: opt.listen != "",
-	}
-
-	// The two engine flavors differ only in construction and checkpoint
-	// plumbing; the record loop runs against the shared interface.
-	var eng engine
-	var loadCheckpoint func(io.Reader) error
-	var writeCheckpoint func(io.Writer) error
-	var setWALSeq func(int64) error
-	var walSeqOf func() (int64, error)
-	if opt.shards > 1 {
-		seng, err := stream.NewShardedEngine(cfg, opt.shards)
-		if err != nil {
-			return err
-		}
-		defer seng.Close()
-		eng = seng
-		loadCheckpoint = func(r io.Reader) error {
-			scp, err := persist.ReadShardedCheckpoint(r)
-			if err != nil {
-				return err
-			}
-			return seng.Restore(scp)
-		}
-		writeCheckpoint = func(w io.Writer) error {
-			scp, err := seng.Checkpoint()
-			if err != nil {
-				return err
-			}
-			return persist.WriteShardedCheckpoint(w, scp)
-		}
-		setWALSeq = seng.SetWALSeq
-		walSeqOf = seng.WALSeq
-	} else {
-		single, err := stream.NewEngine(cfg)
-		if err != nil {
-			return err
-		}
-		eng = single
-		loadCheckpoint = func(r io.Reader) error {
-			cp, err := persist.ReadCheckpoint(r)
-			if err != nil {
-				return err
-			}
-			return single.Restore(cp)
-		}
-		writeCheckpoint = func(w io.Writer) error {
-			return persist.WriteCheckpoint(w, single.Checkpoint())
-		}
-		setWALSeq = func(seq int64) error { single.SetWALSeq(seq); return nil }
-		walSeqOf = func() (int64, error) { return single.WALSeq(), nil }
-	}
-
-	if opt.checkpoint != "" {
-		if f, err := os.Open(opt.checkpoint); err == nil {
-			err := loadCheckpoint(f)
-			f.Close()
-			if err != nil {
-				return fmt.Errorf("restoring checkpoint: %w", err)
-			}
-			fmt.Fprintf(out, "# resumed at unit %d (%d units done)\n", eng.Unit(), eng.UnitsDone())
-		}
-	}
-
-	report := func(urs []*stream.UnitResult) {
-		for _, ur := range urs {
-			if ur.Result == nil {
-				fmt.Fprintf(out, "[unit %d] no data\n", ur.Unit)
-				continue
-			}
-			fmt.Fprintf(out, "[unit %d] %s: %d o-cells, %d exceptions, %d alerts\n",
-				ur.Unit, ur.Result.Stats.Algorithm, len(ur.Result.OLayer),
-				len(ur.Result.Exceptions), len(ur.Alerts))
-			for _, al := range ur.Alerts {
-				fmt.Fprintf(out, "  ALERT %s %s slope=%+.3f\n", al.Kind, al.Cell.Describe(schema), al.ISB.Slope)
-				for _, c := range al.Drill {
-					fmt.Fprintf(out, "    supporter %s %s slope=%+.3f\n",
-						c.Key.Describe(schema), c.Key.Cuboid.Describe(schema), c.ISB.Slope)
-				}
-			}
-		}
-	}
-
-	// WAL plumbing. Every batch is appended to the log before ingest;
-	// ingestedSeq counts records the engine has consumed, and is the
-	// watermark checkpoints carry. saveCheckpoint fsyncs the log before
-	// stamping it, so a checkpoint's watermark never points past the
-	// durable log regardless of the -wal-sync policy. The counter is
-	// atomic because /v1/info reports it from HTTP goroutines while the
-	// ingest loop advances it.
-	var wlog *wal.Log
-	var ingestedSeq atomic.Int64
-
-	saveCheckpoint := func() error {
-		if wlog != nil {
-			if err := wlog.Sync(); err != nil {
-				return fmt.Errorf("wal sync: %w", err)
-			}
-			if err := setWALSeq(ingestedSeq.Load()); err != nil {
-				return err
-			}
-		}
-		if opt.checkpoint == "" {
-			return nil
-		}
-		tmp := opt.checkpoint + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
-			return err
-		}
-		if err := writeCheckpoint(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		return os.Rename(tmp, opt.checkpoint)
-	}
-
-	if opt.walDir != "" {
-		policy, every, err := wal.ParseSyncPolicy(opt.walSync)
-		if err != nil {
-			return fmt.Errorf("bad -wal-sync: %w", err)
-		}
-		wlog, err = wal.Open(wal.Options{
-			Dir:          opt.walDir,
-			SegmentBytes: opt.walSegBytes,
-			Sync:         policy,
-			SyncEvery:    every,
-		})
-		if err != nil {
-			return fmt.Errorf("-wal-dir: %w", err)
-		}
-		defer wlog.Close()
-		mark, err := walSeqOf()
-		if err != nil {
-			return err
-		}
-		if wlog.Seq() < mark {
-			return fmt.Errorf("checkpoint WAL watermark %d exceeds the %d-record log in %s (wrong -wal-dir?)",
-				mark, wlog.Seq(), opt.walDir)
-		}
-		ingestedSeq.Store(mark)
-		if wlog.Seq() > mark {
-			// The crash window: records durably logged after the last
-			// checkpoint was cut. Re-ingesting them rebuilds the open unit
-			// exactly — ingest is deterministic — and may close units whose
-			// reports were lost with the crashed process.
-			n, err := wal.Replay(opt.walDir, mark, func(seq int64, rec wal.Record) error {
-				closed, ingestErr := eng.Ingest(rec.Members, rec.Tick, rec.Value)
-				if len(closed) > 0 {
-					report(closed)
-				}
-				if ingestErr != nil {
-					return fmt.Errorf("wal record %d: %w", seq, ingestErr)
-				}
-				ingestedSeq.Add(1)
-				return nil
-			})
-			if err != nil {
-				return fmt.Errorf("replaying wal: %w", err)
-			}
-			fmt.Fprintf(out, "# wal: replayed %d records (watermark %d -> %d)\n", n-mark, mark, n)
-			if err := saveCheckpoint(); err != nil {
-				return fmt.Errorf("saving checkpoint: %w", err)
-			}
-		}
-	}
-
-	// ingestStats counts the decode edge (records, frames, decode errors
-	// per format); /metrics renders it when the query API is up.
-	ingestStats := &wire.IngestStats{}
-
-	// The query API serves concurrently with the ingest loop below; its
-	// only contact with the engine is the atomic snapshot load.
-	var srv *http.Server
-	if opt.listen != "" {
-		ln, err := net.Listen("tcp", opt.listen)
-		if err != nil {
-			return fmt.Errorf("-listen: %w", err)
-		}
-		// The timeouts keep slow or stuck clients from pinning connections
-		// (and Shutdown) on a daemon that runs for days: headers within 5s,
-		// the whole request — including a POST /v1/query body — within 30s,
-		// idle keep-alives reaped after 2 minutes, headers capped at 64 KiB
-		// (the serving layer separately caps query bodies at 1 MiB).
-		handler := serve.New(eng, schema)
-		handler.SetIngestStats(ingestStats)
-		// The info closure runs on query goroutines: only flag-derived
-		// constants and the atomic watermark — never engine calls, which
-		// are coordinator-confined.
-		handler.SetInfo(func() query.InfoResponse {
-			return query.InfoResponse{
-				NodeID:      opt.nodeID,
-				Role:        "node",
-				Shards:      opt.shards,
-				WireVersion: wire.Version,
-				APIVersion:  query.APIVersion,
-				WALSeq:      ingestedSeq.Load(),
-			}
-		})
-		srv = &http.Server{
-			Handler:           handler,
-			ReadHeaderTimeout: 5 * time.Second,
-			ReadTimeout:       30 * time.Second,
-			IdleTimeout:       2 * time.Minute,
-			MaxHeaderBytes:    1 << 16,
-		}
-		go func() {
-			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "streamd: http: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(out, "# serving http on %s\n", ln.Addr())
-		defer func() {
-			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			if err := srv.Shutdown(shutdownCtx); err != nil {
-				fmt.Fprintf(os.Stderr, "streamd: http shutdown: %v\n", err)
-			}
-		}()
-	}
-
-	// Records are decoded in their own goroutine so a signal interrupts the
-	// loop even while a read from stdin is blocked; the reader goroutine
-	// itself dies with the process. Decoded batches flow over a channel and
-	// drained batches flow back through the free list, so steady-state
-	// ingest allocates nothing per record in either direction.
-	// A shallow decode-ahead keeps the reader from racing the whole stream
-	// into fresh batches before any come back through the free list — two
-	// full frames in flight is plenty of pipeline slack, and steady state
-	// then recycles the same handful of batches instead of allocating.
-	msgs := make(chan ingestMsg, 2)
-	freeBatches := make(chan *wire.Batch, 16)
-	readErr := make(chan error, 1)
-	getBatch := func() *wire.Batch {
-		b := &wire.Batch{}
-		select {
-		case b = <-freeBatches:
-		default:
-		}
-		b.Reset(spec.Dims)
-		return b
-	}
-	if opt.ingestListen != "" {
-		// Routed ingest: accept the record stream over TCP instead of
-		// stdin. The listener opens before the announce line, so a router
-		// that waits for it can connect immediately; connections are
-		// consumed one at a time (the engine is one logical stream), and a
-		// connection's decode error drops that connection — the next
-		// producer reconnects — instead of killing the node.
-		ingestLn, err := net.Listen("tcp", opt.ingestListen)
-		if err != nil {
-			return fmt.Errorf("-ingest-listen: %w", err)
-		}
-		fmt.Fprintf(out, "# ingest listening on %s\n", ingestLn.Addr())
-		go func() {
-			defer close(msgs)
-			serveIngest(ctx, ingestLn, spec.Dims, getBatch, msgs, ingestStats)
-		}()
-	} else {
-		go func() {
-			defer close(msgs)
-			br := bufio.NewReaderSize(in, 1<<16)
-			// Format negotiation: the wire magic's first byte can never open a
-			// text record, so peeking the magic length decides the decoder. A
-			// stream shorter than the magic falls through to the text parser.
-			peek, _ := br.Peek(len(wire.Magic))
-			var err error
-			if string(peek) == wire.Magic {
-				err = readBinary(ctx, br, spec.Dims, getBatch, msgs, ingestStats, wire.SourceStdin)
-			} else {
-				err = readText(ctx, br, spec.Dims, getBatch, msgs, ingestStats, wire.SourceStdin)
-			}
-			if err != nil {
-				readErr <- err
-			}
-		}()
-	}
-
-	var records int64
-	ingest := func(m ingestMsg) error {
-		if m.isCtrl {
-			// A router barrier: close every unit before the target, even
-			// when this node received no records for some of them — the
-			// cluster-wide analogue of the boundary crossing a single
-			// engine sees in the record stream. Barriers are not
-			// WAL-logged; the checkpoint cut after the closed units is
-			// what makes their effect durable.
-			closed, err := eng.AdvanceTo(m.advance)
-			if len(closed) > 0 {
-				report(closed)
-			}
-			if err != nil {
-				return fmt.Errorf("advance to unit %d: %w", m.advance, err)
-			}
-			if len(closed) > 0 {
-				if err := saveCheckpoint(); err != nil {
-					return fmt.Errorf("saving checkpoint: %w", err)
-				}
-			}
-			return nil
-		}
-		b := m.batch
-		if wlog != nil {
-			// Write-ahead: the whole batch reaches the log (one frame;
-			// durable per the sync policy) before the engine sees it.
-			if err := wlog.AppendColumnar(b); err != nil {
-				return fmt.Errorf("wal append: %w", err)
-			}
-		}
-		closed, ingestErr := eng.IngestBatch(b)
-		if ingestErr == nil {
-			ingestedSeq.Add(int64(b.Len()))
-			records += int64(b.Len())
-		}
-		// Units can close even when a record is rejected (boundary
-		// crossings happen first); report them before surfacing the error,
-		// or their output would be lost. The checkpoint is only cut after
-		// fully ingested batches, so its watermark is always exact.
-		if len(closed) > 0 {
-			report(closed)
-			if ingestErr == nil {
-				if err := saveCheckpoint(); err != nil {
-					return fmt.Errorf("saving checkpoint: %w", err)
-				}
-			}
-		}
-		if ingestErr != nil {
-			return fmt.Errorf("record %d: %w", records+1, ingestErr)
-		}
-		select {
-		case freeBatches <- b:
-		default:
-		}
-		return nil
-	}
-loop:
-	for {
-		select {
-		case <-ctx.Done():
-			fmt.Fprintln(out, "# signal: flushing final unit")
-			// Ingest every batch the reader already decoded before
-			// flushing. The timed case (instead of a non-blocking default)
-			// gives the reader a grace window to deliver a batch it cut
-			// just before the signal; it fires only once, when the reader
-			// has stopped or is still blocked reading stdin.
-		drain:
-			for {
-				select {
-				case m, ok := <-msgs:
-					if !ok {
-						break drain
-					}
-					if err := ingest(m); err != nil {
-						return err
-					}
-				case <-time.After(100 * time.Millisecond):
-					break drain
-				}
-			}
-			break loop
-		case m, ok := <-msgs:
-			if !ok {
-				break loop
-			}
-			if err := ingest(m); err != nil {
-				return err
-			}
-		}
-	}
-	// Whichever way the loop ended, a parse error the reader hit must
-	// still fail the run — corrupt input never exits 0. readErr is
-	// buffered, so the reader's send completes the instant it hits the
-	// error; the drain's grace window above has already let it land.
-	select {
-	case err := <-readErr:
-		return err
-	default:
-	}
-	// Final partial unit.
-	ur, err := eng.Flush()
-	if err != nil {
-		return err
-	}
-	report([]*stream.UnitResult{ur})
-	if err := saveCheckpoint(); err != nil {
-		return fmt.Errorf("saving checkpoint: %w", err)
-	}
-	fmt.Fprintf(out, "# %d records, %d units\n", records, eng.UnitsDone())
-	return nil
+	return node.Run(ctx, node.Config{
+		Engine: node.EngineConfig{
+			Spec:         opt.spec,
+			TicksPerUnit: opt.unit,
+			Threshold:    opt.threshold,
+			Alg:          opt.alg,
+			Tilt:         opt.tilt,
+			Shards:       opt.shards,
+		},
+		Checkpoint:   opt.checkpoint,
+		Listen:       opt.listen,
+		IngestListen: opt.ingestListen,
+		NodeID:       opt.nodeID,
+		WALDir:       opt.walDir,
+		WALSync:      opt.walSync,
+		WALSegBytes:  opt.walSegBytes,
+		AlertWarn:    opt.alertWarn,
+		AlertCrit:    opt.alertCrit,
+		AlertHold:    opt.alertHold,
+		AlertWebhook: opt.alertWebhook,
+	}, in, out)
 }
 
-// parseTiltLevels decodes the -tilt flag; the syntax lives in
-// tilt.ParseLevels, shared with regcube replay.
+// parseTiltLevels parses the -tilt flag syntax (kept here as a named
+// seam for the flag-parsing tests; the grammar lives in internal/tilt).
 func parseTiltLevels(s string) ([]tilt.Level, error) {
 	return tilt.ParseLevels(s)
-}
-
-// serveIngest accepts record-stream connections until the signal closes
-// the listener, feeding each one through the auto-negotiated decoder. The
-// engine is one logical stream, so connections are consumed sequentially;
-// a connection that dies or delivers corrupt bytes is logged and dropped
-// (its decoded batches stand — the router re-routes from its own stream
-// position), never fatal to the node.
-func serveIngest(ctx context.Context, ln net.Listener, dims int, getBatch func() *wire.Batch,
-	msgs chan<- ingestMsg, stats *wire.IngestStats) {
-	go func() {
-		<-ctx.Done()
-		ln.Close()
-	}()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
-				return
-			}
-			fmt.Fprintf(os.Stderr, "streamd: ingest accept: %v\n", err)
-			continue
-		}
-		br := bufio.NewReaderSize(conn, 1<<16)
-		peek, _ := br.Peek(len(wire.Magic))
-		if string(peek) == wire.Magic {
-			err = readBinary(ctx, br, dims, getBatch, msgs, stats, wire.SourceTCP)
-		} else {
-			err = readText(ctx, br, dims, getBatch, msgs, stats, wire.SourceTCP)
-		}
-		conn.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "streamd: ingest connection: %v\n", err)
-		}
-		if ctx.Err() != nil {
-			return
-		}
-	}
-}
-
-// readBinary decodes framed columnar batches (internal/wire) into the
-// message channel until EOF, a decode error, or the signal. Frames decode
-// straight into recycled Batch storage — no per-record allocation — and
-// control frames (the router's unit barriers) pass through as advance
-// messages in stream order.
-func readBinary(ctx context.Context, br *bufio.Reader, dims int, getBatch func() *wire.Batch,
-	msgs chan<- ingestMsg, stats *wire.IngestStats, src wire.Source) error {
-	wr, err := wire.NewReader(br)
-	if err != nil {
-		stats.AddDecodeError(wire.FormatBinary, src)
-		return fmt.Errorf("binary stream: %w", err)
-	}
-	if wr.Dims() != dims {
-		stats.AddDecodeError(wire.FormatBinary, src)
-		return fmt.Errorf("binary stream carries %d dimensions, -spec has %d", wr.Dims(), dims)
-	}
-	for {
-		// Stop decoding once the signal fires — the unconditional send
-		// below still delivers the batch in flight, so shutdown drains a
-		// bounded backlog instead of racing a fast producer.
-		select {
-		case <-ctx.Done():
-			return nil
-		default:
-		}
-		b := getBatch()
-		n, ctrl, isCtrl, err := wr.NextAny(b)
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			stats.AddDecodeError(wire.FormatBinary, src)
-			return fmt.Errorf("binary stream: %w", err)
-		}
-		stats.AddFrame(wire.FormatBinary, src)
-		if isCtrl {
-			msgs <- ingestMsg{advance: ctrl.Unit, isCtrl: true}
-			continue
-		}
-		stats.AddRecords(wire.FormatBinary, src, n)
-		msgs <- ingestMsg{batch: b}
-	}
-}
-
-// readText parses text records (tick,dim0,...,dimN,value) into columnar
-// batches, cutting a batch at textBatchRecords or whenever the buffer runs
-// dry — a paced producer's records are delivered as they arrive, a bulk
-// pipe is consumed in full batches.
-func readText(ctx context.Context, br *bufio.Reader, dims int, getBatch func() *wire.Batch,
-	msgs chan<- ingestMsg, stats *wire.IngestStats, src wire.Source) error {
-	rr := gen.NewRecordReader(br, dims)
-	b := getBatch()
-	flush := func() {
-		if b.Len() > 0 {
-			stats.AddFrame(wire.FormatText, src)
-			stats.AddRecords(wire.FormatText, src, b.Len())
-			msgs <- ingestMsg{batch: b}
-			b = getBatch()
-		}
-	}
-	var n int64
-	for {
-		select {
-		case <-ctx.Done():
-			flush()
-			return nil
-		default:
-		}
-		tick, members, value, err := rr.Next()
-		if err == io.EOF {
-			flush()
-			return nil
-		}
-		if err != nil {
-			// Records decoded before the bad one are still delivered, then
-			// the error fails the run.
-			flush()
-			stats.AddDecodeError(wire.FormatText, src)
-			return fmt.Errorf("record %d: %w", n+1, err)
-		}
-		n++
-		b.Append(tick, members, value)
-		if b.Len() >= textBatchRecords || rr.Buffered() == 0 {
-			flush()
-		}
-	}
 }

@@ -1,0 +1,429 @@
+// Package alert turns the engine's per-unit snapshot stream into a
+// stateful alert lifecycle: it diffs consecutive unit snapshots into
+// level-transition events (OK→warn→crit and back), deduplicates per cell,
+// suppresses flapping de-escalations, inhibits descendants of a firing
+// o-layer ancestor, and routes the surviving events through topics to
+// pluggable handlers (log sink, webhook).
+//
+// The package is a pure bus consumer: it reads the same immutable
+// *stream.Snapshot values the query layer serves, never touches engine
+// internals, and its event sequence is a deterministic function of the
+// snapshot sequence — the same stream yields the same events at any shard
+// count, because the bus publishes an identical snapshot per closed unit
+// either way.
+package alert
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/cube"
+	"repro/internal/stream"
+)
+
+// Level is a cell's alert severity, derived from |regression slope|
+// against the Warn/Crit thresholds.
+type Level int
+
+const (
+	LevelOK Level = iota
+	LevelWarn
+	LevelCrit
+)
+
+// String renders the level as its metric/wire label.
+func (l Level) String() string {
+	switch l {
+	case LevelWarn:
+		return "warn"
+	case LevelCrit:
+		return "crit"
+	default:
+		return "ok"
+	}
+}
+
+// Topics partition events by the alerting layer: o-layer cells are the
+// operational alerting surface; cells below it (exception drill-down
+// supporters) are diagnostic.
+const (
+	TopicOLayer = "olayer"
+	TopicDrill  = "drill"
+)
+
+// Topics lists every topic in metric-rendering order.
+var Topics = []string{TopicOLayer, TopicDrill}
+
+// Levels lists every level in metric-rendering order.
+var Levels = []Level{LevelOK, LevelWarn, LevelCrit}
+
+// Event is one level transition of one cell, emitted when the lifecycle
+// state machine changes a cell's reported level. Seq is assigned in
+// emission order and is strictly increasing for the life of the Manager.
+type Event struct {
+	Seq   int64
+	Unit  int64
+	Topic string
+	Cell  cube.CellKey
+	From  Level
+	To    Level
+	// Slope is the cell's regression slope in the unit that fired the
+	// transition (0 when the cell vanished from the stream).
+	Slope float64
+}
+
+// EventJSON is the frozen wire form of an Event, shared by the query API
+// (GET /v1/alerts/events) and the webhook handler's POST body. It lives
+// here — not in internal/query — so the webhook payload and the query
+// response are one type without an alert→query import (query wraps this
+// type going the other way).
+type EventJSON struct {
+	Seq     int64   `json:"seq"`
+	Unit    int64   `json:"unit"`
+	Topic   string  `json:"topic"`
+	Levels  []int   `json:"levels"`
+	Members []int32 `json:"members"`
+	Cuboid  string  `json:"cuboid"`
+	Cell    string  `json:"cell"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Slope   float64 `json:"slope"`
+}
+
+// JSON renders the event against the schema that produced it.
+func (e Event) JSON(s *cube.Schema) EventJSON {
+	nd := e.Cell.Cuboid.NumDims()
+	levels := make([]int, nd)
+	members := make([]int32, nd)
+	for d := 0; d < nd; d++ {
+		levels[d] = e.Cell.Cuboid.Level(d)
+		members[d] = e.Cell.Members[d]
+	}
+	return EventJSON{
+		Seq:     e.Seq,
+		Unit:    e.Unit,
+		Topic:   e.Topic,
+		Levels:  levels,
+		Members: members,
+		Cuboid:  e.Cell.Cuboid.Describe(s),
+		Cell:    e.Cell.Describe(s),
+		From:    e.From.String(),
+		To:      e.To.String(),
+		Slope:   e.Slope,
+	}
+}
+
+// Config parameterizes the lifecycle.
+type Config struct {
+	// Schema is the cube schema snapshots were computed against; the
+	// ancestor index for inhibition is built from it.
+	Schema *cube.Schema
+	// Warn and Crit are |slope| thresholds: ≥ Crit is critical, ≥ Warn is
+	// warning. Requires 0 < Warn ≤ Crit.
+	Warn, Crit float64
+	// HoldUnits is the flap suppressor: a de-escalation fires only after
+	// the cell holds strictly below its reported level for this many
+	// consecutive units (escalations always fire immediately). Values < 1
+	// default to 1 — de-escalate on the first lower unit.
+	HoldUnits int
+	// Ring caps the recent-events buffer served by Events (default 256).
+	Ring int
+	// MaxRetries caps how often a failed handler delivery is retried with
+	// exponential backoff (default 3; negative disables retries).
+	MaxRetries int
+}
+
+// cellState is the per-cell lifecycle state. Cells at reported OK with no
+// hold in progress are not tracked at all, so the map stays proportional
+// to the firing set.
+type cellState struct {
+	reported Level
+	// hold counts consecutive units the cell has spent strictly below its
+	// reported level; reaching HoldUnits fires the de-escalation.
+	hold int
+}
+
+// Manager consumes unit snapshots and owns the lifecycle state, the
+// recent-events ring, the per-topic handler fan-out, and the counters
+// behind the /metrics alert families.
+type Manager struct {
+	cfg    Config
+	olayer cube.Cuboid
+	anc    *cube.AncestorIndex
+
+	mu     sync.Mutex
+	states map[cube.CellKey]*cellState
+	ring   []Event
+	seq    int64
+	// events counts emitted events by [level][topic index].
+	events [3][2]int64
+
+	handlers []*runner
+	wg       sync.WaitGroup
+	closed   bool
+
+	// scratch buffers reused across Observe calls.
+	ocells, dcells []candidate
+}
+
+// candidate is one cell observed (or remembered) in the current unit.
+type candidate struct {
+	key     cube.CellKey
+	slope   float64
+	present bool
+}
+
+// New validates the config and builds a manager with no handlers; attach
+// them with Handle before the first Observe.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("alert: nil schema")
+	}
+	if !(cfg.Warn > 0) || cfg.Crit < cfg.Warn {
+		return nil, fmt.Errorf("alert: thresholds need 0 < warn (%g) <= crit (%g)", cfg.Warn, cfg.Crit)
+	}
+	if cfg.HoldUnits < 1 {
+		cfg.HoldUnits = 1
+	}
+	if cfg.Ring <= 0 {
+		cfg.Ring = 256
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	return &Manager{
+		cfg:    cfg,
+		olayer: cfg.Schema.OLayer(),
+		anc:    cube.NewAncestorIndex(cfg.Schema),
+		states: make(map[cube.CellKey]*cellState),
+	}, nil
+}
+
+// levelOf maps a slope to its alert level.
+func (m *Manager) levelOf(slope float64) Level {
+	a := math.Abs(slope)
+	switch {
+	case a >= m.cfg.Crit:
+		return LevelCrit
+	case a >= m.cfg.Warn:
+		return LevelWarn
+	default:
+		return LevelOK
+	}
+}
+
+// topicIndex maps a topic to its counter column.
+func topicIndex(topic string) int {
+	if topic == TopicDrill {
+		return 1
+	}
+	return 0
+}
+
+// Observe feeds one unit snapshot through the lifecycle. Call it with
+// consecutive snapshots from one engine (Run does); it is safe against
+// concurrent Events/Stats readers but must not run concurrently with
+// itself.
+//
+// Cell processing order is fully deterministic — o-layer cells in
+// cube.CompareKeys order, then drill cells likewise — so the emitted
+// event sequence is a pure function of the snapshot sequence.
+func (m *Manager) Observe(snap *stream.Snapshot) {
+	if snap == nil {
+		return
+	}
+	m.mu.Lock()
+	// Collect this unit's candidates: every cell with data, plus every
+	// tracked cell that vanished (observed at OK so it can recover).
+	m.ocells, m.dcells = m.ocells[:0], m.dcells[:0]
+	seen := make(map[cube.CellKey]bool)
+	add := func(k cube.CellKey, slope float64, present bool) {
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		c := candidate{key: k, slope: slope, present: present}
+		if k.Cuboid.Equal(m.olayer) {
+			m.ocells = append(m.ocells, c)
+		} else {
+			m.dcells = append(m.dcells, c)
+		}
+	}
+	if snap.Result != nil {
+		for k, isb := range snap.Result.OLayer {
+			add(k, isb.Slope, true)
+		}
+		for k, isb := range snap.Result.Exceptions {
+			add(k, isb.Slope, true)
+		}
+	}
+	for k := range m.states {
+		add(k, 0, false)
+	}
+	sort.Slice(m.ocells, func(i, j int) bool { return cube.CompareKeys(m.ocells[i].key, m.ocells[j].key) < 0 })
+	sort.Slice(m.dcells, func(i, j int) bool { return cube.CompareKeys(m.dcells[i].key, m.dcells[j].key) < 0 })
+
+	// O-layer first: each o-cell's post-transition level is what inhibits
+	// its descendants in the same unit.
+	firing := make(map[cube.CellKey]bool)
+	var emitted []Event
+	for _, c := range m.ocells {
+		ev, ok := m.transition(c, TopicOLayer, snap.Unit, false)
+		if ok {
+			emitted = append(emitted, ev)
+		}
+		if st := m.states[c.key]; st != nil && st.reported >= LevelWarn {
+			firing[c.key] = true
+		}
+	}
+	for _, c := range m.dcells {
+		inhibited := false
+		// Inhibition: a drill cell below a firing o-layer ancestor is
+		// redundant with the ancestor's own alert. The rolled-up key is
+		// exact because every cell between the critical layers aggregates
+		// into exactly one o-cell.
+		if m.olayer.DominatedBy(c.key.Cuboid) {
+			inhibited = firing[m.anc.RollUp(c.key, m.olayer)]
+		}
+		if ev, ok := m.transition(c, TopicDrill, snap.Unit, inhibited); ok {
+			emitted = append(emitted, ev)
+		}
+	}
+	handlers := m.handlers
+	m.mu.Unlock()
+
+	// Fan out after dropping the lock: handler queues are their own
+	// bounded buffers and never make Observe wait.
+	for _, ev := range emitted {
+		for _, r := range handlers {
+			r.offer(ev)
+		}
+	}
+}
+
+// transition advances one cell's state machine and returns the emitted
+// event, if any. Caller holds m.mu.
+//
+// Rules: escalations fire immediately; de-escalations fire only after
+// HoldUnits consecutive units strictly below the reported level, to the
+// level observed when the hold expires; a unit back at (or above) the
+// reported level resets the hold. An inhibited cell is frozen — no event
+// and no state change — so it never emits a stale recovery once the
+// ancestor clears.
+func (m *Manager) transition(c candidate, topic string, unit int64, inhibited bool) (Event, bool) {
+	st := m.states[c.key]
+	if st == nil {
+		st = &cellState{}
+	}
+	raw := LevelOK
+	if c.present {
+		raw = m.levelOf(c.slope)
+	}
+	var ev Event
+	fired := false
+	switch {
+	case inhibited:
+		// frozen
+	case raw > st.reported:
+		ev = m.emit(unit, topic, c, st.reported, raw)
+		st.reported, st.hold, fired = raw, 0, true
+	case raw < st.reported:
+		if st.hold++; st.hold >= m.cfg.HoldUnits {
+			ev = m.emit(unit, topic, c, st.reported, raw)
+			st.reported, st.hold, fired = raw, 0, true
+		}
+	default:
+		st.hold = 0
+	}
+	if st.reported == LevelOK && st.hold == 0 {
+		delete(m.states, c.key)
+	} else {
+		m.states[c.key] = st
+	}
+	return ev, fired
+}
+
+// emit appends an event to the ring and counts it. Caller holds m.mu.
+func (m *Manager) emit(unit int64, topic string, c candidate, from, to Level) Event {
+	m.seq++
+	ev := Event{Seq: m.seq, Unit: unit, Topic: topic, Cell: c.key, From: from, To: to, Slope: c.slope}
+	if len(m.ring) >= m.cfg.Ring {
+		n := copy(m.ring, m.ring[len(m.ring)-m.cfg.Ring+1:])
+		m.ring = m.ring[:n]
+	}
+	m.ring = append(m.ring, ev)
+	m.events[to][topicIndex(topic)]++
+	return ev
+}
+
+// Run consumes the subscription until ctx is done. It is the glue between
+// the snapshot bus and the lifecycle: one goroutine, one Observe per
+// delivered snapshot. The subscription is left for the caller to Close.
+func (m *Manager) Run(ctx context.Context, sub *stream.Subscription) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case s := <-sub.C():
+			m.Observe(s)
+		}
+	}
+}
+
+// Events returns up to k recent events, oldest first (k <= 0 means all
+// buffered). Safe from any goroutine.
+func (m *Manager) Events(k int) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.ring)
+	if k > 0 && k < n {
+		n = k
+	}
+	out := make([]Event, n)
+	copy(out, m.ring[len(m.ring)-n:])
+	return out
+}
+
+// Stats is a point-in-time copy of the manager's counters.
+type Stats struct {
+	// Events counts emitted events by [level][topic], indexed per Levels
+	// and Topics.
+	Events [3][2]int64
+	// HandlerRetries counts failed deliveries that were retried.
+	HandlerRetries int64
+	// HandlerDrops counts events shed from full handler queues.
+	HandlerDrops int64
+}
+
+// Stats snapshots the counters. Safe from any goroutine.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	s := Stats{Events: m.events}
+	handlers := m.handlers
+	m.mu.Unlock()
+	for _, r := range handlers {
+		s.HandlerRetries += r.retries.Load()
+		s.HandlerDrops += r.drops.Load()
+	}
+	return s
+}
+
+// Close stops the handler goroutines after they drain their queues.
+// Idempotent; call after the Run goroutine has stopped observing.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	handlers := m.handlers
+	m.mu.Unlock()
+	for _, r := range handlers {
+		r.close()
+	}
+	m.wg.Wait()
+}

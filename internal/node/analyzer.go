@@ -1,0 +1,237 @@
+// Package node is the streamd runtime, extracted so the daemon binary is
+// flag parsing over a library: engine construction (EngineConfig.Build,
+// shared with `regcube replay`), ingest-source selection (stdin text or
+// binary, TCP), WAL append and replay, the HTTP query server, the alert
+// lifecycle, and the ordered graceful shutdown. cmd/streamd maps flags
+// onto Config and calls Run; nothing below this package imports it.
+package node
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cube"
+	"repro/internal/exception"
+	"repro/internal/gen"
+	"repro/internal/persist"
+	"repro/internal/stream"
+	"repro/internal/tilt"
+	"repro/internal/wire"
+)
+
+// EngineConfig is the analyzer-construction half of the runtime config:
+// everything that determines what the engine computes, none of what feeds
+// it. streamd and `regcube replay` both build engines through it, so a
+// replayed what-if run is constructed exactly like the live run it
+// re-enacts.
+type EngineConfig struct {
+	// Spec is the schema spec D<dims>L<levels>C<fanout> (no T component).
+	Spec string
+	// TicksPerUnit is the unit width in ticks.
+	TicksPerUnit int
+	// Threshold is the global slope exception threshold.
+	Threshold float64
+	// Alg selects the cubing algorithm: "mo" (default) or "popular-path".
+	Alg string
+	// Tilt is the tilted-history chain spec (streamd -tilt syntax); empty
+	// keeps the flat per-o-cell history.
+	Tilt string
+	// Shards > 1 hash-partitions the engine; 1 runs the single-threaded
+	// engine.
+	Shards int
+	// PublishSnapshots turns on per-unit snapshot publication (required
+	// by the query API and the alert lifecycle).
+	PublishSnapshots bool
+}
+
+// Analyzer wraps the single or sharded engine behind one surface, with
+// the checkpoint and WAL-watermark plumbing the two flavors expose
+// differently. Like the engines themselves, its methods are
+// coordinator-confined except Snapshot, Subscribe, and BusDropped.
+type Analyzer struct {
+	// Schema is the parsed cube schema.
+	Schema *cube.Schema
+	// Dims is the schema's dimension count.
+	Dims int
+	// Shards is the effective shard count (1 = single engine).
+	Shards int
+
+	single  *stream.Engine
+	sharded *stream.ShardedEngine
+}
+
+// Build parses the spec and constructs the engine. Callers must Close the
+// analyzer (a no-op for the single engine) when done.
+func (c EngineConfig) Build() (*Analyzer, error) {
+	spec, err := gen.ParseSpec(c.Spec + "T1") // reuse the D/L/C parser
+	if err != nil {
+		return nil, fmt.Errorf("bad -spec: %w", err)
+	}
+	schema, err := spec.StreamSchema()
+	if err != nil {
+		return nil, err
+	}
+	alg := stream.MOCubing
+	if c.Alg == "popular-path" {
+		alg = stream.PopularPath
+	} else if c.Alg != "" && c.Alg != "mo" {
+		return nil, fmt.Errorf("unknown -alg %q", c.Alg)
+	}
+	if c.Shards < 1 {
+		return nil, fmt.Errorf("-shards %d: need at least 1", c.Shards)
+	}
+	tiltLevels, err := tilt.ParseLevels(c.Tilt)
+	if err != nil {
+		return nil, fmt.Errorf("bad -tilt: %w", err)
+	}
+	cfg := stream.Config{
+		Schema:           schema,
+		TicksPerUnit:     c.TicksPerUnit,
+		Threshold:        exception.Global(c.Threshold),
+		Algorithm:        alg,
+		TiltLevels:       tiltLevels,
+		PublishSnapshots: c.PublishSnapshots,
+	}
+	a := &Analyzer{Schema: schema, Dims: spec.Dims, Shards: c.Shards}
+	if c.Shards > 1 {
+		if a.sharded, err = stream.NewShardedEngine(cfg, c.Shards); err != nil {
+			return nil, err
+		}
+	} else {
+		if a.single, err = stream.NewEngine(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Ingest consumes one record (WAL replay walks the row-oriented log with
+// it; live ingest uses IngestBatch).
+func (a *Analyzer) Ingest(members []int32, tick int64, value float64) ([]*stream.UnitResult, error) {
+	if a.sharded != nil {
+		return a.sharded.Ingest(members, tick, value)
+	}
+	return a.single.Ingest(members, tick, value)
+}
+
+// IngestBatch consumes one columnar record batch.
+func (a *Analyzer) IngestBatch(b *wire.Batch) ([]*stream.UnitResult, error) {
+	if a.sharded != nil {
+		return a.sharded.IngestBatch(b)
+	}
+	return a.single.IngestBatch(b)
+}
+
+// AdvanceTo applies a router unit-boundary barrier: close every unit
+// before the target even without records for them.
+func (a *Analyzer) AdvanceTo(unit int64) ([]*stream.UnitResult, error) {
+	if a.sharded != nil {
+		return a.sharded.AdvanceTo(unit)
+	}
+	return a.single.AdvanceTo(unit)
+}
+
+// Flush closes the open unit and returns its result.
+func (a *Analyzer) Flush() (*stream.UnitResult, error) {
+	if a.sharded != nil {
+		return a.sharded.Flush()
+	}
+	return a.single.Flush()
+}
+
+// Unit returns the index of the open unit.
+func (a *Analyzer) Unit() int64 {
+	if a.sharded != nil {
+		return a.sharded.Unit()
+	}
+	return a.single.Unit()
+}
+
+// UnitsDone returns how many units have closed.
+func (a *Analyzer) UnitsDone() int64 {
+	if a.sharded != nil {
+		return a.sharded.UnitsDone()
+	}
+	return a.single.UnitsDone()
+}
+
+// Snapshot returns the latest published unit view (safe from any
+// goroutine).
+func (a *Analyzer) Snapshot() *stream.Snapshot {
+	if a.sharded != nil {
+		return a.sharded.Snapshot()
+	}
+	return a.single.Snapshot()
+}
+
+// Subscribe registers a consumer on the engine's snapshot bus (safe from
+// any goroutine; see stream.Engine.Subscribe for delivery semantics).
+func (a *Analyzer) Subscribe(buf int) *stream.Subscription {
+	if a.sharded != nil {
+		return a.sharded.Subscribe(buf)
+	}
+	return a.single.Subscribe(buf)
+}
+
+// BusDropped returns the snapshot bus's shed counter (safe from any
+// goroutine).
+func (a *Analyzer) BusDropped() int64 {
+	if a.sharded != nil {
+		return a.sharded.BusDropped()
+	}
+	return a.single.BusDropped()
+}
+
+// LoadCheckpoint restores engine state from a checkpoint stream; any
+// persisted version loads at any shard count.
+func (a *Analyzer) LoadCheckpoint(r io.Reader) error {
+	if a.sharded != nil {
+		scp, err := persist.ReadShardedCheckpoint(r)
+		if err != nil {
+			return err
+		}
+		return a.sharded.Restore(scp)
+	}
+	cp, err := persist.ReadCheckpoint(r)
+	if err != nil {
+		return err
+	}
+	return a.single.Restore(cp)
+}
+
+// WriteCheckpoint exports engine state in the flavor's native version.
+func (a *Analyzer) WriteCheckpoint(w io.Writer) error {
+	if a.sharded != nil {
+		scp, err := a.sharded.Checkpoint()
+		if err != nil {
+			return err
+		}
+		return persist.WriteShardedCheckpoint(w, scp)
+	}
+	return persist.WriteCheckpoint(w, a.single.Checkpoint())
+}
+
+// SetWALSeq stamps the WAL watermark on the engine.
+func (a *Analyzer) SetWALSeq(seq int64) error {
+	if a.sharded != nil {
+		return a.sharded.SetWALSeq(seq)
+	}
+	a.single.SetWALSeq(seq)
+	return nil
+}
+
+// WALSeq reads the engine's WAL watermark.
+func (a *Analyzer) WALSeq() (int64, error) {
+	if a.sharded != nil {
+		return a.sharded.WALSeq()
+	}
+	return a.single.WALSeq(), nil
+}
+
+// Close stops shard goroutines; a no-op for the single engine.
+// Idempotent.
+func (a *Analyzer) Close() {
+	if a.sharded != nil {
+		a.sharded.Close()
+	}
+}

@@ -1,0 +1,155 @@
+package node
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/wire"
+)
+
+// textBatchRecords is how many text records accumulate into one columnar
+// batch before hand-off to the ingest loop. The reader also cuts a batch
+// whenever its buffer runs dry, so a paced producer's records are never
+// held back waiting for a full batch.
+const textBatchRecords = 512
+
+// ingestMsg is one message from the reader goroutine to the ingest loop:
+// a decoded record batch, or an advance barrier (a control frame telling
+// the engine to close every unit before advance).
+type ingestMsg struct {
+	batch   *wire.Batch
+	advance int64
+	isCtrl  bool
+}
+
+// serveIngest accepts record-stream connections until the signal closes
+// the listener, feeding each one through the auto-negotiated decoder. The
+// engine is one logical stream, so connections are consumed sequentially;
+// a connection that dies or delivers corrupt bytes is logged and dropped
+// (its decoded batches stand — the router re-routes from its own stream
+// position), never fatal to the node.
+func serveIngest(ctx context.Context, ln net.Listener, dims int, getBatch func() *wire.Batch,
+	msgs chan<- ingestMsg, stats *wire.IngestStats) {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "streamd: ingest accept: %v\n", err)
+			continue
+		}
+		br := bufio.NewReaderSize(conn, 1<<16)
+		peek, _ := br.Peek(len(wire.Magic))
+		if string(peek) == wire.Magic {
+			err = readBinary(ctx, br, dims, getBatch, msgs, stats, wire.SourceTCP)
+		} else {
+			err = readText(ctx, br, dims, getBatch, msgs, stats, wire.SourceTCP)
+		}
+		conn.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streamd: ingest connection: %v\n", err)
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// readBinary decodes framed columnar batches (internal/wire) into the
+// message channel until EOF, a decode error, or the signal. Frames decode
+// straight into recycled Batch storage — no per-record allocation — and
+// control frames (the router's unit barriers) pass through as advance
+// messages in stream order.
+func readBinary(ctx context.Context, br *bufio.Reader, dims int, getBatch func() *wire.Batch,
+	msgs chan<- ingestMsg, stats *wire.IngestStats, src wire.Source) error {
+	wr, err := wire.NewReader(br)
+	if err != nil {
+		stats.AddDecodeError(wire.FormatBinary, src)
+		return fmt.Errorf("binary stream: %w", err)
+	}
+	if wr.Dims() != dims {
+		stats.AddDecodeError(wire.FormatBinary, src)
+		return fmt.Errorf("binary stream carries %d dimensions, -spec has %d", wr.Dims(), dims)
+	}
+	for {
+		// Stop decoding once the signal fires — the unconditional send
+		// below still delivers the batch in flight, so shutdown drains a
+		// bounded backlog instead of racing a fast producer.
+		select {
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+		b := getBatch()
+		n, ctrl, isCtrl, err := wr.NextAny(b)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			stats.AddDecodeError(wire.FormatBinary, src)
+			return fmt.Errorf("binary stream: %w", err)
+		}
+		stats.AddFrame(wire.FormatBinary, src)
+		if isCtrl {
+			msgs <- ingestMsg{advance: ctrl.Unit, isCtrl: true}
+			continue
+		}
+		stats.AddRecords(wire.FormatBinary, src, n)
+		msgs <- ingestMsg{batch: b}
+	}
+}
+
+// readText parses text records (tick,dim0,...,dimN,value) into columnar
+// batches, cutting a batch at textBatchRecords or whenever the buffer runs
+// dry — a paced producer's records are delivered as they arrive, a bulk
+// pipe is consumed in full batches.
+func readText(ctx context.Context, br *bufio.Reader, dims int, getBatch func() *wire.Batch,
+	msgs chan<- ingestMsg, stats *wire.IngestStats, src wire.Source) error {
+	rr := gen.NewRecordReader(br, dims)
+	b := getBatch()
+	flush := func() {
+		if b.Len() > 0 {
+			stats.AddFrame(wire.FormatText, src)
+			stats.AddRecords(wire.FormatText, src, b.Len())
+			msgs <- ingestMsg{batch: b}
+			b = getBatch()
+		}
+	}
+	var n int64
+	for {
+		select {
+		case <-ctx.Done():
+			flush()
+			return nil
+		default:
+		}
+		tick, members, value, err := rr.Next()
+		if err == io.EOF {
+			flush()
+			return nil
+		}
+		if err != nil {
+			// Records decoded before the bad one are still delivered, then
+			// the error fails the run.
+			flush()
+			stats.AddDecodeError(wire.FormatText, src)
+			return fmt.Errorf("record %d: %w", n+1, err)
+		}
+		n++
+		b.Append(tick, members, value)
+		if b.Len() >= textBatchRecords || rr.Buffered() == 0 {
+			flush()
+		}
+	}
+}

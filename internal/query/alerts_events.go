@@ -1,0 +1,19 @@
+package query
+
+import "repro/internal/alert"
+
+// AlertEventsResponse is the reply of GET /v1/alerts/events: the most
+// recent lifecycle events (oldest first) from the node's alert manager
+// ring buffer. Unlike every other v1 endpoint it is served from the alert
+// manager, not the snapshot — the events are the push-side record of what
+// the lifecycle emitted, so they remain available even for units whose
+// snapshots have been superseded.
+//
+// The event wire shape lives in internal/alert (alert.EventJSON) because
+// the webhook handler POSTs the identical document; this wrapper only
+// frames the list.
+type AlertEventsResponse struct {
+	// Count is len(Events), for clients probing with ?k=.
+	Count  int               `json:"count"`
+	Events []alert.EventJSON `json:"events"`
+}

@@ -24,6 +24,7 @@
 //	GET  /v1/summary            unit header, cube stats, per-cuboid exception counts
 //	GET  /v1/exceptions         ranked exception cells (?k=, ?order=slope|key)
 //	GET  /v1/alerts             the unit's o-layer alerts with drill-down
+//	GET  /v1/alerts/events      recent alert lifecycle events (?k=)
 //	GET  /v1/supporters         exception descendants of one cell (?levels=&members=&k=)
 //	GET  /v1/slice              exceptions under one member (?dim=&level=&member=&k=)
 //	GET  /v1/trend              k-unit trend regression of an o-cell (?members=&k=&level=)
@@ -48,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/cube"
 	"repro/internal/query"
 	"repro/internal/stream"
@@ -84,12 +86,13 @@ const (
 	epQuery
 	epInfo
 	epSnapshot
+	epAlertEvents
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
 	"healthz", "metrics", "summary", "exceptions", "alerts", "supporters", "slice", "trend", "frame", "query",
-	"info", "snapshot",
+	"info", "snapshot", "alertevents",
 }
 
 // endpointStats are lock-free per-endpoint counters.
@@ -126,6 +129,12 @@ type Server struct {
 	// a query goroutine, so it must be safe for concurrent use and must
 	// not call engine methods (read atomics and snapshots instead).
 	info func() query.InfoResponse
+	// alerts, when set, backs GET /v1/alerts/events and the alert counter
+	// families on /metrics. The manager's readers are concurrency-safe.
+	alerts *alert.Manager
+	// busDropped, when set, reports the snapshot bus's shed counter on
+	// /metrics (an atomic load on the engine — safe from query goroutines).
+	busDropped func() int64
 }
 
 // SetIngestStats attaches the ingest-edge counters rendered on /metrics.
@@ -136,6 +145,17 @@ func (s *Server) SetIngestStats(st *wire.IngestStats) { s.ingest = st }
 // without it the endpoint answers a minimal document derived from the
 // snapshot alone.
 func (s *Server) SetInfo(fn func() query.InfoResponse) { s.info = fn }
+
+// SetAlerts attaches the alert lifecycle manager behind
+// GET /v1/alerts/events and the regcube_alert_* metric families. Call
+// before serving; without it the endpoint answers 404 (alerting is not
+// configured on this node).
+func (s *Server) SetAlerts(m *alert.Manager) { s.alerts = m }
+
+// SetBusDropped attaches the snapshot-bus shed counter reported as
+// regcube_snapshot_bus_dropped_total. Call before serving; the function
+// must be safe for concurrent use (both engines' BusDropped is).
+func (s *Server) SetBusDropped(fn func() int64) { s.busDropped = fn }
 
 // New builds a query server over a snapshot source. Method-mismatched
 // requests get 405 with an Allow header from the route patterns.
@@ -153,6 +173,7 @@ func New(src Source, schema *cube.Schema) *Server {
 	s.mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
 	s.mux.HandleFunc("GET /v1/info", s.instrument(epInfo, s.handleInfo))
 	s.mux.HandleFunc("GET /v1/snapshot", s.instrument(epSnapshot, s.handleSnapshot))
+	s.mux.HandleFunc("GET /v1/alerts/events", s.instrument(epAlertEvents, s.handleAlertEvents))
 	return s
 }
 
@@ -359,6 +380,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 			}
 		}
 	}
+	if s.busDropped != nil {
+		fmt.Fprintf(w, "regcube_snapshot_bus_dropped_total %d\n", s.busDropped())
+	}
+	if s.alerts != nil {
+		st := s.alerts.Stats()
+		for li, level := range alert.Levels {
+			for ti, topic := range alert.Topics {
+				fmt.Fprintf(w, "regcube_alert_events_total{level=%q,topic=%q} %d\n",
+					level, topic, st.Events[li][ti])
+			}
+		}
+		fmt.Fprintf(w, "regcube_alert_handler_retries_total %d\n", st.HandlerRetries)
+		fmt.Fprintf(w, "regcube_alert_handler_drops_total %d\n", st.HandlerDrops)
+	}
 	fmt.Fprintf(w, "regcube_http_encode_errors_total %d\n", s.encodeErrors.Load())
 	for ep := endpoint(0); ep < numEndpoints; ep++ {
 		st := &s.stats[ep]
@@ -506,6 +541,29 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) error {
 	if snap := s.src.Snapshot(); snap != nil {
 		resp.SnapshotUnit = snap.Unit
 		resp.UnitsDone = snap.UnitsDone
+	}
+	return s.writeJSON(w, http.StatusOK, resp)
+}
+
+// --- GET /v1/alerts/events ------------------------------------------------
+
+// handleAlertEvents lists recent lifecycle events (?k= caps the count,
+// default 50, oldest first) from the alert manager's ring buffer. It is
+// push-side state, not snapshot state: events survive their unit's
+// snapshot being superseded, and the endpoint answers even before the
+// first unit closes. Nodes without alerting configured answer 404.
+func (s *Server) handleAlertEvents(w http.ResponseWriter, r *http.Request) error {
+	if s.alerts == nil {
+		return &apiError{status: http.StatusNotFound, msg: "alerting not configured"}
+	}
+	k, err := intParam(r, "k", 50, 1)
+	if err != nil {
+		return err
+	}
+	evs := s.alerts.Events(k)
+	resp := query.AlertEventsResponse{Count: len(evs), Events: make([]alert.EventJSON, len(evs))}
+	for i, e := range evs {
+		resp.Events[i] = e.JSON(s.schema)
 	}
 	return s.writeJSON(w, http.StatusOK, resp)
 }

@@ -206,8 +206,10 @@ type Engine struct {
 	shardDelta bool
 	// snap is the published per-unit snapshot (PublishSnapshots); readers
 	// load it without locks, so it must only ever hold fully built,
-	// never-again-mutated values.
+	// never-again-mutated values. bus broadcasts the same values push-side
+	// to subscribers (Subscribe).
 	snap atomic.Pointer[Snapshot]
+	bus  snapBus
 	// walSeq is the WAL watermark the owner stamps before checkpointing:
 	// how many log records this engine's state reflects. The engine never
 	// advances it itself — counting durable records is the log owner's job

@@ -107,8 +107,10 @@ type ShardedEngine struct {
 	// snap is the coordinator's published merged snapshot
 	// (cfg.PublishSnapshots). The per-shard engines run with publication
 	// off; the coordinator collects their history copies at each barrier
-	// and publishes one merged snapshot instead.
+	// and publishes one merged snapshot instead. bus broadcasts the same
+	// merged values push-side to subscribers (Subscribe).
 	snap atomic.Pointer[Snapshot]
+	bus  snapBus
 }
 
 // NewShardedEngine builds a sharded analyzer with `shards` partitions. Each
@@ -320,89 +322,106 @@ func (s *ShardedEngine) Ingest(members []int32, tick int64, value float64) ([]*U
 }
 
 // shardAdvance is one shard's reply to an advanceTo broadcast: its closed
-// units plus, when snapshots are on, a copy of its post-close history and
-// tilted frame views.
+// units plus, when snapshots are on, a copy of its history and tilted
+// frame views after each closed unit (hists[u]/frames[u] reflect state
+// just after urs[u] closed).
 type shardAdvance struct {
 	urs    []*UnitResult
-	hist   map[cube.CellKey][]HistoryPoint
-	frames map[cube.CellKey]*FrameView
+	hists  []map[cube.CellKey][]HistoryPoint
+	frames []map[cube.CellKey]*FrameView
 }
 
 // advanceTo closes units up to (excluding) target on every shard in
 // parallel and merges the per-unit results. With snapshots on, the barrier
-// also collects each shard's history copy and publishes one merged
-// Snapshot for the newest closed unit.
+// collects each shard's per-unit history copies and publishes one merged
+// Snapshot per closed unit — the same sequence a single Engine publishes,
+// so bus subscribers observe an identical snapshot stream at any shard
+// count (pull-side Snapshot() callers see the last one either way).
 func (s *ShardedEngine) advanceTo(target int64) ([]*UnitResult, error) {
 	n := int(target - s.unit)
 	publish := s.cfg.PublishSnapshots
 	vals, err := s.broadcast(func(e *Engine) (any, error) {
-		urs, err := e.AdvanceTo(target)
-		if err != nil {
-			return nil, err
+		var adv shardAdvance
+		if !publish {
+			urs, err := e.AdvanceTo(target)
+			if err != nil {
+				return nil, err
+			}
+			adv.urs = urs
+			return adv, nil
 		}
-		adv := shardAdvance{urs: urs}
-		if publish {
-			// Copied inside the shard goroutine, so it never races with the
-			// shard's own later units.
-			adv.hist = e.snapshotHistory()
-			adv.frames = e.snapshotFrames()
+		// Copied inside the shard goroutine, so the copies never race with
+		// the shard's own later units. Closing unit-by-unit keeps the
+		// per-unit history views exact; the common case is a single unit,
+		// where this is the one AdvanceTo call it always was.
+		for e.unit < target {
+			urs, err := e.AdvanceTo(e.unit + 1)
+			if err != nil {
+				return nil, err
+			}
+			adv.urs = append(adv.urs, urs...)
+			adv.hists = append(adv.hists, e.snapshotHistory())
+			adv.frames = append(adv.frames, e.snapshotFrames())
 		}
 		return adv, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	perShard := make([][]*UnitResult, len(vals))
+	perShard := make([]shardAdvance, len(vals))
 	for i, v := range vals {
 		adv, _ := v.(shardAdvance)
 		if len(adv.urs) != n {
 			s.err = fmt.Errorf("%w: shard %d closed %d units, want %d", ErrConfig, i, len(adv.urs), n)
 			return nil, s.err
 		}
-		perShard[i] = adv.urs
+		perShard[i] = adv
 	}
 	out := make([]*UnitResult, n)
 	for u := 0; u < n; u++ {
 		shardURs := make([]*UnitResult, len(perShard))
 		for i := range perShard {
-			shardURs[i] = perShard[i][u]
+			shardURs[i] = perShard[i].urs[u]
 		}
 		out[u] = s.mergeUnit(shardURs)
 	}
 	s.unit = target
 	s.openEnd = s.unitStart(target + 1)
-	s.done += int64(n)
 	if publish {
-		// Shards own disjoint o-cells, so the merged history (and the
-		// merged frame set) is a union.
-		hist := make(map[cube.CellKey][]HistoryPoint)
-		var frames map[cube.CellKey]*FrameView
-		for _, v := range vals {
-			adv := v.(shardAdvance)
-			for k, pts := range adv.hist {
-				hist[k] = pts
+		for u := 0; u < n; u++ {
+			// Shards own disjoint o-cells, so the merged history (and the
+			// merged frame set) is a union.
+			hist := make(map[cube.CellKey][]HistoryPoint)
+			var frames map[cube.CellKey]*FrameView
+			for i := range perShard {
+				for k, pts := range perShard[i].hists[u] {
+					hist[k] = pts
+				}
+				if perShard[i].frames[u] != nil && frames == nil {
+					frames = make(map[cube.CellKey]*FrameView)
+				}
+				for k, fv := range perShard[i].frames[u] {
+					frames[k] = fv
+				}
 			}
-			if adv.frames != nil && frames == nil {
-				frames = make(map[cube.CellKey]*FrameView)
+			ur := out[u]
+			snap := &Snapshot{
+				Unit:      ur.Unit,
+				Interval:  ur.Interval,
+				UnitsDone: s.done + int64(u) + 1,
+				// mergeUnit already sorted the alerts canonically; the clone
+				// keeps readers isolated from whatever the Ingest caller does
+				// with the returned UnitResult's slices.
+				Alerts:  cloneAlerts(ur.Alerts),
+				Result:  ur.Result,
+				History: hist,
+				Frames:  frames,
 			}
-			for k, fv := range adv.frames {
-				frames[k] = fv
-			}
+			s.snap.Store(snap)
+			s.bus.publish(snap)
 		}
-		last := out[n-1]
-		s.snap.Store(&Snapshot{
-			Unit:      last.Unit,
-			Interval:  last.Interval,
-			UnitsDone: s.done,
-			// mergeUnit already sorted the alerts canonically; the clone
-			// keeps readers isolated from whatever the Ingest caller does
-			// with the returned UnitResult's slices.
-			Alerts:  cloneAlerts(last.Alerts),
-			Result:  last.Result,
-			History: hist,
-			Frames:  frames,
-		})
 	}
+	s.done += int64(n)
 	return out, nil
 }
 

@@ -164,7 +164,7 @@ func cloneAlerts(alerts []Alert) []Alert {
 func (e *Engine) publishSnapshot(ur *UnitResult) {
 	alerts := cloneAlerts(ur.Alerts)
 	SortAlerts(alerts)
-	e.snap.Store(&Snapshot{
+	snap := &Snapshot{
 		Unit:      ur.Unit,
 		Interval:  ur.Interval,
 		UnitsDone: e.unitsDone,
@@ -172,7 +172,9 @@ func (e *Engine) publishSnapshot(ur *UnitResult) {
 		Alerts:    alerts,
 		History:   e.snapshotHistory(),
 		Frames:    e.snapshotFrames(),
-	})
+	}
+	e.snap.Store(snap)
+	e.bus.publish(snap)
 }
 
 // Snapshot returns the most recently published unit view, or nil before

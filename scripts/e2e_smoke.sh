@@ -21,18 +21,20 @@ workdir=$(mktemp -d)
 spid=""
 dpid=""
 rpid=""
+akpid=""
 npids=()
 cleanup() {
   [ -n "$spid" ] && kill "$spid" 2>/dev/null || true
   [ -n "$dpid" ] && kill "$dpid" 2>/dev/null || true
   [ -n "$rpid" ] && kill "$rpid" 2>/dev/null || true
+  [ -n "$akpid" ] && kill "$akpid" 2>/dev/null || true
   for p in "${npids[@]:-}"; do [ -n "$p" ] && kill "$p" 2>/dev/null || true; done
   rm -rf "$workdir"
 }
 trap cleanup EXIT
 
 echo "== build"
-go build -o "$workdir" ./cmd/datagen ./cmd/streamd ./cmd/queryprobe ./cmd/regcube ./cmd/regcube-router
+go build -o "$workdir" ./cmd/datagen ./cmd/streamd ./cmd/queryprobe ./cmd/regcube ./cmd/regcube-router ./cmd/alertsink
 
 fifo="$workdir/stream.fifo"
 mkfifo "$fifo"
@@ -345,6 +347,64 @@ echo "   $(grep '# replayed' "$workdir/bin-replay.log")"
 cmp "$workdir/bin-replay1.json" "$workdir/bin-replay2.json" \
   || { echo "FAIL: two replays of the same WAL differ" >&2; exit 1; }
 echo "   OK replay checkpoints bitwise-equal"
+
+echo "== alert leg: forced breach -> one dedup'd crit + one recovery via webhook"
+ADDR=127.0.0.1:18083
+SINK=127.0.0.1:18084
+"$workdir/alertsink" -listen "$SINK" > "$workdir/sink.log" 2>&1 &
+akpid=$!
+fifo6="$workdir/alert.fifo"
+mkfifo "$fifo6"
+# High engine threshold keeps the exception drill-down empty, so the only
+# alert candidates are o-layer cells; -alert-hold 2 means the recovery
+# needs two consecutive quiet units before it fires.
+"$workdir/streamd" -spec D2L2C4 -unit 4 -threshold 1000 -shards 4 \
+  -listen "$ADDR" \
+  -alert-warn 2 -alert-crit 5 -alert-hold 2 -alert-webhook "http://$SINK" \
+  < "$fifo6" > "$workdir/alert.log" 2>&1 &
+spid=$!
+# Hold the fifo's write end open past the feed so EOF arrives only after
+# the mid-stream queries below.
+exec 9> "$fifo6"
+# Cell (0,0), slope 10 for units 0-2: one immediate ok->crit at unit 0,
+# then dedup'd silence. Flat from tick 12 on: slope 0, hold counts units
+# 3 and 4, the crit->ok recovery fires at unit 4.
+for t in $(seq 0 11); do echo "$t,0,0,$((t * 10))" >&9; done
+for t in $(seq 12 27); do echo "$t,0,0,110" >&9; done
+ev=""
+for _ in $(seq 1 100); do
+  if ev=$(fetch '/v1/alerts/events' 2>/dev/null) && grep -q '"to":"ok"' <<<"$ev"; then
+    break
+  fi
+  ev=""
+  sleep 0.1
+done
+[ -n "$ev" ] || { echo "FAIL: recovery never reached /v1/alerts/events" >&2; cat "$workdir/alert.log" >&2; exit 1; }
+grep -q '"to":"crit"' <<<"$ev" || { echo "FAIL: events missing the crit escalation: $ev" >&2; exit 1; }
+grep -q '"count":2' <<<"$ev"   || { echo "FAIL: want exactly 2 events (dedup + hold): $ev" >&2; exit 1; }
+echo "   OK GET /v1/alerts/events (1 crit + 1 recovery)"
+# Alert metrics are live on the same server.
+fetch /metrics | grep -q 'regcube_alert_events_total{level="crit",topic="olayer"} 1' \
+  || { echo "FAIL: /metrics missing the crit event counter" >&2; exit 1; }
+echo "   OK /metrics alert counters"
+exec 9>&-   # EOF: the ordered shutdown drains the alert pipeline
+wait "$spid" || { echo "FAIL: alerting streamd exited non-zero" >&2; cat "$workdir/alert.log" >&2; exit 1; }
+spid=""
+# The webhook saw exactly the dedup'd pair, in order.
+crits=$(grep -c '"to":"crit"' "$workdir/sink.log" || true)
+recov=$(grep -c '"to":"ok"' "$workdir/sink.log" || true)
+if [ "$crits" -ne 1 ] || [ "$recov" -ne 1 ]; then
+  echo "FAIL: webhook saw $crits crit + $recov recovery events, want exactly 1 + 1" >&2
+  cat "$workdir/sink.log" >&2
+  exit 1
+fi
+echo "   OK webhook received 1 dedup'd crit + 1 recovery"
+# The log sink printed the same pair.
+[ "$(grep -c 'ALERTEVENT' "$workdir/alert.log" || true)" -eq 2 ] \
+  || { echo "FAIL: ALERTEVENT lines != 2" >&2; cat "$workdir/alert.log" >&2; exit 1; }
+kill "$akpid" 2>/dev/null || true
+wait "$akpid" 2>/dev/null || true
+akpid=""
 
 echo "== cluster leg: 4 streamd nodes + router, scatter-gather coordinator, merged checkpoint"
 CADDR=127.0.0.1:18090
