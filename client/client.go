@@ -72,6 +72,12 @@ type (
 	TrendRequest = query.TrendRequest
 	// FrameRequest asks for an o-cell's per-level tilt frame listing.
 	FrameRequest = query.FrameRequest
+	// ForecastRequest asks for an o-cell's extrapolated forecast and,
+	// with a threshold, its time-to-threshold.
+	ForecastRequest = query.ForecastRequest
+	// ChangesRequest asks for cells whose recent slope diverges from
+	// their longer trend, ranked by divergence score.
+	ChangesRequest = query.ChangesRequest
 
 	// Response is the typed result union.
 	Response = query.Response
@@ -87,6 +93,12 @@ type (
 	TrendResponse = query.TrendResponse
 	// FrameResponse answers FrameRequest.
 	FrameResponse = query.FrameResponse
+	// ForecastResponse answers ForecastRequest.
+	ForecastResponse = query.ForecastResponse
+	// ChangesResponse answers ChangesRequest.
+	ChangesResponse = query.ChangesResponse
+	// ChangeJSON is one ranked cell inside a ChangesResponse.
+	ChangeJSON = query.ChangeJSON
 
 	// InfoResponse is the typed GET /v1/info document.
 	InfoResponse = query.InfoResponse
@@ -301,6 +313,19 @@ func (c *Client) Trend(ctx context.Context, req TrendRequest) (*TrendResponse, e
 // Frame fetches an o-cell's per-level tilt frame listing.
 func (c *Client) Frame(ctx context.Context, req FrameRequest) (*FrameResponse, error) {
 	return doTyped[*FrameResponse](c, ctx, req)
+}
+
+// Forecast fetches an o-cell's trend extrapolation: the model fitted
+// over its trailing history, the predicted value at the horizon, and —
+// when the request carries a threshold — the time until it is reached.
+func (c *Client) Forecast(ctx context.Context, req ForecastRequest) (*ForecastResponse, error) {
+	return doTyped[*ForecastResponse](c, ctx, req)
+}
+
+// Changes fetches cells whose recent slope diverges from their longer
+// trend, ranked by divergence score.
+func (c *Client) Changes(ctx context.Context, req ChangesRequest) (*ChangesResponse, error) {
+	return doTyped[*ChangesResponse](c, ctx, req)
 }
 
 // doTyped narrows Do's union result to the kind's concrete response.

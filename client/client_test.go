@@ -175,6 +175,27 @@ func TestClientMatchesGET(t *testing.T) {
 	if !reflect.DeepEqual(gotFrame, &wantFrame) {
 		t.Errorf("Frame = %+v\nwant %+v", gotFrame, &wantFrame)
 	}
+
+	var wantFc client.ForecastResponse
+	getJSON(t, ts, "/v1/forecast?members=0,0&horizon=8&threshold=500", &wantFc)
+	th := 500.0
+	gotFc, err := c.Forecast(ctx, client.ForecastRequest{CellRef: client.OCell(0, 0), Horizon: 8, Threshold: &th})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotFc, &wantFc) {
+		t.Errorf("Forecast = %+v\nwant %+v", gotFc, &wantFc)
+	}
+
+	var wantCh client.ChangesResponse
+	getJSON(t, ts, "/v1/changes?k=3", &wantCh)
+	gotCh, err := c.Changes(ctx, client.ChangesRequest{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCh, &wantCh) {
+		t.Errorf("Changes = %+v\nwant %+v", gotCh, &wantCh)
+	}
 }
 
 // TestClientMatchesGETTilted runs the equivalence suite's tilt-specific
@@ -205,6 +226,16 @@ func TestClientMatchesGETTilted(t *testing.T) {
 	}
 	if !reflect.DeepEqual(gotFrame, &wantFrame) || !gotFrame.Tilted {
 		t.Errorf("tilted Frame = %+v\nwant %+v", gotFrame, &wantFrame)
+	}
+
+	var wantCh client.ChangesResponse
+	getJSON(t, ts, "/v1/changes?k=2", &wantCh)
+	gotCh, err := c.Changes(ctx, client.ChangesRequest{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCh, &wantCh) || !gotCh.Tilted {
+		t.Errorf("tilted Changes = %+v\nwant %+v", gotCh, &wantCh)
 	}
 }
 

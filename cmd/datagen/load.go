@@ -45,6 +45,16 @@ var loadOps = []loadOp{
 		_, err := c.Frame(ctx, client.FrameRequest{CellRef: client.OCell(0, 0)})
 		return err
 	}},
+	{"forecast", func(ctx context.Context, c *client.Client) error {
+		_, err := c.Forecast(ctx, client.ForecastRequest{CellRef: client.OCell(0, 0), Horizon: 60})
+		return err
+	}},
+	{"changes", func(ctx context.Context, c *client.Client) error {
+		// Degrades to an empty ranking on flat engines; still exercises
+		// the scan path.
+		_, err := c.Changes(ctx, client.ChangesRequest{K: 5})
+		return err
+	}},
 	{"batch", func(ctx context.Context, c *client.Client) error {
 		reply, err := c.Batch(ctx,
 			client.SummaryRequest{},

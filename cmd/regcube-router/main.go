@@ -42,13 +42,16 @@ import (
 )
 
 type options struct {
-	spec    string
-	unit    int
-	nodes   string
-	nodeAPI string
-	listen  string
-	nodeID  string
-	batch   int
+	spec         string
+	unit         int
+	nodes        string
+	nodeAPI      string
+	listen       string
+	nodeID       string
+	batch        int
+	fcastThresh  float64
+	fcastHorizon int64
+	changeScore  float64
 }
 
 func main() {
@@ -61,6 +64,10 @@ func main() {
 	flag.StringVar(&opt.listen, "listen", "", "serve the coordinator HTTP/JSON query API on this address; requires -node-api")
 	flag.StringVar(&opt.nodeID, "node-id", "", "coordinator identity reported on /v1/info")
 	flag.IntVar(&opt.batch, "batch", 0, "per-node records per frame (default wire batch size)")
+	flag.Float64Var(&opt.fcastThresh, "forecast-threshold", 0, "default ?threshold= of the coordinator's /v1/forecast; "+
+		"0 leaves the shim with no default (should match the nodes' flag)")
+	flag.Int64Var(&opt.fcastHorizon, "forecast-horizon", 60, "default ?horizon= of the coordinator's /v1/forecast")
+	flag.Float64Var(&opt.changeScore, "change-score", 0.25, "default minimum ?score= of the coordinator's /v1/changes, in [0,1]")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -119,6 +126,12 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 		}
 		coord := serve.New(gatherer, schema)
 		coord.SetInfo(gatherer.Info)
+		fdef := serve.ForecastDefaults{Horizon: opt.fcastHorizon, ChangeScore: opt.changeScore}
+		if opt.fcastThresh != 0 {
+			th := opt.fcastThresh
+			fdef.Threshold = &th
+		}
+		coord.SetForecastDefaults(fdef)
 		srv = &http.Server{Addr: opt.listen, Handler: coord}
 		go func() {
 			fmt.Fprintf(out, "# coordinator listening on %s (%d nodes)\n", opt.listen, len(nodes))

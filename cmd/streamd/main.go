@@ -30,6 +30,15 @@
 // URL with capped exponential retries; /v1/alerts/events serves the
 // recent-event ring.
 //
+// With -forecast-threshold V (and a -forecast-horizon budget) the
+// predictive "forecast" topic joins the lifecycle: each unit, every
+// o-cell's trailing history is extrapolated (Theorem 3.3 aggregation of
+// its per-unit fits), and a cell forecast to reach V within the budget
+// goes critical — within twice the budget, warn — through the same
+// dedup/hold machinery, before the measured slope trips anything. The
+// same two flags are the GET-shim defaults of /v1/forecast, and
+// -change-score is the default divergence cutoff of /v1/changes.
+//
 // On SIGINT/SIGTERM streamd stops reading, ingests every record it has
 // already parsed, shuts the HTTP listener down, flushes the final partial
 // unit, saves the checkpoint, and drains the alert pipeline before
@@ -105,6 +114,9 @@ type options struct {
 	alertCrit    float64
 	alertHold    int
 	alertWebhook string
+	fcastThresh  float64
+	fcastHorizon int64
+	changeScore  float64
 }
 
 func main() {
@@ -134,6 +146,12 @@ func main() {
 	flag.IntVar(&opt.alertHold, "alert-hold", 2, "units a cell must stay below its reported level before a de-escalation event fires")
 	flag.StringVar(&opt.alertWebhook, "alert-webhook", "", "POST every alert event to this URL as JSON, with capped exponential retries; "+
 		"empty disables the webhook handler")
+	flag.Float64Var(&opt.fcastThresh, "forecast-threshold", 0, "measure value forecasts extrapolate toward: the default ?threshold= of "+
+		"/v1/forecast and, with -forecast-horizon, the trigger of the predictive 'forecast' alert topic (cells forecast to reach it "+
+		"within the horizon go critical); 0 disables both")
+	flag.Int64Var(&opt.fcastHorizon, "forecast-horizon", 60, "forecast horizon in ticks: the default ?horizon= of /v1/forecast and the "+
+		"predictive alert budget")
+	flag.Float64Var(&opt.changeScore, "change-score", 0.25, "default minimum slope-divergence score of /v1/changes, in [0,1]")
 	flag.Parse()
 
 	// A signal stops the record loop; the ordered shutdown — drain, HTTP,
@@ -158,17 +176,20 @@ func run(ctx context.Context, opt options, in io.Reader, out io.Writer) error {
 			Tilt:         opt.tilt,
 			Shards:       opt.shards,
 		},
-		Checkpoint:   opt.checkpoint,
-		Listen:       opt.listen,
-		IngestListen: opt.ingestListen,
-		NodeID:       opt.nodeID,
-		WALDir:       opt.walDir,
-		WALSync:      opt.walSync,
-		WALSegBytes:  opt.walSegBytes,
-		AlertWarn:    opt.alertWarn,
-		AlertCrit:    opt.alertCrit,
-		AlertHold:    opt.alertHold,
-		AlertWebhook: opt.alertWebhook,
+		Checkpoint:        opt.checkpoint,
+		Listen:            opt.listen,
+		IngestListen:      opt.ingestListen,
+		NodeID:            opt.nodeID,
+		WALDir:            opt.walDir,
+		WALSync:           opt.walSync,
+		WALSegBytes:       opt.walSegBytes,
+		AlertWarn:         opt.alertWarn,
+		AlertCrit:         opt.alertCrit,
+		AlertHold:         opt.alertHold,
+		AlertWebhook:      opt.alertWebhook,
+		ForecastThreshold: opt.fcastThresh,
+		ForecastHorizon:   opt.fcastHorizon,
+		ChangeScore:       opt.changeScore,
 	}, in, out)
 }
 

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/cube"
+	"repro/internal/insight"
 	"repro/internal/stream"
 )
 
@@ -48,14 +49,17 @@ func (l Level) String() string {
 
 // Topics partition events by the alerting layer: o-layer cells are the
 // operational alerting surface; cells below it (exception drill-down
-// supporters) are diagnostic.
+// supporters) are diagnostic; forecast events are predictive — a cell's
+// extrapolated time-to-threshold fell inside the configured budget
+// before the measured slope tripped anything.
 const (
-	TopicOLayer = "olayer"
-	TopicDrill  = "drill"
+	TopicOLayer   = "olayer"
+	TopicDrill    = "drill"
+	TopicForecast = "forecast"
 )
 
 // Topics lists every topic in metric-rendering order.
-var Topics = []string{TopicOLayer, TopicDrill}
+var Topics = []string{TopicOLayer, TopicDrill, TopicForecast}
 
 // Levels lists every level in metric-rendering order.
 var Levels = []Level{LevelOK, LevelWarn, LevelCrit}
@@ -134,6 +138,19 @@ type Config struct {
 	// MaxRetries caps how often a failed handler delivery is retried with
 	// exponential backoff (default 3; negative disables retries).
 	MaxRetries int
+	// ForecastBudget, when > 0, enables the predictive forecast topic: an
+	// o-cell whose extrapolated time until ForecastThreshold falls to at
+	// most this many ticks goes critical (within twice the budget: warn).
+	// Forecast events run the same dedup/hold lifecycle as the slope
+	// topics but keep their own per-cell states, so a cell can be at
+	// forecast-crit and slope-OK simultaneously.
+	ForecastBudget int64
+	// ForecastThreshold is the measure value the forecast extrapolates
+	// toward. Must be finite when ForecastBudget is set.
+	ForecastThreshold float64
+	// ForecastWindow caps how many trailing history units feed the
+	// forecast model; 0 uses every retained unit.
+	ForecastWindow int
 }
 
 // cellState is the per-cell lifecycle state. Cells at reported OK with no
@@ -156,24 +173,29 @@ type Manager struct {
 
 	mu     sync.Mutex
 	states map[cube.CellKey]*cellState
-	ring   []Event
-	seq    int64
+	// fstates is the forecast topic's own lifecycle state: o-cell keys
+	// collide with the slope topics' states otherwise.
+	fstates map[cube.CellKey]*cellState
+	ring    []Event
+	seq     int64
 	// events counts emitted events by [level][topic index].
-	events [3][2]int64
+	events [3][3]int64
 
 	handlers []*runner
 	wg       sync.WaitGroup
 	closed   bool
 
 	// scratch buffers reused across Observe calls.
-	ocells, dcells []candidate
+	ocells, dcells, fcells []candidate
 }
 
-// candidate is one cell observed (or remembered) in the current unit.
+// candidate is one cell observed (or remembered) in the current unit,
+// with its raw level already derived (from the slope thresholds, or from
+// the forecast's time-to-threshold).
 type candidate struct {
-	key     cube.CellKey
-	slope   float64
-	present bool
+	key   cube.CellKey
+	slope float64
+	level Level
 }
 
 // New validates the config and builds a manager with no handlers; attach
@@ -194,11 +216,18 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 3
 	}
+	if cfg.ForecastBudget > 0 && (math.IsNaN(cfg.ForecastThreshold) || math.IsInf(cfg.ForecastThreshold, 0)) {
+		return nil, fmt.Errorf("alert: forecast threshold %g is not finite", cfg.ForecastThreshold)
+	}
+	if cfg.ForecastWindow < 0 {
+		cfg.ForecastWindow = 0
+	}
 	return &Manager{
-		cfg:    cfg,
-		olayer: cfg.Schema.OLayer(),
-		anc:    cube.NewAncestorIndex(cfg.Schema),
-		states: make(map[cube.CellKey]*cellState),
+		cfg:     cfg,
+		olayer:  cfg.Schema.OLayer(),
+		anc:     cube.NewAncestorIndex(cfg.Schema),
+		states:  make(map[cube.CellKey]*cellState),
+		fstates: make(map[cube.CellKey]*cellState),
 	}, nil
 }
 
@@ -217,10 +246,14 @@ func (m *Manager) levelOf(slope float64) Level {
 
 // topicIndex maps a topic to its counter column.
 func topicIndex(topic string) int {
-	if topic == TopicDrill {
+	switch topic {
+	case TopicDrill:
 		return 1
+	case TopicForecast:
+		return 2
+	default:
+		return 0
 	}
-	return 0
 }
 
 // Observe feeds one unit snapshot through the lifecycle. Call it with
@@ -245,7 +278,10 @@ func (m *Manager) Observe(snap *stream.Snapshot) {
 			return
 		}
 		seen[k] = true
-		c := candidate{key: k, slope: slope, present: present}
+		c := candidate{key: k, slope: slope}
+		if present {
+			c.level = m.levelOf(slope)
+		}
 		if k.Cuboid.Equal(m.olayer) {
 			m.ocells = append(m.ocells, c)
 		} else {
@@ -271,7 +307,7 @@ func (m *Manager) Observe(snap *stream.Snapshot) {
 	firing := make(map[cube.CellKey]bool)
 	var emitted []Event
 	for _, c := range m.ocells {
-		ev, ok := m.transition(c, TopicOLayer, snap.Unit, false)
+		ev, ok := m.transition(m.states, c, TopicOLayer, snap.Unit, false)
 		if ok {
 			emitted = append(emitted, ev)
 		}
@@ -288,10 +324,11 @@ func (m *Manager) Observe(snap *stream.Snapshot) {
 		if m.olayer.DominatedBy(c.key.Cuboid) {
 			inhibited = firing[m.anc.RollUp(c.key, m.olayer)]
 		}
-		if ev, ok := m.transition(c, TopicDrill, snap.Unit, inhibited); ok {
+		if ev, ok := m.transition(m.states, c, TopicDrill, snap.Unit, inhibited); ok {
 			emitted = append(emitted, ev)
 		}
 	}
+	emitted = m.observeForecast(snap, emitted)
 	handlers := m.handlers
 	m.mu.Unlock()
 
@@ -313,15 +350,12 @@ func (m *Manager) Observe(snap *stream.Snapshot) {
 // reported level resets the hold. An inhibited cell is frozen — no event
 // and no state change — so it never emits a stale recovery once the
 // ancestor clears.
-func (m *Manager) transition(c candidate, topic string, unit int64, inhibited bool) (Event, bool) {
-	st := m.states[c.key]
+func (m *Manager) transition(states map[cube.CellKey]*cellState, c candidate, topic string, unit int64, inhibited bool) (Event, bool) {
+	st := states[c.key]
 	if st == nil {
 		st = &cellState{}
 	}
-	raw := LevelOK
-	if c.present {
-		raw = m.levelOf(c.slope)
-	}
+	raw := c.level
 	var ev Event
 	fired := false
 	switch {
@@ -339,11 +373,67 @@ func (m *Manager) transition(c candidate, topic string, unit int64, inhibited bo
 		st.hold = 0
 	}
 	if st.reported == LevelOK && st.hold == 0 {
-		delete(m.states, c.key)
+		delete(states, c.key)
 	} else {
-		m.states[c.key] = st
+		states[c.key] = st
 	}
 	return ev, fired
+}
+
+// observeForecast runs the predictive pass of one unit: every o-cell
+// with history (plus every tracked forecast state) is extrapolated, its
+// time-to-threshold mapped to a level, and the result fed through the
+// same transition machinery on the forecast topic's own state map.
+// Caller holds m.mu. No-op unless ForecastBudget is configured.
+func (m *Manager) observeForecast(snap *stream.Snapshot, emitted []Event) []Event {
+	if m.cfg.ForecastBudget <= 0 {
+		return emitted
+	}
+	m.fcells = m.fcells[:0]
+	seen := make(map[cube.CellKey]bool)
+	for k, pts := range snap.History {
+		seen[k] = true
+		level, slope := m.forecastLevel(pts)
+		m.fcells = append(m.fcells, candidate{key: k, slope: slope, level: level})
+	}
+	for k := range m.fstates {
+		if !seen[k] {
+			m.fcells = append(m.fcells, candidate{key: k})
+		}
+	}
+	sort.Slice(m.fcells, func(i, j int) bool { return cube.CompareKeys(m.fcells[i].key, m.fcells[j].key) < 0 })
+	for _, c := range m.fcells {
+		if ev, ok := m.transition(m.fstates, c, TopicForecast, snap.Unit, false); ok {
+			emitted = append(emitted, ev)
+		}
+	}
+	return emitted
+}
+
+// forecastLevel extrapolates one cell's history and maps its time until
+// the configured threshold to an alert level: within the budget is
+// critical, within twice the budget warning. Unusable history (gaps, no
+// points) and never-crossing trends are OK — the slope topics own the
+// post-breach signal.
+func (m *Manager) forecastLevel(pts []stream.HistoryPoint) (Level, float64) {
+	if w := m.cfg.ForecastWindow; w > 0 && len(pts) > w {
+		pts = pts[len(pts)-w:]
+	}
+	f, err := insight.ForecastHistory(pts, m.cfg.ForecastBudget, &m.cfg.ForecastThreshold)
+	if err != nil {
+		return LevelOK, 0
+	}
+	if f.TicksToThreshold == nil {
+		return LevelOK, f.Model.Slope
+	}
+	switch ttt := *f.TicksToThreshold; {
+	case ttt <= float64(m.cfg.ForecastBudget):
+		return LevelCrit, f.Model.Slope
+	case ttt <= 2*float64(m.cfg.ForecastBudget):
+		return LevelWarn, f.Model.Slope
+	default:
+		return LevelOK, f.Model.Slope
+	}
 }
 
 // emit appends an event to the ring and counts it. Caller holds m.mu.
@@ -391,7 +481,7 @@ func (m *Manager) Events(k int) []Event {
 type Stats struct {
 	// Events counts emitted events by [level][topic], indexed per Levels
 	// and Topics.
-	Events [3][2]int64
+	Events [3][3]int64
 	// HandlerRetries counts failed deliveries that were retried.
 	HandlerRetries int64
 	// HandlerDrops counts events shed from full handler queues.

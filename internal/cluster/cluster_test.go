@@ -285,11 +285,27 @@ func TestClusterMatchesSingleEngine(t *testing.T) {
 		`{"queries":[{"kind":"trend","cell":{"members":[1,0]},"k":3}]}`,
 		`{"queries":[{"kind":"supporters","cell":{"members":[0,0]},"k":8}]}`,
 		`{"queries":[{"kind":"exceptions","k":4},{"kind":"alerts"}]}`,
+		`{"queries":[{"kind":"forecast","cell":{"members":[1,0]},"horizon":8,"threshold":40}]}`,
+		`{"queries":[{"kind":"changes","k":4}]}`,
 	} {
 		wantResp := postQuery(t, singleTS.URL, body)
 		gotResp := postQuery(t, coordTS.URL, body)
 		if !bytes.Equal(gotResp, wantResp) {
 			t.Errorf("query %s diverges:\ncluster: %s\nsingle:  %s", body, gotResp, wantResp)
+		}
+	}
+
+	// The GET shims of the predictive kinds must also match byte for
+	// byte — the coordinator serves them from the merged snapshot.
+	for _, path := range []string{
+		"/v1/forecast?members=1,0&horizon=8&threshold=40",
+		"/v1/forecast?members=0,1&k=2&horizon=16",
+		"/v1/changes?k=4",
+	} {
+		wantResp := getBytes(t, singleTS.URL+path)
+		gotResp := getBytes(t, coordTS.URL+path)
+		if !bytes.Equal(gotResp, wantResp) {
+			t.Errorf("GET %s diverges:\ncluster: %s\nsingle:  %s", path, gotResp, wantResp)
 		}
 	}
 
@@ -367,6 +383,23 @@ func postQuery(t *testing.T, base, body string) []byte {
 	}
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("POST %s: HTTP %d: %s", body, resp.StatusCode, data)
+	}
+	return data
+}
+
+func getBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, data)
 	}
 	return data
 }

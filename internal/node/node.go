@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -51,6 +52,19 @@ type Config struct {
 	// AlertWebhook, when set, POSTs every event to this URL with capped
 	// exponential retries.
 	AlertWebhook string
+	// ForecastThreshold is the measure value forecasts extrapolate toward:
+	// the default ?threshold= of GET /v1/forecast, and — together with
+	// ForecastHorizon — the predictive alert topic's trigger. 0 disables
+	// both (a forecast GET then needs an explicit ?threshold=).
+	ForecastThreshold float64
+	// ForecastHorizon is the default forecast horizon in ticks for
+	// GET /v1/forecast, and the predictive alert budget: cells forecast to
+	// reach ForecastThreshold within it go critical (within twice: warn).
+	// Forecast alerting needs both ForecastThreshold and a horizon > 0.
+	ForecastHorizon int64
+	// ChangeScore is the default minimum divergence score of
+	// GET /v1/changes.
+	ChangeScore float64
 }
 
 // Run is the node runtime: build the engine, restore the checkpoint,
@@ -62,9 +76,10 @@ type Config struct {
 // analyzer unless Config.IngestListen is set.
 func Run(ctx context.Context, cfg Config, in io.Reader, out io.Writer) error {
 	alertsOn := cfg.AlertCrit > 0
-	// The serving layer and the alert lifecycle both consume per-unit
-	// snapshots; either one forces publication.
-	cfg.Engine.PublishSnapshots = cfg.Listen != "" || alertsOn
+	forecastOn := cfg.ForecastThreshold != 0 && cfg.ForecastHorizon > 0
+	// The serving layer and the alert lifecycle (slope or forecast
+	// topics) all consume per-unit snapshots; any one forces publication.
+	cfg.Engine.PublishSnapshots = cfg.Listen != "" || alertsOn || forecastOn
 
 	a, err := cfg.Engine.Build()
 	if err != nil {
@@ -199,17 +214,27 @@ func Run(ctx context.Context, cfg Config, in io.Reader, out io.Writer) error {
 	var alertSub *stream.Subscription
 	var alertStop context.CancelFunc
 	alertDone := make(chan struct{})
-	if alertsOn {
-		warn := cfg.AlertWarn
+	if alertsOn || forecastOn {
+		warn, crit := cfg.AlertWarn, cfg.AlertCrit
 		if warn <= 0 {
-			warn = cfg.AlertCrit / 2
+			warn = crit / 2
 		}
-		mgr, err = alert.New(alert.Config{
+		if !alertsOn {
+			// Forecast-only alerting: infinite slope thresholds pass the
+			// manager's validation and keep the slope topics silent.
+			warn, crit = math.Inf(1), math.Inf(1)
+		}
+		acfg := alert.Config{
 			Schema:    schema,
 			Warn:      warn,
-			Crit:      cfg.AlertCrit,
+			Crit:      crit,
 			HoldUnits: cfg.AlertHold,
-		})
+		}
+		if forecastOn {
+			acfg.ForecastBudget = cfg.ForecastHorizon
+			acfg.ForecastThreshold = cfg.ForecastThreshold
+		}
+		mgr, err = alert.New(acfg)
 		if err != nil {
 			return err
 		}
@@ -277,6 +302,12 @@ func Run(ctx context.Context, cfg Config, in io.Reader, out io.Writer) error {
 		handler := serve.New(a, schema)
 		handler.SetIngestStats(ingestStats)
 		handler.SetBusDropped(a.BusDropped)
+		fdef := serve.ForecastDefaults{Horizon: cfg.ForecastHorizon, ChangeScore: cfg.ChangeScore}
+		if cfg.ForecastThreshold != 0 {
+			th := cfg.ForecastThreshold
+			fdef.Threshold = &th
+		}
+		handler.SetForecastDefaults(fdef)
 		if mgr != nil {
 			handler.SetAlerts(mgr)
 		}

@@ -102,6 +102,14 @@ func (e *Executor) Execute(req Request) (Response, error) {
 		return e.dispatchCell(r.CellRef, func(key cube.CellKey) (Response, error) { return e.frame(key) })
 	case *FrameRequest:
 		return e.dispatchCell(r.CellRef, func(key cube.CellKey) (Response, error) { return e.frame(key) })
+	case ForecastRequest:
+		return e.dispatchCell(r.CellRef, func(key cube.CellKey) (Response, error) { return e.forecast(r, key) })
+	case *ForecastRequest:
+		return e.dispatchCell(r.CellRef, func(key cube.CellKey) (Response, error) { return e.forecast(*r, key) })
+	case ChangesRequest:
+		return e.changes(r), nil
+	case *ChangesRequest:
+		return e.changes(*r), nil
 	default:
 		return nil, invalidf("unsupported request type %T", req)
 	}

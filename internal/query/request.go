@@ -48,6 +48,8 @@ const (
 	KindSlice      Kind = "slice"
 	KindTrend      Kind = "trend"
 	KindFrame      Kind = "frame"
+	KindForecast   Kind = "forecast"
+	KindChanges    Kind = "changes"
 )
 
 // Exception orderings for ExceptionsRequest.Order.
@@ -58,8 +60,9 @@ const (
 
 // Request is one typed query against a published snapshot. The concrete
 // types — SummaryRequest, ExceptionsRequest, AlertsRequest,
-// SupportersRequest, SliceRequest, TrendRequest, FrameRequest — form a
-// closed union; Executor.Execute dispatches on them.
+// SupportersRequest, SliceRequest, TrendRequest, FrameRequest,
+// ForecastRequest, ChangesRequest — form a closed union;
+// Executor.Execute dispatches on them.
 type Request interface {
 	// Kind returns the union discriminator.
 	Kind() Kind
@@ -308,6 +311,18 @@ func (e *Envelope) UnmarshalJSON(b []byte) error {
 		e.Request = r
 	case KindFrame:
 		var r FrameRequest
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		e.Request = r
+	case KindForecast:
+		var r ForecastRequest
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		e.Request = r
+	case KindChanges:
+		var r ChangesRequest
 		if err := json.Unmarshal(b, &r); err != nil {
 			return err
 		}

@@ -11,7 +11,8 @@ import (
 // Response is the typed result of one executed Request — the closed union
 // mirroring the Request kinds. Concrete types: *SummaryResponse,
 // *CellsResponse (exceptions and slice), *AlertsResponse,
-// *SupportersResponse, *TrendResponse, *FrameResponse.
+// *SupportersResponse, *TrendResponse, *FrameResponse,
+// *ForecastResponse, *ChangesResponse.
 type Response interface {
 	isResponse()
 }
@@ -120,6 +121,10 @@ func DecodeResponse(k Kind, raw []byte) (Response, error) {
 		resp = &TrendResponse{}
 	case KindFrame:
 		resp = &FrameResponse{}
+	case KindForecast:
+		resp = &ForecastResponse{}
+	case KindChanges:
+		resp = &ChangesResponse{}
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %q", ErrInvalid, k)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/exception"
 	"repro/internal/stream"
+	"repro/internal/tilt"
 )
 
 // benchSchema matches the root ShardedIngest benchmark shape: 8×8 o-layer
@@ -164,6 +165,96 @@ func BenchmarkServeQueryUnderIngest(b *testing.B) {
 			b.ReportMetric(float64(percentile(lat, 0.99).Nanoseconds()), "p99-ns/query")
 			if records > 0 {
 				b.ReportMetric(float64(elapsed.Nanoseconds())/float64(records), "concurrent-ingest-ns/record")
+			}
+		})
+	}
+}
+
+// BenchmarkForecastQuery measures the predictive read path per GET
+// /v1/forecast: the Theorem 3.3 fold over the cell's trailing history
+// plus the forward evaluation and JSON encoding. Forecasting is
+// query-time only by construction — no per-record state is maintained
+// for it, so its ingest cost is zero; BenchmarkSnapshotPublish (run
+// alongside in BENCH_PR10.json) is the unchanged ingest-side price.
+func BenchmarkForecastQuery(b *testing.B) {
+	eng := benchEngine(b, 4, 8)
+	cells := benchCells()
+	// 16 closed units of linear ramp: a 16-point history to fold per query.
+	for tick := int64(0); tick <= 16*8; tick++ {
+		for i, m := range cells {
+			if _, err := eng.Ingest(m, tick, float64(tick)*float64(i%7+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	srv := New(eng, eng.Snapshot().Result.Schema)
+	for _, path := range []string{
+		"/v1/forecast?members=0,0&horizon=64",
+		"/v1/forecast?members=0,0&horizon=64&threshold=1e9",
+		"/v1/forecast?members=0,0&k=4&horizon=64&threshold=1e9",
+	} {
+		b.Run(path, func(b *testing.B) {
+			b.ReportAllocs()
+			req := httptest.NewRequest("GET", path, nil)
+			for n := 0; n < b.N; n++ {
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChangeScan measures GET /v1/changes against a tilted engine:
+// one adjacent-level slope comparison per retained cell per level pair,
+// ranked and truncated. Like the forecast, the scan reads the published
+// snapshot — ingest never pays for it.
+func BenchmarkChangeScan(b *testing.B) {
+	eng, err := stream.NewShardedEngine(stream.Config{
+		Schema:           benchSchema(b),
+		TicksPerUnit:     8,
+		Threshold:        exception.Global(0.05),
+		PublishSnapshots: true,
+		TiltLevels: []tilt.Level{
+			{Name: "quarter", Multiple: 1, Slots: 4},
+			{Name: "hour", Multiple: 4, Slots: 6},
+			{Name: "day", Multiple: 2, Slots: 3},
+		},
+	}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	cells := benchCells()
+	// 32 closed units fill every tilt level; the alternating value keeps
+	// recent and long slopes apart so the scan scores real divergences.
+	for tick := int64(0); tick <= 32*8; tick++ {
+		for i, m := range cells {
+			v := float64(tick) * float64(i%7+1)
+			if (tick/64)%2 == 1 {
+				v = -v
+			}
+			if _, err := eng.Ingest(m, tick, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	srv := New(eng, eng.Snapshot().Result.Schema)
+	for _, path := range []string{
+		"/v1/changes?k=16",
+		"/v1/changes",
+	} {
+		b.Run(path, func(b *testing.B) {
+			b.ReportAllocs()
+			req := httptest.NewRequest("GET", path, nil)
+			for n := 0; n < b.N; n++ {
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
 			}
 		})
 	}

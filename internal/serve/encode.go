@@ -34,6 +34,8 @@ type (
 	supportersResponse = query.SupportersResponse
 	trendResponse      = query.TrendResponse
 	frameResponse      = query.FrameResponse
+	forecastResponse   = query.ForecastResponse
+	changesResponse    = query.ChangesResponse
 )
 
 // parseIntList parses "1,0,2" into ints.

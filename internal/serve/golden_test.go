@@ -42,10 +42,14 @@ var goldenCases = []struct {
 	{"flat_slice_k2", false, "/v1/slice?dim=1&level=2&member=3&k=2"},
 	{"flat_trend_k3", false, "/v1/trend?members=0,0&k=3"},
 	{"flat_frame", false, "/v1/frame?members=0,0"},
+	{"flat_forecast", false, "/v1/forecast?members=0,0&horizon=8&threshold=500"},
+	{"flat_changes", false, "/v1/changes"},
 	{"tilt_summary", true, "/v1/summary"},
 	{"tilt_trend_hour", true, "/v1/trend?members=1,1&k=2&level=1"},
 	{"tilt_trend_day", true, "/v1/trend?members=1,1&k=1&level=2"},
 	{"tilt_frame", true, "/v1/frame?members=1,0"},
+	{"tilt_forecast", true, "/v1/forecast?members=1,1&k=3&horizon=12&threshold=2000"},
+	{"tilt_changes", true, "/v1/changes?k=2"},
 }
 
 // TestGoldenEndpoints locks the serving surface: every existing GET

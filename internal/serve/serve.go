@@ -29,6 +29,8 @@
 //	GET  /v1/slice              exceptions under one member (?dim=&level=&member=&k=)
 //	GET  /v1/trend              k-unit trend regression of an o-cell (?members=&k=&level=)
 //	GET  /v1/frame              per-level slot listing of an o-cell's tilted history (?members=)
+//	GET  /v1/forecast           time-to-threshold forecast of an o-cell (?members=&k=&horizon=&threshold=)
+//	GET  /v1/changes            tilt-level trend-change scan (?k=&score=)
 //	POST /v1/query              batch of typed requests, one unit-consistent reply
 //
 // The GET endpoints are a compatibility surface: their JSON bodies are
@@ -87,12 +89,14 @@ const (
 	epInfo
 	epSnapshot
 	epAlertEvents
+	epForecast
+	epChanges
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
 	"healthz", "metrics", "summary", "exceptions", "alerts", "supporters", "slice", "trend", "frame", "query",
-	"info", "snapshot", "alertevents",
+	"info", "snapshot", "alertevents", "forecast", "changes",
 }
 
 // endpointStats are lock-free per-endpoint counters.
@@ -135,6 +139,19 @@ type Server struct {
 	// busDropped, when set, reports the snapshot bus's shed counter on
 	// /metrics (an atomic load on the engine — safe from query goroutines).
 	busDropped func() int64
+	// fdef holds the node-configured fallbacks for the forecast GET shims.
+	fdef ForecastDefaults
+}
+
+// ForecastDefaults are the node-configured fallbacks for the predictive
+// GET shims: an absent ?horizon= on /v1/forecast falls back to Horizon,
+// an absent ?threshold= to Threshold (nil means no threshold), and an
+// absent ?score= on /v1/changes to ChangeScore. POST /v1/query batches
+// carry explicit fields and never consult them.
+type ForecastDefaults struct {
+	Horizon     int64
+	Threshold   *float64
+	ChangeScore float64
 }
 
 // SetIngestStats attaches the ingest-edge counters rendered on /metrics.
@@ -151,6 +168,12 @@ func (s *Server) SetInfo(fn func() query.InfoResponse) { s.info = fn }
 // before serving; without it the endpoint answers 404 (alerting is not
 // configured on this node).
 func (s *Server) SetAlerts(m *alert.Manager) { s.alerts = m }
+
+// SetForecastDefaults attaches the predictive GET-shim fallbacks. Call
+// before serving; with the zero value ?horizon= stays mandatory on
+// /v1/forecast (request validation rejects the 0 fallback) and
+// /v1/changes defaults to scoring every cell.
+func (s *Server) SetForecastDefaults(d ForecastDefaults) { s.fdef = d }
 
 // SetBusDropped attaches the snapshot-bus shed counter reported as
 // regcube_snapshot_bus_dropped_total. Call before serving; the function
@@ -170,6 +193,8 @@ func New(src Source, schema *cube.Schema) *Server {
 	s.mux.HandleFunc("GET /v1/slice", s.instrument(epSlice, s.handleSlice))
 	s.mux.HandleFunc("GET /v1/trend", s.instrument(epTrend, s.handleTrend))
 	s.mux.HandleFunc("GET /v1/frame", s.instrument(epFrame, s.handleFrame))
+	s.mux.HandleFunc("GET /v1/forecast", s.instrument(epForecast, s.handleForecast))
+	s.mux.HandleFunc("GET /v1/changes", s.instrument(epChanges, s.handleChanges))
 	s.mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
 	s.mux.HandleFunc("GET /v1/info", s.instrument(epInfo, s.handleInfo))
 	s.mux.HandleFunc("GET /v1/snapshot", s.instrument(epSnapshot, s.handleSnapshot))
@@ -302,6 +327,22 @@ func intParam(r *http.Request, name string, def, min int) (int, error) {
 	}
 	if v < min {
 		return 0, badRequest("parameter %s: %d below minimum %d", name, v, min)
+	}
+	return v, nil
+}
+
+// floatParam parses a float query parameter with a default. Range rules
+// (including NaN rejection) live in query.Request validation, so the
+// shims and POST /v1/query agree on them; only unparseable text is
+// rejected here.
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, badRequest("parameter %s: %v", name, err)
 	}
 	return v, nil
 }
@@ -488,6 +529,44 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	return s.run(w, query.FrameRequest{CellRef: ref})
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) error {
+	ref, err := cellRefParam(r)
+	if err != nil {
+		return err
+	}
+	// 0 is the "all recorded units" default; explicit windows must be ≥ 1.
+	k, err := intParam(r, "k", 0, 1)
+	if err != nil {
+		return err
+	}
+	horizon, err := intParam(r, "horizon", int(s.fdef.Horizon), 1)
+	if err != nil {
+		return err
+	}
+	threshold := s.fdef.Threshold
+	if raw := r.URL.Query().Get("threshold"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return badRequest("parameter threshold: %v", err)
+		}
+		threshold = &v
+	}
+	return s.run(w, query.ForecastRequest{CellRef: ref, K: k, Horizon: int64(horizon), Threshold: threshold})
+}
+
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) error {
+	// 0 is the "no limit" default; explicit limits must be ≥ 1.
+	k, err := intParam(r, "k", 0, 1)
+	if err != nil {
+		return err
+	}
+	score, err := floatParam(r, "score", s.fdef.ChangeScore)
+	if err != nil {
+		return err
+	}
+	return s.run(w, query.ChangesRequest{K: k, MinScore: score})
 }
 
 // --- POST /v1/query -------------------------------------------------------

@@ -12,6 +12,7 @@
 #   internal/node        -> anything below it except internal/cluster
 #   internal/serve       -> must not reach node/cluster/wal/persist/gen
 #   internal/alert       -> must not reach node/serve/cluster/wal/persist/gen/query
+#   internal/insight     -> must not reach alert/serve/node/wal/cluster/persist/query/gen
 #   internal/stream      -> must not reach alert/serve/node/wal/cluster/persist/query/gen
 #
 # Run from the repo root: ./scripts/check_imports.sh
@@ -70,6 +71,11 @@ check repro/internal/serve internal/node internal/cluster internal/wal internal/
 
 # The alert lifecycle consumes the snapshot bus only.
 check repro/internal/alert internal/node internal/serve internal/cluster internal/wal internal/persist internal/gen internal/query
+
+# The prediction subsystem is a pure snapshot consumer between stream
+# and its consumers (query and alert both import it); it must know
+# nothing above itself.
+check repro/internal/insight internal/alert internal/serve internal/node internal/wal internal/cluster internal/persist internal/query internal/gen
 
 # The stream engine is below every consumer; nothing push- or serve-side
 # may leak into it.

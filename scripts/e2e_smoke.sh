@@ -406,6 +406,62 @@ kill "$akpid" 2>/dev/null || true
 wait "$akpid" 2>/dev/null || true
 akpid=""
 
+echo "== forecast leg: ramp toward threshold -> willBreach mid-stream + predictive alert"
+ADDR=127.0.0.1:18085
+SINK=127.0.0.1:18086
+"$workdir/alertsink" -listen "$SINK" > "$workdir/fsink.log" 2>&1 &
+akpid=$!
+fifo7="$workdir/forecast.fifo"
+mkfifo "$fifo7"
+# Forecast-only node: no -alert-crit, so the slope topics stay silent and
+# every event below is the predictive topic. The flag pair doubles as the
+# GET-shim defaults, so /v1/forecast needs no query parameters.
+"$workdir/streamd" -spec D2L2C4 -unit 4 -threshold 1000 -shards 4 \
+  -listen "$ADDR" \
+  -forecast-threshold 1000 -forecast-horizon 8 \
+  -alert-webhook "http://$SINK" \
+  < "$fifo7" > "$workdir/forecast.log" 2>&1 &
+spid=$!
+exec 9> "$fifo7"
+# Cell (0,0) rises 10/tick toward 1000: at unit 23 (ticks 92-95) the fitted
+# line sits at 950, five ticks from the threshold — inside the 8-tick
+# horizon, so the forecast goes crit while the measured value is still 5%
+# below the line it is forecast to cross.
+for t in $(seq 0 99); do echo "$t,0,0,$((t * 10))" >&9; done
+fc=""
+for _ in $(seq 1 100); do
+  if fc=$(fetch '/v1/forecast?members=0,0' 2>/dev/null) && grep -q '"willBreach":true' <<<"$fc"; then
+    break
+  fi
+  fc=""
+  sleep 0.1
+done
+[ -n "$fc" ] || { echo "FAIL: /v1/forecast never predicted the breach" >&2; cat "$workdir/forecast.log" >&2; exit 1; }
+grep -q '"ticksToThreshold":' <<<"$fc" || { echo "FAIL: forecast missing ticksToThreshold: $fc" >&2; exit 1; }
+echo "   OK GET /v1/forecast (flag defaults, willBreach mid-stream)"
+assert_json '/v1/changes' '"cells":'
+ev=""
+for _ in $(seq 1 100); do
+  if ev=$(fetch '/v1/alerts/events' 2>/dev/null) && grep -q '"topic":"forecast"' <<<"$ev"; then
+    break
+  fi
+  ev=""
+  sleep 0.1
+done
+[ -n "$ev" ] || { echo "FAIL: no forecast-topic event on /v1/alerts/events" >&2; cat "$workdir/forecast.log" >&2; exit 1; }
+echo "   OK GET /v1/alerts/events (forecast topic live)"
+exec 9>&-   # EOF: ordered shutdown drains the alert pipeline
+wait "$spid" || { echo "FAIL: forecasting streamd exited non-zero" >&2; cat "$workdir/forecast.log" >&2; exit 1; }
+spid=""
+fevents=$(grep -c '"topic":"forecast"' "$workdir/fsink.log" || true)
+[ "$fevents" -ge 1 ] || { echo "FAIL: webhook saw $fevents forecast events, want >= 1" >&2; cat "$workdir/fsink.log" >&2; exit 1; }
+slope_events=$(grep -c '"topic":"olayer"\|"topic":"drill"' "$workdir/fsink.log" || true)
+[ "$slope_events" -eq 0 ] || { echo "FAIL: forecast-only node emitted $slope_events slope-topic events" >&2; cat "$workdir/fsink.log" >&2; exit 1; }
+echo "   OK webhook received $fevents forecast event(s), no slope-topic noise"
+kill "$akpid" 2>/dev/null || true
+wait "$akpid" 2>/dev/null || true
+akpid=""
+
 echo "== cluster leg: 4 streamd nodes + router, scatter-gather coordinator, merged checkpoint"
 CADDR=127.0.0.1:18090
 node_ing=(127.0.0.1:19091 127.0.0.1:19092 127.0.0.1:19093 127.0.0.1:19094)
@@ -450,6 +506,9 @@ echo "   coordinator healthz: $h"
 # Mid-stream scatter-gather queries and the cluster-wide info document.
 assert_json '/v1/exceptions?k=5' '"cells":\['
 assert_json '/v1/alerts'         '"alerts":\['
+# The predictive endpoints answer from the coordinator's merged snapshot.
+assert_json '/v1/forecast?members=0,0&horizon=8&threshold=1000' '"predicted":'
+assert_json '/v1/changes'        '"cells":'
 info=$(fetch /v1/info)
 grep -q '"role":"coordinator"' <<<"$info" || { echo "FAIL: /v1/info not a coordinator: $info" >&2; exit 1; }
 grep -q '"nodeId":"node-3"' <<<"$info"    || { echo "FAIL: /v1/info missing node-3: $info" >&2; exit 1; }
